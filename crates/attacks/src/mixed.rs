@@ -1,0 +1,95 @@
+//! Compositions of the basic attacks, for stress testing the detector.
+
+use crate::Attack;
+use medshield_relation::Table;
+
+/// A sequence of attacks applied one after another.
+pub struct MixedAttack {
+    attacks: Vec<Box<dyn Attack>>,
+}
+
+impl MixedAttack {
+    /// An empty composition (identity).
+    pub fn new() -> Self {
+        MixedAttack { attacks: Vec::new() }
+    }
+
+    /// Append an attack to the sequence.
+    pub fn then(mut self, attack: impl Attack + 'static) -> Self {
+        self.attacks.push(Box::new(attack));
+        self
+    }
+
+    /// Number of attacks in the composition.
+    pub fn len(&self) -> usize {
+        self.attacks.len()
+    }
+
+    /// True if the composition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.attacks.is_empty()
+    }
+}
+
+impl Default for MixedAttack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attack for MixedAttack {
+    fn apply(&self, table: &Table) -> Table {
+        let mut current = table.snapshot();
+        for attack in &self.attacks {
+            current = attack.apply(&current);
+        }
+        current
+    }
+
+    fn describe(&self) -> String {
+        if self.attacks.is_empty() {
+            return "no attack".to_string();
+        }
+        self.attacks
+            .iter()
+            .map(|a| a.describe())
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SubsetAddition, SubsetAlteration, SubsetDeletion};
+    use medshield_datagen::{DatasetConfig, MedicalDataset};
+
+    fn table() -> Table {
+        MedicalDataset::generate(&DatasetConfig::small(200)).table
+    }
+
+    #[test]
+    fn empty_composition_is_identity() {
+        let t = table();
+        let attacked = MixedAttack::new().apply(&t);
+        assert_eq!(attacked.len(), t.len());
+        assert!(MixedAttack::new().is_empty());
+        assert_eq!(MixedAttack::new().describe(), "no attack");
+    }
+
+    #[test]
+    fn composition_applies_in_sequence() {
+        let t = table();
+        let attack = MixedAttack::new()
+            .then(SubsetDeletion::random(0.2, 1))
+            .then(SubsetAddition::new(0.1, 2))
+            .then(SubsetAlteration::new(0.1, 3));
+        assert_eq!(attack.len(), 3);
+        let attacked = attack.apply(&t);
+        // 200 → delete 40 → 160 → add 16 → 176.
+        assert_eq!(attacked.len(), 176);
+        assert!(attack.describe().contains("deletion"));
+        assert!(attack.describe().contains("addition"));
+        assert!(attack.describe().contains("alteration"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the attack models and of detection under
+//! attack (the inner loop of the Fig. 12 experiments).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medshield_attacks::{Attack, GeneralizationAttack, SubsetAlteration, SubsetDeletion};
+use medshield_core::{ProtectedRelease, ProtectionConfig, ProtectionPipeline};
+use medshield_datagen::{DatasetConfig, MedicalDataset};
+
+const BENCH_TUPLES: usize = 2_000;
+
+fn protected() -> (MedicalDataset, ProtectionPipeline, ProtectedRelease) {
+    let ds = MedicalDataset::generate(&DatasetConfig {
+        num_tuples: BENCH_TUPLES,
+        seed: 0xBE9C,
+        zipf_exponent: 0.8,
+    });
+    let pipeline = ProtectionPipeline::new(
+        ProtectionConfig::builder()
+            .k(10)
+            .eta(20)
+            .duplication(4)
+            .mark_text("bench-owner")
+            .build(),
+    );
+    let release = pipeline.protect(&ds.table, &ds.trees).unwrap();
+    (ds, pipeline, release)
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (ds, _pipeline, release) = protected();
+    c.bench_function("subset_alteration_50pct", |b| {
+        let attack = SubsetAlteration::new(0.5, 1);
+        b.iter(|| attack.apply(&release.table));
+    });
+    c.bench_function("subset_deletion_ranges_50pct", |b| {
+        let attack = SubsetDeletion::ranges(0.5, 2, "ssn");
+        b.iter(|| attack.apply(&release.table));
+    });
+    c.bench_function("generalization_attack_1_level", |b| {
+        let attack = GeneralizationAttack::new(1, ds.trees.clone());
+        b.iter(|| attack.apply(&release.table));
+    });
+}
+
+fn bench_detection_under_attack(c: &mut Criterion) {
+    let (ds, pipeline, release) = protected();
+    let attacked = SubsetAlteration::new(0.5, 3).apply(&release.table);
+    c.bench_function("detection_under_50pct_alteration", |b| {
+        b.iter(|| {
+            pipeline
+                .detect(&attacked, &release.binning.columns, &ds.trees)
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_attacks, bench_detection_under_attack);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the binning agent (the Fig. 11 machinery):
+//! mono-attribute binning, multi-attribute binning and the full Binning step,
+//! at several k values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medshield_binning::{mono, BinningAgent, BinningConfig};
+use medshield_datagen::{DatasetConfig, MedicalDataset};
+use medshield_dht::GeneralizationSet;
+use std::collections::BTreeMap;
+
+const BENCH_TUPLES: usize = 2_000;
+
+fn dataset() -> MedicalDataset {
+    MedicalDataset::generate(&DatasetConfig {
+        num_tuples: BENCH_TUPLES,
+        seed: 0xBE9C,
+        zipf_exponent: 0.8,
+    })
+}
+
+fn root_metrics(ds: &MedicalDataset) -> BTreeMap<String, GeneralizationSet> {
+    ds.trees
+        .iter()
+        .map(|(n, t)| (n.clone(), GeneralizationSet::at_depth(t, 0)))
+        .collect()
+}
+
+fn bench_mono_attribute(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("mono_attribute_binning");
+    for k in [5usize, 25, 100] {
+        group.bench_with_input(BenchmarkId::new("symptom", k), &k, |b, &k| {
+            let tree = &ds.trees["symptom"];
+            let maximal = GeneralizationSet::root_only(tree);
+            b.iter(|| {
+                mono::generate_minimal_nodes(
+                    &ds.table,
+                    "symptom",
+                    tree,
+                    &maximal,
+                    k,
+                    Default::default(),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_binning(c: &mut Criterion) {
+    let ds = dataset();
+    let maximal = root_metrics(&ds);
+    let mut group = c.benchmark_group("full_binning");
+    group.sample_size(10);
+    for k in [5usize, 25, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let agent = BinningAgent::new(BinningConfig::with_k(k));
+            b.iter(|| agent.bin(&ds.table, &ds.trees, &maximal).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mono_attribute, bench_full_binning);
+criterion_main!(benches);

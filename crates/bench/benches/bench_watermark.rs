@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of the watermarking agent (the Fig. 12/13
+//! machinery): hierarchical embedding, detection, and the single-level
+//! baseline, at several η values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medshield_binning::{BinningAgent, BinningConfig, BinningOutcome};
+use medshield_datagen::{DatasetConfig, MedicalDataset};
+use medshield_dht::GeneralizationSet;
+use medshield_watermark::{
+    HierarchicalWatermarker, Mark, SingleLevelWatermarker, WatermarkConfig, WatermarkKey,
+};
+use std::collections::BTreeMap;
+
+const BENCH_TUPLES: usize = 2_000;
+
+fn binned() -> (MedicalDataset, BinningOutcome) {
+    let ds = MedicalDataset::generate(&DatasetConfig {
+        num_tuples: BENCH_TUPLES,
+        seed: 0xBE9C,
+        zipf_exponent: 0.8,
+    });
+    let maximal: BTreeMap<String, GeneralizationSet> = ds
+        .trees
+        .iter()
+        .map(|(n, t)| (n.clone(), GeneralizationSet::at_depth(t, 0)))
+        .collect();
+    let outcome = BinningAgent::new(BinningConfig::with_k(10))
+        .bin(&ds.table, &ds.trees, &maximal)
+        .unwrap();
+    (ds, outcome)
+}
+
+fn watermarker(eta: u64) -> HierarchicalWatermarker {
+    let mut config = WatermarkConfig::new(WatermarkKey::from_master(b"bench-owner", eta));
+    config.duplication = 4;
+    HierarchicalWatermarker::new(config)
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let (ds, outcome) = binned();
+    let mark = Mark::from_bytes(b"bench-mark", 20);
+    let mut group = c.benchmark_group("hierarchical_embedding");
+    for eta in [10u64, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(eta), &eta, |b, &eta| {
+            let wm = watermarker(eta);
+            b.iter(|| wm.embed(&outcome, &ds.trees, &mark).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let (ds, outcome) = binned();
+    let mark = Mark::from_bytes(b"bench-mark", 20);
+    let mut group = c.benchmark_group("hierarchical_detection");
+    for eta in [10u64, 50, 100] {
+        let wm = watermarker(eta);
+        let (marked, _) = wm.embed(&outcome, &ds.trees, &mark).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(eta), &eta, |b, _| {
+            b.iter(|| wm.detect(&marked, &outcome.columns, &ds.trees, mark.len()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_level(c: &mut Criterion) {
+    let (ds, outcome) = binned();
+    let mark = Mark::from_bytes(b"bench-mark", 20);
+    let mut config = WatermarkConfig::new(WatermarkKey::from_master(b"bench-owner", 50));
+    config.duplication = 4;
+    let wm = SingleLevelWatermarker::new(config);
+    c.bench_function("single_level_embedding", |b| {
+        b.iter(|| wm.embed(&outcome, &ds.trees, &mark).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_embedding, bench_detection, bench_single_level);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Error type for the binning agent.
+
+use medshield_dht::DhtError;
+use medshield_metrics::info_loss::MetricsError;
+use medshield_relation::RelationError;
+
+/// Errors raised while binning a table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinningError {
+    /// A quasi-identifying column has no domain hierarchy tree configured.
+    MissingTree(String),
+    /// Underlying relational error.
+    Relation(RelationError),
+    /// Underlying DHT error.
+    Dht(DhtError),
+    /// Underlying metrics error.
+    Metrics(MetricsError),
+    /// No generalization within the usage metrics satisfies the k-anonymity
+    /// specification (the data are not binnable under the given bounds).
+    NotBinnable {
+        /// The k that could not be reached.
+        k: usize,
+        /// Explanation of where the search got stuck.
+        reason: String,
+    },
+    /// The k-anonymity specification is degenerate (k = 0).
+    InvalidK,
+}
+
+impl std::fmt::Display for BinningError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinningError::MissingTree(c) => {
+                write!(f, "no domain hierarchy tree configured for column {c}")
+            }
+            BinningError::Relation(e) => write!(f, "relation error: {e}"),
+            BinningError::Dht(e) => write!(f, "dht error: {e}"),
+            BinningError::Metrics(e) => write!(f, "metrics error: {e}"),
+            BinningError::NotBinnable { k, reason } => {
+                write!(f, "table cannot be binned to k={k}: {reason}")
+            }
+            BinningError::InvalidK => write!(f, "k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for BinningError {}
+
+impl From<RelationError> for BinningError {
+    fn from(e: RelationError) -> Self {
+        BinningError::Relation(e)
+    }
+}
+
+impl From<DhtError> for BinningError {
+    fn from(e: DhtError) -> Self {
+        BinningError::Dht(e)
+    }
+}
+
+impl From<MetricsError> for BinningError {
+    fn from(e: MetricsError) -> Self {
+        BinningError::Metrics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(BinningError::MissingTree("age".into()).to_string().contains("age"));
+        assert!(BinningError::NotBinnable { k: 7, reason: "x".into() }
+            .to_string()
+            .contains("k=7"));
+        assert!(BinningError::InvalidK.to_string().contains("at least 1"));
+    }
+}

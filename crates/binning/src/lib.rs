@@ -1,0 +1,48 @@
+//! # medshield-binning
+//!
+//! The binning agent of the MedShield framework (Bertino et al., ICDE 2005,
+//! §4). Binning transforms the quasi-identifying columns of a medical table so
+//! that every combination of quasi-identifier values is shared by at least
+//! *k* records, while the identifying columns are replaced by their encrypted
+//! values to keep records traceable to the data holder.
+//!
+//! The pipeline has four stages, each in its own module:
+//!
+//! 1. [`maximal`] — **off-line enforcement of usage metrics**: translate the
+//!    information-loss bounds (Eq. 4) into a set of *maximal generalization
+//!    nodes* per domain hierarchy tree, the highest nodes any value may be
+//!    generalized to without exceeding the allowed loss. The paper's own
+//!    experiments skip this translation and state the maximal nodes directly;
+//!    [`maximal::maximal_nodes_at_depth`] supports that too.
+//! 2. [`mono`] — **mono-attribute binning** (`GenMinNd`, Fig. 5): bin each
+//!    attribute individually, *downward* from the maximal generalization
+//!    nodes, stopping at the lowest nodes that still satisfy k-anonymity —
+//!    the *minimal generalization nodes*.
+//! 3. [`multi`] — **multi-attribute binning** (`GenUltiNd`, Fig. 7): because
+//!    per-attribute k-anonymity does not imply k-anonymity of the
+//!    combination, search the allowable generalizations between the minimal
+//!    and maximal nodes of every column for the combination with the least
+//!    specificity loss that satisfies k-anonymity — the *ultimate
+//!    generalization nodes*.
+//! 4. [`binner`] — **Binning** (Fig. 8): encrypt the identifying columns with
+//!    `E()` (AES-128) and replace every quasi-identifying value by the value
+//!    of its covering ultimate generalization node.
+//!
+//! The outcome type [`BinningOutcome`] carries the binned table together with
+//! the three node sets per column, which is exactly the state the
+//! watermarking agent needs (it permutes values between the maximal and
+//! ultimate generalization nodes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binner;
+pub mod config;
+pub mod error;
+pub mod maximal;
+pub mod mono;
+pub mod multi;
+
+pub use binner::{BinningAgent, BinningOutcome, ColumnBinning};
+pub use config::{BinningConfig, KAnonymitySpec, MinimalNodeStrategy, SelectionStrategy};
+pub use error::BinningError;

@@ -1,0 +1,728 @@
+//! Multi-attribute binning: `GenUltiNd` (Fig. 7 of the paper).
+//!
+//! After mono-attribute binning each attribute satisfies k-anonymity on its
+//! own, but combinations of attributes may not (§4.2). Multi-attribute
+//! binning therefore searches, per column, the allowable generalizations
+//! lying between the minimal and the maximal generalization nodes, and picks
+//! the combination — the **ultimate generalization** — that satisfies
+//! k-anonymity over the full quasi-identifier set with the least loss.
+//!
+//! Two search modes are provided:
+//!
+//! * **Exhaustive** (the paper's `EnumGen` + `Selection`): enumerate every
+//!   combination of allowable generalizations, keep the valid ones, choose
+//!   the one minimizing the selection score. Used whenever the number of
+//!   combinations is at most [`crate::BinningConfig::exhaustive_limit`].
+//! * **Greedy coarsening** (scalability fallback, documented in DESIGN.md):
+//!   start from the minimal generalization of every column and repeatedly
+//!   apply the cheapest single merge (collapsing a sibling group into its
+//!   parent, never above the maximal nodes), preferring merges that touch a
+//!   violating bin, until k-anonymity holds or no merge is left.
+//!
+//! The selection score is either specificity loss (the paper's preferred
+//! estimate) or the full information loss of Eq. (1)–(3), per
+//! [`SelectionStrategy`].
+
+use crate::config::SelectionStrategy;
+use crate::error::BinningError;
+use medshield_dht::{DhtKind, DomainHierarchyTree, GeneralizationSet, NodeId};
+use medshield_relation::Table;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-column input to multi-attribute binning.
+#[derive(Debug, Clone)]
+pub struct ColumnContext<'a> {
+    /// Column name.
+    pub column: &'a str,
+    /// The column's domain hierarchy tree.
+    pub tree: &'a DomainHierarchyTree,
+    /// Minimal generalization nodes from mono-attribute binning.
+    pub minimal: &'a GeneralizationSet,
+    /// Maximal generalization nodes from the usage metrics.
+    pub maximal: &'a GeneralizationSet,
+}
+
+/// Which search mode produced the ultimate generalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Exhaustive enumeration of all allowable combinations.
+    Exhaustive,
+    /// Greedy coarsening fallback.
+    Greedy,
+    /// Multi-attribute binning was skipped: the minimal generalization nodes
+    /// of mono-attribute binning were used directly (per-attribute
+    /// k-anonymity only; see `BinningAgent::bin_per_attribute`).
+    PerAttribute,
+}
+
+/// Result of multi-attribute binning.
+#[derive(Debug, Clone)]
+pub struct MultiBinning {
+    /// Ultimate generalization nodes, one set per input column, in input
+    /// order.
+    pub ultimate: Vec<GeneralizationSet>,
+    /// Whether the returned generalization satisfies k-anonymity over the
+    /// combination of all columns.
+    pub satisfied: bool,
+    /// Which search mode was used.
+    pub mode: SearchMode,
+    /// Notes about fallbacks or unbinnable data.
+    pub warnings: Vec<String>,
+}
+
+/// `GenUltiNd(mingends[], maxgends[], tr[])`: choose the ultimate
+/// generalization nodes for all columns simultaneously.
+pub fn generate_ultimate_nodes(
+    table: &Table,
+    columns: &[ColumnContext<'_>],
+    k: usize,
+    selection: SelectionStrategy,
+    exhaustive_limit: usize,
+) -> Result<MultiBinning, BinningError> {
+    if k == 0 {
+        return Err(BinningError::InvalidK);
+    }
+    if columns.is_empty() {
+        return Ok(MultiBinning {
+            ultimate: Vec::new(),
+            satisfied: true,
+            mode: SearchMode::Exhaustive,
+            warnings: Vec::new(),
+        });
+    }
+
+    // Per column: the leaf node of every row (row order follows table.iter()).
+    let row_leaves: Vec<Vec<NodeId>> = columns
+        .iter()
+        .map(|c| leaves_per_row(table, c))
+        .collect::<Result<_, _>>()?;
+    // Per column: entries per leaf (for scoring).
+    let leaf_counts: Vec<HashMap<NodeId, usize>> = row_leaves
+        .iter()
+        .map(|rows| {
+            let mut m = HashMap::new();
+            for &l in rows {
+                *m.entry(l).or_insert(0) += 1;
+            }
+            m
+        })
+        .collect();
+
+    // Decide the search mode from the size of the combination space.
+    let mut product: usize = 1;
+    for c in columns {
+        let n = GeneralizationSet::count_between(c.tree, c.minimal, c.maximal)
+            .map_err(BinningError::Dht)?;
+        product = product.saturating_mul(n);
+    }
+
+    if product <= exhaustive_limit {
+        exhaustive_search(table, columns, &row_leaves, &leaf_counts, k, selection, exhaustive_limit)
+    } else {
+        greedy_search(columns, &row_leaves, &leaf_counts, k, selection)
+    }
+}
+
+/// Map every row of the table to its leaf node in the column's tree.
+fn leaves_per_row(
+    table: &Table,
+    ctx: &ColumnContext<'_>,
+) -> Result<Vec<NodeId>, BinningError> {
+    let mut memo: HashMap<medshield_relation::Value, NodeId> = HashMap::new();
+    let mut out = Vec::with_capacity(table.len());
+    for v in table.column_values(ctx.column)? {
+        let leaf = match memo.get(v) {
+            Some(&l) => l,
+            None => {
+                let l = ctx.tree.leaf_for_value(v).map_err(BinningError::Dht)?;
+                memo.insert(v.clone(), l);
+                l
+            }
+        };
+        out.push(leaf);
+    }
+    Ok(out)
+}
+
+/// Build the leaf → covering-generalization-node map for the leaves that
+/// actually occur in the data.
+fn covering_map(
+    tree: &DomainHierarchyTree,
+    generalization: &GeneralizationSet,
+    leaves: &HashMap<NodeId, usize>,
+) -> Result<HashMap<NodeId, NodeId>, BinningError> {
+    let mut map = HashMap::with_capacity(leaves.len());
+    for &leaf in leaves.keys() {
+        let cover = generalization
+            .covering_node(tree, leaf)
+            .map_err(BinningError::Dht)?;
+        map.insert(leaf, cover);
+    }
+    Ok(map)
+}
+
+/// Smallest bin size of the combination defined by the per-column covering
+/// maps, together with the rows belonging to under-k bins.
+fn evaluate_bins(
+    row_leaves: &[Vec<NodeId>],
+    covers: &[HashMap<NodeId, NodeId>],
+    k: usize,
+) -> (bool, Vec<usize>) {
+    let rows = row_leaves.first().map(|r| r.len()).unwrap_or(0);
+    let mut bins: HashMap<Vec<NodeId>, Vec<usize>> = HashMap::new();
+    for row in 0..rows {
+        let key: Vec<NodeId> = row_leaves
+            .iter()
+            .zip(covers.iter())
+            .map(|(leaves, cover)| cover[&leaves[row]])
+            .collect();
+        bins.entry(key).or_default().push(row);
+    }
+    let mut violating = Vec::new();
+    for members in bins.values() {
+        if members.len() < k {
+            violating.extend_from_slice(members);
+        }
+    }
+    (violating.is_empty(), violating)
+}
+
+/// Score of one column's generalization from its leaf counts (lower is
+/// better). Specificity loss ignores the data distribution; full information
+/// loss is Eq. (1)/(2) computed from the counts.
+fn column_score(
+    tree: &DomainHierarchyTree,
+    generalization: &GeneralizationSet,
+    leaf_counts: &HashMap<NodeId, usize>,
+    cover: &HashMap<NodeId, NodeId>,
+    selection: SelectionStrategy,
+) -> f64 {
+    match selection {
+        SelectionStrategy::SpecificityLoss => generalization.specificity_loss(tree),
+        SelectionStrategy::FullInfoLoss => {
+            let total: usize = leaf_counts.values().sum();
+            if total == 0 {
+                return 0.0;
+            }
+            // Aggregate entries per generalization node.
+            let mut per_node: HashMap<NodeId, usize> = HashMap::new();
+            for (leaf, count) in leaf_counts {
+                *per_node.entry(cover[leaf]).or_insert(0) += count;
+            }
+            let loss_sum: f64 = match tree.kind() {
+                DhtKind::Categorical => {
+                    let s = tree.leaf_count() as f64;
+                    per_node
+                        .iter()
+                        .map(|(&node, &n)| {
+                            let si = tree.leaf_count_under(node).unwrap_or(1) as f64;
+                            n as f64 * (si - 1.0) / s
+                        })
+                        .sum()
+                }
+                DhtKind::Numeric => {
+                    let (lo, hi) = tree
+                        .node(tree.root())
+                        .expect("root exists")
+                        .interval
+                        .expect("numeric root interval");
+                    let span = (hi - lo) as f64;
+                    per_node
+                        .iter()
+                        .map(|(&node, &n)| {
+                            let (l, h) = tree
+                                .node(node)
+                                .expect("node exists")
+                                .interval
+                                .expect("numeric node interval");
+                            n as f64 * ((h - l) as f64) / span
+                        })
+                        .sum()
+                }
+            };
+            loss_sum / total as f64
+        }
+    }
+}
+
+/// Exhaustive `EnumGen` + `Selection`.
+fn exhaustive_search(
+    _table: &Table,
+    columns: &[ColumnContext<'_>],
+    row_leaves: &[Vec<NodeId>],
+    leaf_counts: &[HashMap<NodeId, usize>],
+    k: usize,
+    selection: SelectionStrategy,
+    exhaustive_limit: usize,
+) -> Result<MultiBinning, BinningError> {
+    // Per-column option lists.
+    let mut options: Vec<Vec<GeneralizationSet>> = Vec::with_capacity(columns.len());
+    for c in columns {
+        let opts =
+            GeneralizationSet::enumerate_between(c.tree, c.minimal, c.maximal, exhaustive_limit)
+                .map_err(BinningError::Dht)?;
+        options.push(opts);
+    }
+
+    // Iterate the cartesian product by mixed-radix counting.
+    let radices: Vec<usize> = options.iter().map(|o| o.len()).collect();
+    let total: usize = radices.iter().product();
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut warnings = Vec::new();
+
+    let mut indices = vec![0usize; columns.len()];
+    for _ in 0..total {
+        // Build covering maps for this combination.
+        let mut covers = Vec::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            covers.push(covering_map(c.tree, &options[i][indices[i]], &leaf_counts[i])?);
+        }
+        let (ok, _violating) = evaluate_bins(row_leaves, &covers, k);
+        if ok {
+            let score: f64 = columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    column_score(
+                        c.tree,
+                        &options[i][indices[i]],
+                        &leaf_counts[i],
+                        &covers[i],
+                        selection,
+                    )
+                })
+                .sum();
+            if best.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
+                best = Some((score, indices.clone()));
+            }
+        }
+        // Advance the mixed-radix counter.
+        for d in 0..indices.len() {
+            indices[d] += 1;
+            if indices[d] < radices[d] {
+                break;
+            }
+            indices[d] = 0;
+        }
+    }
+
+    match best {
+        Some((_, idx)) => {
+            let ultimate: Vec<GeneralizationSet> = idx
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| options[i][j].clone())
+                .collect();
+            Ok(MultiBinning { ultimate, satisfied: true, mode: SearchMode::Exhaustive, warnings })
+        }
+        None => {
+            // Not even the all-maximal combination satisfies k: the data are
+            // not binnable within the usage metrics. Return the maximal
+            // generalization as the best effort.
+            warnings.push(format!(
+                "no allowable generalization satisfies k={k}; returning the maximal generalization"
+            ));
+            let ultimate: Vec<GeneralizationSet> =
+                columns.iter().map(|c| c.maximal.clone()).collect();
+            Ok(MultiBinning { ultimate, satisfied: false, mode: SearchMode::Exhaustive, warnings })
+        }
+    }
+}
+
+/// Greedy coarsening fallback for large combination spaces.
+fn greedy_search(
+    columns: &[ColumnContext<'_>],
+    row_leaves: &[Vec<NodeId>],
+    leaf_counts: &[HashMap<NodeId, usize>],
+    k: usize,
+    selection: SelectionStrategy,
+) -> Result<MultiBinning, BinningError> {
+    let mut warnings = Vec::new();
+    // Current generalization per column, as a node set.
+    let mut current: Vec<BTreeMap<NodeId, ()>> = columns
+        .iter()
+        .map(|c| c.minimal.nodes().iter().map(|&n| (n, ())).collect())
+        .collect();
+    // Covering maps for the present leaves.
+    let mut covers: Vec<HashMap<NodeId, NodeId>> = Vec::with_capacity(columns.len());
+    for (i, c) in columns.iter().enumerate() {
+        covers.push(covering_map(c.tree, c.minimal, &leaf_counts[i])?);
+    }
+
+    loop {
+        let (ok, violating_rows) = evaluate_bins(row_leaves, &covers, k);
+        if ok {
+            break;
+        }
+        // How many violating rows each covering node holds, per column: the
+        // "benefit" of a merge is the number of violating rows it touches.
+        let violating_counts: Vec<HashMap<NodeId, usize>> = (0..columns.len())
+            .map(|i| {
+                let mut m: HashMap<NodeId, usize> = HashMap::new();
+                for &row in &violating_rows {
+                    *m.entry(covers[i][&row_leaves[i][row]]).or_insert(0) += 1;
+                }
+                m
+            })
+            .collect();
+
+        // Enumerate candidate merges: (column, parent, children, loss delta,
+        // violating rows touched).
+        let mut candidates: Vec<(usize, NodeId, Vec<NodeId>, f64, usize)> = Vec::new();
+        for (i, c) in columns.iter().enumerate() {
+            // Group current nodes by parent.
+            let mut by_parent: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+            for (&node, _) in &current[i] {
+                if let Some(parent) = c.tree.parent(node).map_err(BinningError::Dht)? {
+                    by_parent.entry(parent).or_default().push(node);
+                }
+            }
+            for (parent, members) in by_parent {
+                let children = c.tree.children(parent).map_err(BinningError::Dht)?;
+                if members.len() != children.len() {
+                    continue; // not all siblings are currently generalization nodes
+                }
+                // The parent must stay within the usage metrics (at or below a
+                // maximal generalization node).
+                if c.maximal.covering_node(c.tree, parent).is_err() {
+                    continue;
+                }
+                let delta = merge_score_delta(c.tree, &leaf_counts[i], parent, children, selection);
+                let touched: usize = children
+                    .iter()
+                    .map(|ch| violating_counts[i].get(ch).copied().unwrap_or(0))
+                    .sum();
+                candidates.push((i, parent, children.to_vec(), delta, touched));
+            }
+        }
+
+        if candidates.is_empty() {
+            warnings.push(format!(
+                "greedy multi-attribute binning exhausted all merges without reaching k={k}"
+            ));
+            break;
+        }
+
+        // Pick the merge with the best benefit-per-cost ratio (violating rows
+        // touched per unit of added loss); merges that touch nothing are only
+        // considered when no merge touches a violating bin, in which case the
+        // cheapest one is taken.
+        let any_touching = candidates.iter().any(|(_, _, _, _, touched)| *touched > 0);
+        let pick = if any_touching {
+            candidates
+                .iter()
+                .filter(|(_, _, _, _, touched)| *touched > 0)
+                .max_by(|a, b| {
+                    let score_a = a.4 as f64 / (a.3 + 1e-9);
+                    let score_b = b.4 as f64 / (b.3 + 1e-9);
+                    score_a
+                        .partial_cmp(&score_b)
+                        .expect("scores are finite")
+                        .then_with(|| b.3.partial_cmp(&a.3).expect("deltas are finite"))
+                })
+                .cloned()
+                .expect("a touching candidate exists")
+        } else {
+            candidates
+                .iter()
+                .min_by(|a, b| a.3.partial_cmp(&b.3).expect("deltas are finite"))
+                .cloned()
+                .expect("candidates is non-empty")
+        };
+
+        let (col, parent, children, _, _) = pick;
+        for ch in &children {
+            current[col].remove(ch);
+        }
+        current[col].insert(parent, ());
+        for cover in covers[col].values_mut() {
+            if children.contains(cover) {
+                *cover = parent;
+            }
+        }
+    }
+
+    // Materialize and validate the final sets.
+    let mut ultimate = Vec::with_capacity(columns.len());
+    for (i, c) in columns.iter().enumerate() {
+        let nodes: Vec<NodeId> = current[i].keys().copied().collect();
+        ultimate.push(GeneralizationSet::new(c.tree, nodes).map_err(BinningError::Dht)?);
+    }
+    let final_covers: Vec<HashMap<NodeId, NodeId>> = covers;
+    let (satisfied, _) = evaluate_bins(row_leaves, &final_covers, k);
+    Ok(MultiBinning { ultimate, satisfied, mode: SearchMode::Greedy, warnings })
+}
+
+/// Increase in the column score caused by merging `children` into `parent`.
+fn merge_score_delta(
+    tree: &DomainHierarchyTree,
+    leaf_counts: &HashMap<NodeId, usize>,
+    parent: NodeId,
+    children: &[NodeId],
+    selection: SelectionStrategy,
+) -> f64 {
+    match selection {
+        SelectionStrategy::SpecificityLoss => {
+            (children.len() as f64 - 1.0) / tree.leaf_count().max(1) as f64
+        }
+        SelectionStrategy::FullInfoLoss => {
+            let total: usize = leaf_counts.values().sum();
+            if total == 0 {
+                return 0.0;
+            }
+            let entries_under = |node: NodeId| -> usize {
+                tree.leaves_under(node)
+                    .map(|ls| ls.iter().map(|l| leaf_counts.get(l).copied().unwrap_or(0)).sum())
+                    .unwrap_or(0)
+            };
+            match tree.kind() {
+                DhtKind::Categorical => {
+                    let s = tree.leaf_count() as f64;
+                    let parent_cost = entries_under(parent) as f64
+                        * (tree.leaf_count_under(parent).unwrap_or(1) as f64 - 1.0)
+                        / s;
+                    let child_cost: f64 = children
+                        .iter()
+                        .map(|&c| {
+                            entries_under(c) as f64
+                                * (tree.leaf_count_under(c).unwrap_or(1) as f64 - 1.0)
+                                / s
+                        })
+                        .sum();
+                    (parent_cost - child_cost) / total as f64
+                }
+                DhtKind::Numeric => {
+                    let (lo, hi) = tree
+                        .node(tree.root())
+                        .expect("root exists")
+                        .interval
+                        .expect("numeric root interval");
+                    let span = (hi - lo) as f64;
+                    let width = |n: NodeId| {
+                        let (l, h) = tree.node(n).expect("node").interval.expect("interval");
+                        (h - l) as f64
+                    };
+                    let parent_cost = entries_under(parent) as f64 * width(parent) / span;
+                    let child_cost: f64 = children
+                        .iter()
+                        .map(|&c| entries_under(c) as f64 * width(c) / span)
+                        .sum();
+                    (parent_cost - child_cost) / total as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medshield_dht::builder::{numeric_binary_tree, CategoricalNodeSpec};
+    use medshield_relation::{ColumnDef, ColumnRole, Schema, Value};
+
+    fn two_column_table() -> (Table, DomainHierarchyTree, DomainHierarchyTree) {
+        let doctor_tree = CategoricalNodeSpec::internal(
+            "Staff",
+            vec![
+                CategoricalNodeSpec::internal(
+                    "Doctor",
+                    vec![
+                        CategoricalNodeSpec::leaf("Surgeon"),
+                        CategoricalNodeSpec::leaf("Physician"),
+                    ],
+                ),
+                CategoricalNodeSpec::internal(
+                    "Paramedic",
+                    vec![CategoricalNodeSpec::leaf("Nurse"), CategoricalNodeSpec::leaf("Pharmacist")],
+                ),
+            ],
+        )
+        .build("doctor")
+        .unwrap();
+        let age_tree =
+            numeric_binary_tree("age", &[(0, 25), (25, 50), (50, 75), (75, 100)]).unwrap();
+
+        let schema = Schema::new(vec![
+            ColumnDef::new("age", ColumnRole::QuasiNumeric),
+            ColumnDef::new("doctor", ColumnRole::QuasiCategorical),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        // Mirrors the paper's §4.2 example: each attribute alone is
+        // k-anonymous, the combination is not.
+        let rows = [
+            (10, "Surgeon"),
+            (12, "Surgeon"),
+            (30, "Surgeon"),
+            (35, "Physician"),
+            (60, "Nurse"),
+            (65, "Nurse"),
+            (80, "Pharmacist"),
+            (85, "Pharmacist"),
+        ];
+        for (age, doc) in rows {
+            t.insert(vec![Value::int(age), Value::text(doc)]).unwrap();
+        }
+        (t, age_tree, doctor_tree)
+    }
+
+    fn contexts<'a>(
+        age_tree: &'a DomainHierarchyTree,
+        doctor_tree: &'a DomainHierarchyTree,
+        age_min: &'a GeneralizationSet,
+        age_max: &'a GeneralizationSet,
+        doc_min: &'a GeneralizationSet,
+        doc_max: &'a GeneralizationSet,
+    ) -> Vec<ColumnContext<'a>> {
+        vec![
+            ColumnContext { column: "age", tree: age_tree, minimal: age_min, maximal: age_max },
+            ColumnContext { column: "doctor", tree: doctor_tree, minimal: doc_min, maximal: doc_max },
+        ]
+    }
+
+    /// Check k-anonymity of the chosen generalization by materializing it.
+    fn satisfies(
+        table: &Table,
+        columns: &[(&str, &DomainHierarchyTree)],
+        gens: &[GeneralizationSet],
+        k: usize,
+    ) -> bool {
+        let mut t = table.snapshot();
+        for id in t.ids() {
+            for ((col, tree), g) in columns.iter().zip(gens.iter()) {
+                let v = t.value(id, col).unwrap().clone();
+                let gv = g.generalize_value(tree, &v).unwrap();
+                t.set_value(id, col, gv).unwrap();
+            }
+        }
+        let names: Vec<&str> = columns.iter().map(|(c, _)| *c).collect();
+        medshield_metrics::satisfies_k_anonymity(&t, &names, k).unwrap()
+    }
+
+    #[test]
+    fn exhaustive_finds_a_valid_minimal_loss_generalization() {
+        let (table, age_tree, doctor_tree) = two_column_table();
+        let age_min = GeneralizationSet::all_leaves(&age_tree);
+        let age_max = GeneralizationSet::root_only(&age_tree);
+        let doc_min = GeneralizationSet::all_leaves(&doctor_tree);
+        let doc_max = GeneralizationSet::root_only(&doctor_tree);
+        let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
+
+        let r = generate_ultimate_nodes(&table, &ctxs, 2, SelectionStrategy::SpecificityLoss, 10_000)
+            .unwrap();
+        assert_eq!(r.mode, SearchMode::Exhaustive);
+        assert!(r.satisfied);
+        assert!(satisfies(&table, &[("age", &age_tree), ("doctor", &doctor_tree)], &r.ultimate, 2));
+        // The chosen generalization must not be the trivial all-root one:
+        // the data allow something finer (e.g. age halves + doctor level 1).
+        let total_nodes: usize = r.ultimate.iter().map(|g| g.len()).sum();
+        assert!(total_nodes > 2, "should be finer than root-only on both columns");
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_feasibility() {
+        let (table, age_tree, doctor_tree) = two_column_table();
+        let age_min = GeneralizationSet::all_leaves(&age_tree);
+        let age_max = GeneralizationSet::root_only(&age_tree);
+        let doc_min = GeneralizationSet::all_leaves(&doctor_tree);
+        let doc_max = GeneralizationSet::root_only(&doctor_tree);
+        let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
+
+        // Force the greedy path with a tiny exhaustive limit.
+        let r = generate_ultimate_nodes(&table, &ctxs, 2, SelectionStrategy::SpecificityLoss, 1)
+            .unwrap();
+        assert_eq!(r.mode, SearchMode::Greedy);
+        assert!(r.satisfied);
+        assert!(satisfies(&table, &[("age", &age_tree), ("doctor", &doctor_tree)], &r.ultimate, 2));
+        // Ultimate nodes stay within the usage metrics.
+        for (g, ctx) in r.ultimate.iter().zip(&ctxs) {
+            assert!(g.is_at_or_below(ctx.tree, ctx.maximal).unwrap());
+        }
+    }
+
+    #[test]
+    fn full_info_loss_selection_also_works() {
+        let (table, age_tree, doctor_tree) = two_column_table();
+        let age_min = GeneralizationSet::all_leaves(&age_tree);
+        let age_max = GeneralizationSet::root_only(&age_tree);
+        let doc_min = GeneralizationSet::all_leaves(&doctor_tree);
+        let doc_max = GeneralizationSet::root_only(&doctor_tree);
+        let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
+        for limit in [1usize, 10_000] {
+            let r =
+                generate_ultimate_nodes(&table, &ctxs, 2, SelectionStrategy::FullInfoLoss, limit)
+                    .unwrap();
+            assert!(r.satisfied, "limit {limit}");
+            assert!(satisfies(
+                &table,
+                &[("age", &age_tree), ("doctor", &doctor_tree)],
+                &r.ultimate,
+                2
+            ));
+        }
+    }
+
+    #[test]
+    fn unbinnable_data_reports_unsatisfied() {
+        let (table, age_tree, doctor_tree) = two_column_table();
+        // Usage metrics forbid any generalization (maximal = leaves), so
+        // k = 2 over the combination cannot be met.
+        let age_leaves = GeneralizationSet::all_leaves(&age_tree);
+        let doc_leaves = GeneralizationSet::all_leaves(&doctor_tree);
+        let ctxs = contexts(
+            &age_tree,
+            &doctor_tree,
+            &age_leaves,
+            &age_leaves,
+            &doc_leaves,
+            &doc_leaves,
+        );
+        for limit in [1usize, 10_000] {
+            let r =
+                generate_ultimate_nodes(&table, &ctxs, 2, SelectionStrategy::SpecificityLoss, limit)
+                    .unwrap();
+            assert!(!r.satisfied, "limit {limit}");
+            assert!(!r.warnings.is_empty());
+        }
+    }
+
+    #[test]
+    fn k_one_keeps_the_minimal_generalization() {
+        let (table, age_tree, doctor_tree) = two_column_table();
+        let age_min = GeneralizationSet::all_leaves(&age_tree);
+        let age_max = GeneralizationSet::root_only(&age_tree);
+        let doc_min = GeneralizationSet::all_leaves(&doctor_tree);
+        let doc_max = GeneralizationSet::root_only(&doctor_tree);
+        let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
+        let r = generate_ultimate_nodes(&table, &ctxs, 1, SelectionStrategy::SpecificityLoss, 10_000)
+            .unwrap();
+        assert!(r.satisfied);
+        // With k=1 nothing needs generalizing, so the minimal (all-leaves)
+        // generalization is optimal under both scores.
+        assert_eq!(r.ultimate[0], age_min);
+        assert_eq!(r.ultimate[1], doc_min);
+    }
+
+    #[test]
+    fn empty_column_list_is_trivially_satisfied() {
+        let (table, _, _) = two_column_table();
+        let r = generate_ultimate_nodes(&table, &[], 5, SelectionStrategy::SpecificityLoss, 10)
+            .unwrap();
+        assert!(r.satisfied);
+        assert!(r.ultimate.is_empty());
+    }
+
+    #[test]
+    fn k_zero_rejected() {
+        let (table, age_tree, doctor_tree) = two_column_table();
+        let age_min = GeneralizationSet::all_leaves(&age_tree);
+        let age_max = GeneralizationSet::root_only(&age_tree);
+        let doc_min = GeneralizationSet::all_leaves(&doctor_tree);
+        let doc_max = GeneralizationSet::root_only(&doctor_tree);
+        let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
+        assert!(matches!(
+            generate_ultimate_nodes(&table, &ctxs, 0, SelectionStrategy::SpecificityLoss, 10),
+            Err(BinningError::InvalidK)
+        ));
+    }
+}

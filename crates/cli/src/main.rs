@@ -1,0 +1,57 @@
+//! `medshield` — a command-line front end for the MedShield framework.
+//!
+//! The tool works on CSV files with the paper's medical schema
+//! `R(ssn, age, zip_code, doctor, symptom, prescription)` and the built-in
+//! domain ontologies. It deliberately avoids any state file: the binning
+//! state needed for detection is re-derived deterministically from the
+//! original CSV and the same parameters, so the data holder only needs to
+//! keep the original data and the secrets.
+//!
+//! ```text
+//! medshield generate --tuples 20000 --seed 7 --out hospital.csv
+//! medshield protect  --input hospital.csv --k 10 --eta 50 \
+//!                    --enc-secret S1 --wm-secret S2 --out release.csv
+//! medshield detect   --original hospital.csv --suspect leaked.csv \
+//!                    --k 10 --eta 50 --enc-secret S1 --wm-secret S2
+//! medshield attack   --input release.csv --kind alteration --fraction 0.3 --out attacked.csv
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    }
+    let (command, rest) = argv.split_first().expect("argv is non-empty");
+    let options = match args::Options::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate(&options),
+        "protect" => commands::protect(&options),
+        "detect" => commands::detect(&options),
+        "attack" => commands::attack(&options),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

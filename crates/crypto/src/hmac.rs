@@ -1,0 +1,126 @@
+//! HMAC (RFC 2104) over the hash functions of this crate.
+//!
+//! The paper writes the keyed hash as `H(ti.ident, k1)`; HMAC is the standard
+//! construction for turning a Merkle–Damgård hash into such a keyed function
+//! without the length-extension weaknesses of naive concatenation.
+
+use crate::md5::Md5;
+use crate::sha1::Sha1;
+use crate::sha256::Sha256;
+
+const BLOCK_LEN: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+macro_rules! impl_hmac {
+    ($name:ident, $hasher:ident, $digest_len:expr, $doc:expr) => {
+        #[doc = $doc]
+        pub fn $name(key: &[u8], message: &[u8]) -> [u8; $digest_len] {
+            // Keys longer than the block size are hashed first (RFC 2104 §2).
+            let mut key_block = [0u8; BLOCK_LEN];
+            if key.len() > BLOCK_LEN {
+                let mut h = $hasher::new();
+                h.update(key);
+                let digest = h.finalize();
+                key_block[..$digest_len].copy_from_slice(&digest);
+            } else {
+                key_block[..key.len()].copy_from_slice(key);
+            }
+
+            let mut ipad = [0u8; BLOCK_LEN];
+            let mut opad = [0u8; BLOCK_LEN];
+            for i in 0..BLOCK_LEN {
+                ipad[i] = key_block[i] ^ IPAD;
+                opad[i] = key_block[i] ^ OPAD;
+            }
+
+            let mut inner = $hasher::new();
+            inner.update(&ipad);
+            inner.update(message);
+            let inner_digest = inner.finalize();
+
+            let mut outer = $hasher::new();
+            outer.update(&opad);
+            outer.update(&inner_digest);
+            outer.finalize()
+        }
+    };
+}
+
+impl_hmac!(hmac_md5, Md5, 16, "HMAC-MD5 of `message` under `key` (16-byte tag).");
+impl_hmac!(hmac_sha1, Sha1, 20, "HMAC-SHA1 of `message` under `key` (20-byte tag).");
+impl_hmac!(
+    hmac_sha256,
+    Sha256,
+    32,
+    "HMAC-SHA256 of `message` under `key` (32-byte tag)."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    /// RFC 2202 test vectors for HMAC-MD5 and HMAC-SHA1, RFC 4231 for HMAC-SHA256.
+    #[test]
+    fn rfc2202_hmac_md5() {
+        let key = [0x0b_u8; 16];
+        assert_eq!(
+            hex::encode(&hmac_md5(&key, b"Hi There")),
+            "9294727a3638bb1c13f48ef8158bfc9d"
+        );
+        assert_eq!(
+            hex::encode(&hmac_md5(b"Jefe", b"what do ya want for nothing?")),
+            "750c783e6ab0b503eaa86e310a5db738"
+        );
+    }
+
+    #[test]
+    fn rfc2202_hmac_sha1() {
+        let key = [0x0b_u8; 20];
+        assert_eq!(
+            hex::encode(&hmac_sha1(&key, b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+        assert_eq!(
+            hex::encode(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn rfc4231_hmac_sha256() {
+        let key = [0x0b_u8; 20];
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hex::encode(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        // RFC 4231 test case 6: 131-byte key.
+        let key = [0xaa_u8; 131];
+        assert_eq!(
+            hex::encode(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn key_separation() {
+        // Different keys must produce different tags (the property the paper
+        // relies on when using distinct keys k1 and k2, §5.3).
+        let msg = b"ssn-encrypted-value";
+        assert_ne!(hmac_sha256(b"k1", msg), hmac_sha256(b"k2", msg));
+        assert_ne!(hmac_sha1(b"k1", msg), hmac_sha1(b"k2", msg));
+        assert_ne!(hmac_md5(b"k1", msg), hmac_md5(b"k2", msg));
+    }
+}

@@ -1,0 +1,205 @@
+//! Keyed pseudo-random function used throughout the framework.
+//!
+//! The watermarking algorithm consumes the keyed hash as integers:
+//!
+//! * tuple selection — `H(ti.ident, k1) mod η = 0` (Eq. 5),
+//! * permutation index — `H(ti.ident, k2) mod |S|`,
+//! * mark-bit index — `H(ti.ident, k2) mod |wmd|`.
+//!
+//! [`KeyedPrf`] wraps HMAC over the chosen hash and exposes exactly those
+//! operations, taking care of the bytes→integer reduction in one place so the
+//! distribution assumptions of the paper (§6: "the use of hash function in the
+//! suitability selection step renders a uniform culling") hold everywhere.
+
+use crate::HashAlgorithm;
+
+/// Which keyed-hash construction backs the PRF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PrfAlgorithm {
+    /// HMAC over the hash algorithm named by the paper (MD5/SHA-1) or SHA-256.
+    Hmac(HashAlgorithm),
+}
+
+impl Default for PrfAlgorithm {
+    fn default() -> Self {
+        PrfAlgorithm::Hmac(HashAlgorithm::Sha256)
+    }
+}
+
+/// A keyed PRF mapping byte strings to uniformly distributed `u64` values.
+#[derive(Debug, Clone)]
+pub struct KeyedPrf {
+    key: Vec<u8>,
+    algorithm: PrfAlgorithm,
+}
+
+impl KeyedPrf {
+    /// Create a PRF with the default algorithm (HMAC-SHA-256).
+    pub fn new(key: impl AsRef<[u8]>) -> Self {
+        Self::with_algorithm(key, PrfAlgorithm::default())
+    }
+
+    /// Create a PRF with an explicit algorithm.
+    pub fn with_algorithm(key: impl AsRef<[u8]>, algorithm: PrfAlgorithm) -> Self {
+        KeyedPrf {
+            key: key.as_ref().to_vec(),
+            algorithm,
+        }
+    }
+
+    /// The algorithm backing this PRF.
+    pub fn algorithm(&self) -> PrfAlgorithm {
+        self.algorithm
+    }
+
+    /// The full keyed digest of `data`.
+    pub fn digest(&self, data: &[u8]) -> Vec<u8> {
+        match self.algorithm {
+            PrfAlgorithm::Hmac(h) => h.keyed_digest(&self.key, data),
+        }
+    }
+
+    /// Map `data` to a `u64` by taking the first eight bytes of the keyed
+    /// digest (big-endian). All digests produced by this crate are at least
+    /// 16 bytes, so this never truncates below eight bytes.
+    pub fn value(&self, data: &[u8]) -> u64 {
+        let digest = self.digest(data);
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&digest[..8]);
+        u64::from_be_bytes(bytes)
+    }
+
+    /// `H(data, key) mod modulus`. Returns 0 when `modulus` is 0 (callers
+    /// treat a zero modulus as "select everything").
+    pub fn value_mod(&self, data: &[u8], modulus: u64) -> u64 {
+        if modulus == 0 {
+            return 0;
+        }
+        self.value(data) % modulus
+    }
+
+    /// The tuple-selection predicate of Eq. 5: `H(data, key) mod eta == 0`.
+    /// `eta == 0` or `eta == 1` selects every tuple.
+    pub fn selects(&self, data: &[u8], eta: u64) -> bool {
+        if eta <= 1 {
+            return true;
+        }
+        self.value_mod(data, eta) == 0
+    }
+
+    /// A domain-separated variant: prefixes the message with a label so the
+    /// same key can safely drive independent decisions (e.g. permutation index
+    /// vs mark-bit index) without correlation.
+    pub fn labeled_value(&self, label: &str, data: &[u8]) -> u64 {
+        let mut msg = Vec::with_capacity(label.len() + 1 + data.len());
+        msg.extend_from_slice(label.as_bytes());
+        msg.push(0x1f); // unit separator, never appears in labels
+        msg.extend_from_slice(data);
+        self.value(&msg)
+    }
+
+    /// Labeled variant of [`KeyedPrf::value_mod`].
+    pub fn labeled_value_mod(&self, label: &str, data: &[u8], modulus: u64) -> u64 {
+        if modulus == 0 {
+            return 0;
+        }
+        self.labeled_value(label, data) % modulus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let prf = KeyedPrf::new(b"k1");
+        assert_eq!(prf.value(b"tuple-17"), prf.value(b"tuple-17"));
+    }
+
+    #[test]
+    fn key_separation() {
+        let p1 = KeyedPrf::new(b"k1");
+        let p2 = KeyedPrf::new(b"k2");
+        assert_ne!(p1.value(b"tuple-17"), p2.value(b"tuple-17"));
+    }
+
+    #[test]
+    fn algorithm_separation() {
+        let a = KeyedPrf::with_algorithm(b"k", PrfAlgorithm::Hmac(HashAlgorithm::Md5));
+        let b = KeyedPrf::with_algorithm(b"k", PrfAlgorithm::Hmac(HashAlgorithm::Sha1));
+        let c = KeyedPrf::with_algorithm(b"k", PrfAlgorithm::Hmac(HashAlgorithm::Sha256));
+        let vals = [a.value(b"x"), b.value(b"x"), c.value(b"x")];
+        assert_ne!(vals[0], vals[1]);
+        assert_ne!(vals[1], vals[2]);
+        assert_ne!(vals[0], vals[2]);
+    }
+
+    #[test]
+    fn value_mod_bounds() {
+        let prf = KeyedPrf::new(b"k");
+        for i in 0..100u32 {
+            let v = prf.value_mod(&i.to_be_bytes(), 7);
+            assert!(v < 7);
+        }
+    }
+
+    #[test]
+    fn zero_modulus_is_total_selection() {
+        let prf = KeyedPrf::new(b"k");
+        assert_eq!(prf.value_mod(b"x", 0), 0);
+        assert!(prf.selects(b"x", 0));
+        assert!(prf.selects(b"x", 1));
+    }
+
+    #[test]
+    fn selection_rate_roughly_one_over_eta() {
+        // With eta = 10 roughly 10% of tuples should be selected. Allow a
+        // generous tolerance; this is a sanity check on uniformity, which the
+        // paper's seamlessness argument (§6) relies on.
+        let prf = KeyedPrf::new(b"watermark-key");
+        let eta = 10u64;
+        let n = 20_000u32;
+        let selected = (0..n)
+            .filter(|i| prf.selects(format!("ident-{i}").as_bytes(), eta))
+            .count();
+        let expected = (n as f64) / eta as f64;
+        let tolerance = expected * 0.25;
+        assert!(
+            ((selected as f64) - expected).abs() < tolerance,
+            "selected {selected}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn labels_decorrelate() {
+        let prf = KeyedPrf::new(b"k2");
+        assert_ne!(
+            prf.labeled_value("perm", b"tuple"),
+            prf.labeled_value("bit", b"tuple")
+        );
+    }
+
+    #[test]
+    fn labeled_value_mod_respects_modulus() {
+        let prf = KeyedPrf::new(b"k2");
+        for m in 1..20u64 {
+            assert!(prf.labeled_value_mod("perm", b"t", m) < m);
+        }
+        assert_eq!(prf.labeled_value_mod("perm", b"t", 0), 0);
+    }
+
+    #[test]
+    fn uniformity_across_buckets() {
+        // Chi-square-ish sanity check: 8 buckets over 8000 samples should each
+        // hold roughly 1000 items.
+        let prf = KeyedPrf::new(b"bucket-key");
+        let mut counts = [0usize; 8];
+        for i in 0..8000u32 {
+            counts[prf.value_mod(&i.to_le_bytes(), 8) as usize] += 1;
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "bucket {b} has {c} items");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the cryptographic primitives.
+
+use medshield_crypto::{aes::Aes128, hex, hmac, md5, sha1, sha256, HashAlgorithm, KeyedPrf};
+use proptest::prelude::*;
+
+proptest! {
+    /// Hex encoding round-trips for arbitrary byte strings.
+    #[test]
+    fn hex_roundtrip(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let encoded = hex::encode(&data);
+        prop_assert_eq!(hex::decode(&encoded).unwrap(), data);
+    }
+
+    /// AES-128 block encryption is invertible for every key/block pair.
+    #[test]
+    fn aes_block_roundtrip(key in prop::collection::vec(any::<u8>(), 16..=16),
+                           block in prop::collection::vec(any::<u8>(), 16..=16)) {
+        let cipher = Aes128::new(&key).unwrap();
+        let mut b = [0u8; 16];
+        b.copy_from_slice(&block);
+        let original = b;
+        cipher.encrypt_block(&mut b);
+        // Encryption is (overwhelmingly) not the identity.
+        cipher.decrypt_block(&mut b);
+        prop_assert_eq!(b, original);
+    }
+
+    /// The deterministic value encryption used for identifiers round-trips
+    /// and never produces the same ciphertext for different plaintexts.
+    #[test]
+    fn aes_value_roundtrip(secret in prop::collection::vec(any::<u8>(), 1..32),
+                           a in prop::collection::vec(any::<u8>(), 0..64),
+                           b in prop::collection::vec(any::<u8>(), 0..64)) {
+        let cipher = Aes128::from_secret(&secret);
+        let ca = cipher.encrypt_value(&a);
+        prop_assert_eq!(cipher.decrypt_value(&ca).unwrap(), a.clone());
+        let cb = cipher.encrypt_value(&b);
+        if a != b {
+            prop_assert_ne!(ca, cb);
+        } else {
+            prop_assert_eq!(ca, cb);
+        }
+    }
+
+    /// CTR mode is an involution for arbitrary lengths.
+    #[test]
+    fn aes_ctr_involution(secret in prop::collection::vec(any::<u8>(), 1..32),
+                          nonce in prop::collection::vec(any::<u8>(), 16..=16),
+                          data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let cipher = Aes128::from_secret(&secret);
+        let mut n = [0u8; 16];
+        n.copy_from_slice(&nonce);
+        let ct = cipher.ctr_crypt(&n, &data);
+        prop_assert_eq!(cipher.ctr_crypt(&n, &ct), data);
+    }
+
+    /// Streaming hashing equals one-shot hashing regardless of chunking.
+    #[test]
+    fn streaming_equals_one_shot(data in prop::collection::vec(any::<u8>(), 0..500),
+                                 chunk in 1usize..97) {
+        let mut m = md5::Md5::new();
+        let mut s1 = sha1::Sha1::new();
+        let mut s256 = sha256::Sha256::new();
+        for c in data.chunks(chunk) {
+            m.update(c);
+            s1.update(c);
+            s256.update(c);
+        }
+        prop_assert_eq!(m.finalize(), md5::md5(&data));
+        prop_assert_eq!(s1.finalize(), sha1::sha1(&data));
+        prop_assert_eq!(s256.finalize(), sha256::sha256(&data));
+    }
+
+    /// HMAC differs between keys and between messages (no trivial collisions
+    /// on random inputs).
+    #[test]
+    fn hmac_separates_keys_and_messages(k1 in prop::collection::vec(any::<u8>(), 1..40),
+                                        k2 in prop::collection::vec(any::<u8>(), 1..40),
+                                        msg in prop::collection::vec(any::<u8>(), 0..100)) {
+        if k1 != k2 {
+            prop_assert_ne!(hmac::hmac_sha256(&k1, &msg), hmac::hmac_sha256(&k2, &msg));
+        }
+    }
+
+    /// The keyed PRF stays within the requested modulus and is deterministic.
+    #[test]
+    fn prf_is_bounded_and_deterministic(key in prop::collection::vec(any::<u8>(), 1..32),
+                                        data in prop::collection::vec(any::<u8>(), 0..64),
+                                        modulus in 1u64..10_000) {
+        let prf = KeyedPrf::new(&key);
+        let v = prf.value_mod(&data, modulus);
+        prop_assert!(v < modulus);
+        prop_assert_eq!(v, prf.value_mod(&data, modulus));
+    }
+
+    /// All three hash algorithms produce digests of their declared length.
+    #[test]
+    fn digest_lengths(data in prop::collection::vec(any::<u8>(), 0..128)) {
+        for alg in [HashAlgorithm::Md5, HashAlgorithm::Sha1, HashAlgorithm::Sha256] {
+            prop_assert_eq!(alg.digest(&data).len(), alg.digest_len());
+            prop_assert_eq!(alg.keyed_digest(b"k", &data).len(), alg.digest_len());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # medshield-datagen
+//!
+//! Synthetic medical data sets and domain ontologies for the MedShield
+//! framework.
+//!
+//! The paper evaluates on a proprietary real-world data set of roughly 20,000
+//! tuples with schema `R(ssn, age, zip_code, doctor, symptom, prescription)`,
+//! where the `symptom` hierarchy follows ICD-9 and the other attributes use
+//! self-defined ontologies (§7). That data set is not available, so this crate
+//! provides the substitution documented in `DESIGN.md`:
+//!
+//! * [`ontology`] — domain hierarchy trees with the same *shapes* the paper
+//!   describes: an ICD-9-like multi-level code tree for `symptom`, fan-out
+//!   trees for `doctor` and `prescription`, a narrow-interval binary tree for
+//!   `age` (Fig. 3 "of narrower intervals"), and an interval tree for
+//!   `zip_code`.
+//! * [`generator`] — a deterministic, seedable generator producing any number
+//!   of tuples with skewed (Zipf-like) categorical frequencies and a plausible
+//!   age distribution, so that bin sizes are uneven the way real clinical data
+//!   are.
+//!
+//! All algorithms in the paper depend only on tree topology and on the
+//! multiplicity of values per leaf, so this substitution preserves the
+//! behaviour that the experiments measure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod ontology;
+
+pub use generator::{DatasetConfig, MedicalDataset};

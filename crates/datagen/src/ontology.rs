@@ -1,0 +1,392 @@
+//! Domain ontologies (domain hierarchy trees) for the synthetic medical
+//! schema `R(ssn, age, zip_code, doctor, symptom, prescription)`.
+//!
+//! The trees mirror the shapes described in §7 of the paper: the `symptom`
+//! tree is ICD-9-like (chapters → blocks → three-digit categories), `age` is
+//! the Fig. 3 binary interval tree "of narrower intervals", and the other
+//! attributes use self-defined ontologies.
+
+use medshield_dht::builder::{numeric_binary_tree, CategoricalNodeSpec};
+use medshield_dht::DomainHierarchyTree;
+use std::collections::BTreeMap;
+
+/// Lower bound (inclusive) of the age domain.
+pub const AGE_MIN: i64 = 0;
+/// Upper bound (exclusive) of the age domain.
+pub const AGE_MAX: i64 = 150;
+/// Width of an age leaf interval ("narrower intervals" than Fig. 3's 20).
+pub const AGE_LEAF_WIDTH: i64 = 5;
+
+/// Lower bound (inclusive) of the zip-code domain.
+pub const ZIP_MIN: i64 = 53_000;
+/// Upper bound (exclusive) of the zip-code domain.
+pub const ZIP_MAX: i64 = 53_640;
+/// Width of a zip-code leaf interval.
+pub const ZIP_LEAF_WIDTH: i64 = 10;
+
+/// The Fig. 1 person-role tree (types of person roles), kept verbatim as the
+/// paper's illustrative example. The synthetic `doctor` column uses the
+/// richer [`doctor_tree`], but this one is handy for small tests and the
+/// quickstart example.
+pub fn role_tree() -> DomainHierarchyTree {
+    CategoricalNodeSpec::internal(
+        "Person",
+        vec![
+            CategoricalNodeSpec::internal(
+                "Medical Staff",
+                vec![
+                    CategoricalNodeSpec::internal(
+                        "Doctor",
+                        vec![
+                            CategoricalNodeSpec::leaf("Surgeon"),
+                            CategoricalNodeSpec::leaf("Physician"),
+                        ],
+                    ),
+                    CategoricalNodeSpec::internal(
+                        "Paramedic",
+                        vec![
+                            CategoricalNodeSpec::leaf("Pharmacist"),
+                            CategoricalNodeSpec::leaf("Nurse"),
+                            CategoricalNodeSpec::leaf("Consultant"),
+                        ],
+                    ),
+                ],
+            ),
+            CategoricalNodeSpec::internal(
+                "Non-medical Staff",
+                vec![
+                    CategoricalNodeSpec::leaf("Technician"),
+                    CategoricalNodeSpec::leaf("Administrator"),
+                ],
+            ),
+        ],
+    )
+    .build("role")
+    .expect("role ontology labels are unique")
+}
+
+/// The attending-practitioner ontology for the `doctor` column:
+/// care domain → specialty group → concrete specialty (18 leaves, depth 3).
+pub fn doctor_tree() -> DomainHierarchyTree {
+    let spec = CategoricalNodeSpec::internal(
+        "Practitioner",
+        vec![
+            CategoricalNodeSpec::internal(
+                "Physician",
+                vec![
+                    CategoricalNodeSpec::internal(
+                        "Surgical",
+                        vec![
+                            CategoricalNodeSpec::leaf("Cardiac Surgeon"),
+                            CategoricalNodeSpec::leaf("Neurosurgeon"),
+                            CategoricalNodeSpec::leaf("Orthopedic Surgeon"),
+                            CategoricalNodeSpec::leaf("General Surgeon"),
+                        ],
+                    ),
+                    CategoricalNodeSpec::internal(
+                        "Internal Medicine",
+                        vec![
+                            CategoricalNodeSpec::leaf("Cardiologist"),
+                            CategoricalNodeSpec::leaf("Pulmonologist"),
+                            CategoricalNodeSpec::leaf("Gastroenterologist"),
+                            CategoricalNodeSpec::leaf("Endocrinologist"),
+                        ],
+                    ),
+                    CategoricalNodeSpec::internal(
+                        "Primary Care",
+                        vec![
+                            CategoricalNodeSpec::leaf("Family Physician"),
+                            CategoricalNodeSpec::leaf("Pediatrician"),
+                            CategoricalNodeSpec::leaf("Geriatrician"),
+                        ],
+                    ),
+                ],
+            ),
+            CategoricalNodeSpec::internal(
+                "Allied Health",
+                vec![
+                    CategoricalNodeSpec::internal(
+                        "Nursing",
+                        vec![
+                            CategoricalNodeSpec::leaf("Registered Nurse"),
+                            CategoricalNodeSpec::leaf("Nurse Practitioner"),
+                            CategoricalNodeSpec::leaf("Midwife"),
+                        ],
+                    ),
+                    CategoricalNodeSpec::internal(
+                        "Therapy",
+                        vec![
+                            CategoricalNodeSpec::leaf("Physiotherapist"),
+                            CategoricalNodeSpec::leaf("Occupational Therapist"),
+                        ],
+                    ),
+                    CategoricalNodeSpec::internal(
+                        "Pharmacy",
+                        vec![
+                            CategoricalNodeSpec::leaf("Clinical Pharmacist"),
+                            CategoricalNodeSpec::leaf("Pharmacy Technician"),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    );
+    spec.build("doctor").expect("doctor ontology labels are unique")
+}
+
+/// ICD-9 chapter descriptors used to generate the symptom tree:
+/// (chapter name, first three-digit code, number of blocks, codes per block).
+const ICD9_CHAPTERS: &[(&str, u32, u32, u32)] = &[
+    ("Infectious And Parasitic Diseases (001-139)", 1, 3, 4),
+    ("Neoplasms (140-239)", 140, 3, 4),
+    ("Endocrine And Metabolic Diseases (240-279)", 240, 3, 4),
+    ("Diseases Of The Circulatory System (390-459)", 390, 4, 4),
+    ("Diseases Of The Respiratory System (460-519)", 460, 3, 4),
+    ("Diseases Of The Digestive System (520-579)", 520, 3, 4),
+    ("Diseases Of The Genitourinary System (580-629)", 580, 3, 4),
+    ("Injury And Poisoning (800-999)", 800, 3, 4),
+];
+
+/// The ICD-9-like symptom ontology: chapter → block → three-digit code.
+/// 8 chapters × 3–4 blocks × 4 codes ≈ 104 leaves, depth 3 — the same
+/// topology class as the real ICD-9 hierarchy the paper uses.
+pub fn symptom_tree() -> DomainHierarchyTree {
+    let chapters: Vec<CategoricalNodeSpec> = ICD9_CHAPTERS
+        .iter()
+        .map(|&(name, start, blocks, codes_per_block)| {
+            let block_specs: Vec<CategoricalNodeSpec> = (0..blocks)
+                .map(|b| {
+                    let block_start = start + b * codes_per_block;
+                    let block_end = block_start + codes_per_block - 1;
+                    let leaves: Vec<CategoricalNodeSpec> = (0..codes_per_block)
+                        .map(|c| CategoricalNodeSpec::leaf(format!("{:03}", block_start + c)))
+                        .collect();
+                    CategoricalNodeSpec::internal(
+                        format!("Block {block_start:03}-{block_end:03}"),
+                        leaves,
+                    )
+                })
+                .collect();
+            CategoricalNodeSpec::internal(name, block_specs)
+        })
+        .collect();
+    CategoricalNodeSpec::internal("ICD-9", chapters)
+        .build("symptom")
+        .expect("symptom ontology labels are unique")
+}
+
+/// The prescription ontology: therapeutic class → subclass → drug
+/// (24 leaves, depth 3).
+pub fn prescription_tree() -> DomainHierarchyTree {
+    let spec = CategoricalNodeSpec::internal(
+        "Medication",
+        vec![
+            CategoricalNodeSpec::internal(
+                "Cardiovascular Agents",
+                vec![
+                    CategoricalNodeSpec::internal(
+                        "ACE Inhibitors",
+                        vec![
+                            CategoricalNodeSpec::leaf("Lisinopril"),
+                            CategoricalNodeSpec::leaf("Enalapril"),
+                            CategoricalNodeSpec::leaf("Ramipril"),
+                        ],
+                    ),
+                    CategoricalNodeSpec::internal(
+                        "Beta Blockers",
+                        vec![
+                            CategoricalNodeSpec::leaf("Metoprolol"),
+                            CategoricalNodeSpec::leaf("Atenolol"),
+                            CategoricalNodeSpec::leaf("Carvedilol"),
+                        ],
+                    ),
+                ],
+            ),
+            CategoricalNodeSpec::internal(
+                "Anti-infectives",
+                vec![
+                    CategoricalNodeSpec::internal(
+                        "Penicillins",
+                        vec![
+                            CategoricalNodeSpec::leaf("Amoxicillin"),
+                            CategoricalNodeSpec::leaf("Ampicillin"),
+                            CategoricalNodeSpec::leaf("Piperacillin"),
+                        ],
+                    ),
+                    CategoricalNodeSpec::internal(
+                        "Macrolides",
+                        vec![
+                            CategoricalNodeSpec::leaf("Azithromycin"),
+                            CategoricalNodeSpec::leaf("Erythromycin"),
+                            CategoricalNodeSpec::leaf("Clarithromycin"),
+                        ],
+                    ),
+                ],
+            ),
+            CategoricalNodeSpec::internal(
+                "Analgesics",
+                vec![
+                    CategoricalNodeSpec::internal(
+                        "NSAIDs",
+                        vec![
+                            CategoricalNodeSpec::leaf("Ibuprofen"),
+                            CategoricalNodeSpec::leaf("Naproxen"),
+                            CategoricalNodeSpec::leaf("Celecoxib"),
+                        ],
+                    ),
+                    CategoricalNodeSpec::internal(
+                        "Opioids",
+                        vec![
+                            CategoricalNodeSpec::leaf("Morphine"),
+                            CategoricalNodeSpec::leaf("Oxycodone"),
+                            CategoricalNodeSpec::leaf("Tramadol"),
+                        ],
+                    ),
+                ],
+            ),
+            CategoricalNodeSpec::internal(
+                "Endocrine Agents",
+                vec![
+                    CategoricalNodeSpec::internal(
+                        "Antidiabetics",
+                        vec![
+                            CategoricalNodeSpec::leaf("Metformin"),
+                            CategoricalNodeSpec::leaf("Glipizide"),
+                            CategoricalNodeSpec::leaf("Insulin Glargine"),
+                        ],
+                    ),
+                    CategoricalNodeSpec::internal(
+                        "Thyroid Agents",
+                        vec![
+                            CategoricalNodeSpec::leaf("Levothyroxine"),
+                            CategoricalNodeSpec::leaf("Methimazole"),
+                            CategoricalNodeSpec::leaf("Propylthiouracil"),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    );
+    spec.build("prescription").expect("prescription ontology labels are unique")
+}
+
+/// The age tree: Fig. 3's binary interval tree over `[0, 150)`, but with the
+/// "narrower intervals" the paper says its experiments use (5-year leaves).
+pub fn age_tree() -> DomainHierarchyTree {
+    let intervals: Vec<(i64, i64)> = (AGE_MIN..AGE_MAX)
+        .step_by(AGE_LEAF_WIDTH as usize)
+        .map(|lo| (lo, (lo + AGE_LEAF_WIDTH).min(AGE_MAX)))
+        .collect();
+    numeric_binary_tree("age", &intervals).expect("age intervals tile the domain")
+}
+
+/// The zip-code tree: a binary interval tree over a metropolitan zip range,
+/// 10-code leaves.
+pub fn zip_tree() -> DomainHierarchyTree {
+    let intervals: Vec<(i64, i64)> = (ZIP_MIN..ZIP_MAX)
+        .step_by(ZIP_LEAF_WIDTH as usize)
+        .map(|lo| (lo, (lo + ZIP_LEAF_WIDTH).min(ZIP_MAX)))
+        .collect();
+    numeric_binary_tree("zip_code", &intervals).expect("zip intervals tile the domain")
+}
+
+/// All five quasi-identifier trees keyed by column name, matching
+/// `Schema::medical_example()`.
+pub fn all_trees() -> BTreeMap<String, DomainHierarchyTree> {
+    let mut m = BTreeMap::new();
+    for tree in [age_tree(), zip_tree(), doctor_tree(), symptom_tree(), prescription_tree()] {
+        m.insert(tree.attribute().to_string(), tree);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medshield_dht::{DhtKind, GeneralizationSet};
+    use medshield_relation::Value;
+
+    #[test]
+    fn fig1_role_tree_matches_the_paper() {
+        let t = role_tree();
+        assert_eq!(t.leaf_count(), 7);
+        assert_eq!(t.height(), 3);
+        assert!(t.node_by_label("Paramedic").is_ok());
+        assert!(t.node_by_label("Pharmacist").is_ok());
+    }
+
+    #[test]
+    fn doctor_tree_shape() {
+        let t = doctor_tree();
+        assert_eq!(t.kind(), DhtKind::Categorical);
+        assert_eq!(t.leaf_count(), 18);
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn symptom_tree_is_icd9_like() {
+        let t = symptom_tree();
+        assert_eq!(t.height(), 3);
+        assert!(t.leaf_count() >= 90, "leaf count {}", t.leaf_count());
+        // Codes are zero-padded three-digit strings.
+        assert!(t.node_by_label("001").is_ok());
+        assert!(t.node_by_label("390").is_ok());
+        // Leaves resolve as values.
+        assert!(t.leaf_for_value(&Value::text("460")).is_ok());
+    }
+
+    #[test]
+    fn prescription_tree_shape() {
+        let t = prescription_tree();
+        assert_eq!(t.leaf_count(), 24);
+        assert_eq!(t.height(), 3);
+        assert!(t.node_by_label("Metformin").is_ok());
+    }
+
+    #[test]
+    fn age_tree_covers_domain_with_narrow_leaves() {
+        let t = age_tree();
+        assert_eq!(t.kind(), DhtKind::Numeric);
+        assert_eq!(t.leaf_count(), 30);
+        for age in [0, 4, 37, 89, 149] {
+            let leaf = t.leaf_for_value(&Value::int(age)).unwrap();
+            let (lo, hi) = t.node(leaf).unwrap().interval.unwrap();
+            assert!(age >= lo && age < hi);
+            assert_eq!(hi - lo, AGE_LEAF_WIDTH);
+        }
+    }
+
+    #[test]
+    fn zip_tree_covers_domain() {
+        let t = zip_tree();
+        assert_eq!(t.leaf_count(), ((ZIP_MAX - ZIP_MIN) / ZIP_LEAF_WIDTH) as usize);
+        assert!(t.leaf_for_value(&Value::int(53_211)).is_ok());
+        assert!(t.leaf_for_value(&Value::int(99_999)).is_err());
+    }
+
+    #[test]
+    fn all_trees_keyed_by_schema_columns() {
+        let m = all_trees();
+        for col in ["age", "zip_code", "doctor", "symptom", "prescription"] {
+            assert!(m.contains_key(col), "missing tree for {col}");
+            assert_eq!(m[col].attribute(), col);
+        }
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn depth1_generalizations_are_valid_for_every_tree() {
+        // The experiment harness uses depth-based maximal generalization
+        // nodes; they must be valid for every ontology.
+        for (_, tree) in all_trees() {
+            for depth in 0..=2 {
+                let g = GeneralizationSet::at_depth(&tree, depth);
+                assert!(
+                    GeneralizationSet::new(&tree, g.nodes().to_vec()).is_ok(),
+                    "tree {} depth {depth}",
+                    tree.attribute()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for DHT construction and traversal.
+
+use crate::tree::NodeId;
+
+/// Errors raised while building or traversing a domain hierarchy tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DhtError {
+    /// A node id does not belong to the tree.
+    UnknownNode(NodeId),
+    /// The requested label does not exist in the tree.
+    UnknownLabel(String),
+    /// A value has no corresponding leaf (out of domain).
+    ValueOutOfDomain(String),
+    /// A numeric tree was requested with invalid interval bounds.
+    InvalidInterval {
+        /// Offending lower bound.
+        lo: i64,
+        /// Offending upper bound.
+        hi: i64,
+    },
+    /// The supplied intervals do not tile the domain contiguously.
+    NonContiguousIntervals {
+        /// Where the previous interval ended.
+        expected_start: i64,
+        /// Where the offending interval started.
+        actual_start: i64,
+    },
+    /// A categorical tree was built with a duplicate label.
+    DuplicateLabel(String),
+    /// A set of nodes is not a valid generalization of the tree.
+    InvalidGeneralization(String),
+    /// A numeric builder needs at least one leaf interval.
+    EmptyDomain,
+}
+
+impl std::fmt::Display for DhtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DhtError::UnknownNode(id) => write!(f, "unknown node id {}", id.0),
+            DhtError::UnknownLabel(l) => write!(f, "unknown label: {l}"),
+            DhtError::ValueOutOfDomain(v) => write!(f, "value out of domain: {v}"),
+            DhtError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid interval [{lo},{hi})")
+            }
+            DhtError::NonContiguousIntervals { expected_start, actual_start } => write!(
+                f,
+                "intervals must tile the domain contiguously: expected start {expected_start}, got {actual_start}"
+            ),
+            DhtError::DuplicateLabel(l) => write!(f, "duplicate label: {l}"),
+            DhtError::InvalidGeneralization(msg) => write!(f, "invalid generalization: {msg}"),
+            DhtError::EmptyDomain => write!(f, "numeric domain needs at least one interval"),
+        }
+    }
+}
+
+impl std::error::Error for DhtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DhtError::UnknownLabel("x".into()).to_string().contains('x'));
+        assert!(DhtError::InvalidInterval { lo: 5, hi: 1 }.to_string().contains("[5,1)"));
+        assert!(DhtError::NonContiguousIntervals { expected_start: 10, actual_start: 12 }
+            .to_string()
+            .contains("10"));
+        assert!(DhtError::EmptyDomain.to_string().contains("interval"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # medshield-dht
+//!
+//! Domain hierarchy trees (DHTs) and generalization machinery for the
+//! MedShield framework (Bertino et al., ICDE 2005).
+//!
+//! A DHT organizes the domain of a quasi-identifying attribute: leaves are the
+//! most specific values, the root is the most general description, and
+//! generalization replaces a leaf value by the value represented by one of its
+//! ancestors (Fig. 1 of the paper). Numeric attributes get a binary DHT built
+//! by dividing the domain into disjoint intervals and pairwise combining them
+//! (Fig. 3).
+//!
+//! The paper's broader notion of generalization (following Iyengar) is a set
+//! of *generalization nodes* such that the path from every leaf to the root
+//! meets **exactly one** node of the set (§4). All of the binning and
+//! watermarking algorithms are phrased in terms of such sets:
+//!
+//! * the **maximal generalization nodes** come from the off-line enforcement
+//!   of usage metrics,
+//! * the **minimal generalization nodes** come from mono-attribute binning,
+//! * the **ultimate generalization nodes** come from multi-attribute binning,
+//! * the hierarchical watermark embeds bits by permutations that walk from a
+//!   maximal generalization node down to an ultimate generalization node.
+//!
+//! This crate provides:
+//!
+//! * [`DomainHierarchyTree`] with the node operations of Table 1
+//!   (`Parent`, `Children`, `Siblings`, `Leaves`, `SubTree`, …),
+//! * builders for categorical trees ([`builder::CategoricalNodeSpec`]) and
+//!   numeric binary trees ([`builder::numeric_binary_tree`] /
+//!   [`builder::numeric_uniform_tree`]),
+//! * [`GeneralizationSet`] with validity checking, leaf covering,
+//!   value↔node mapping (`Val2Nd` / `Nd2Val`), and enumeration of the
+//!   allowable generalizations between two node sets (used by multi-attribute
+//!   binning).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod error;
+pub mod generalization;
+pub mod tree;
+
+pub use builder::CategoricalNodeSpec;
+pub use error::DhtError;
+pub use generalization::GeneralizationSet;
+pub use tree::{DhtKind, Node, NodeId, DomainHierarchyTree};

@@ -1,0 +1,208 @@
+//! Plain-text (CSV-like) import and export.
+//!
+//! Deliberately minimal: comma-separated with double-quote escaping only for
+//! values that themselves contain a comma (generalized numeric intervals such
+//! as `[30,40)`), header row carries the column names. Useful for eyeballing
+//! generated data sets and for shipping the protected table to an
+//! "outsourcee" in the examples.
+
+use crate::error::RelationError;
+use crate::schema::{ColumnDef, ColumnRole, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Serialize a table to CSV text: a header of column names followed by one
+/// line per tuple, values in display form.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for tuple in table.iter() {
+        let line: Vec<String> = tuple.values.iter().map(|v| escape_field(&v.to_string())).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Quote a field if it contains a comma or a double quote.
+fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Split a CSV line honouring double-quoted fields.
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    current.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut current));
+            }
+            other => current.push(other),
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+/// Parse CSV text produced by [`to_csv`] back into a table.
+///
+/// `roles` assigns a [`ColumnRole`] to each header column by name; columns not
+/// listed default to [`ColumnRole::NonIdentifying`].
+pub fn from_csv(text: &str, roles: &[(&str, ColumnRole)]) -> Result<Table, RelationError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(RelationError::CsvParse {
+        line: 1,
+        message: "missing header".into(),
+    })?;
+    let columns: Vec<ColumnDef> = header
+        .split(',')
+        .map(|name| {
+            let role = roles
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, r)| *r)
+                .unwrap_or(ColumnRole::NonIdentifying);
+            ColumnDef::new(name.trim(), role)
+        })
+        .collect();
+    let schema = Schema::new(columns)?;
+    let arity = schema.arity();
+    let mut table = Table::new(schema);
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let values: Vec<Value> = split_line(line).iter().map(|f| Value::parse(f)).collect();
+        if values.len() != arity {
+            return Err(RelationError::CsvParse {
+                line: i + 1,
+                message: format!("expected {arity} fields, found {}", values.len()),
+            });
+        }
+        table.insert(values)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(Schema::medical_example());
+        t.insert(vec![
+            Value::text("111-22-3333"),
+            Value::int(34),
+            Value::int(53001),
+            Value::text("Surgeon"),
+            Value::text("428.0"),
+            Value::text("Lisinopril"),
+        ])
+        .unwrap();
+        t.insert(vec![
+            Value::text("222-33-4444"),
+            Value::interval(30, 40),
+            Value::int(53002),
+            Value::text("Nurse"),
+            Value::text("401.9"),
+            Value::Null,
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn to_csv_has_header_and_rows() {
+        let csv = to_csv(&sample());
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "ssn,age,zip_code,doctor,symptom,prescription"
+        );
+        assert_eq!(lines.count(), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let original = sample();
+        let csv = to_csv(&original);
+        let roles = [
+            ("ssn", ColumnRole::Identifying),
+            ("age", ColumnRole::QuasiNumeric),
+            ("zip_code", ColumnRole::QuasiNumeric),
+            ("doctor", ColumnRole::QuasiCategorical),
+            ("symptom", ColumnRole::QuasiCategorical),
+            ("prescription", ColumnRole::QuasiCategorical),
+        ];
+        let parsed = from_csv(&csv, &roles).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        assert_eq!(
+            parsed.value(crate::TupleId(1), "age").unwrap(),
+            &Value::interval(30, 40)
+        );
+        assert_eq!(
+            parsed.value(crate::TupleId(1), "prescription").unwrap(),
+            &Value::Null
+        );
+        assert_eq!(
+            parsed.schema().column_by_name("ssn").unwrap().role,
+            ColumnRole::Identifying
+        );
+    }
+
+    #[test]
+    fn symptom_codes_stay_text() {
+        // ICD-9-like codes such as "428.0" must not be mangled into numbers.
+        let csv = to_csv(&sample());
+        let parsed = from_csv(&csv, &[]).unwrap();
+        assert_eq!(
+            parsed.value(crate::TupleId(0), "symptom").unwrap(),
+            &Value::text("428.0")
+        );
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(from_csv("", &[]).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_reports_line() {
+        let text = "a,b\n1,2\n3\n";
+        let err = from_csv(text, &[]).unwrap_err();
+        match err {
+            RelationError::CsvParse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "a,b\n1,2\n\n3,4\n";
+        let t = from_csv(text, &[]).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # medshield-relation
+//!
+//! A small, dependency-free, in-memory relational substrate used by the
+//! MedShield framework (Bertino et al., ICDE 2005).
+//!
+//! The paper operates on a single relational table of medical records,
+//! `R(ssn, age, zip_code, doctor, symptom, prescription)`, whose columns are
+//! classified into *identifying*, *quasi-identifying* (categorical or
+//! numeric), and *non-identifying* columns (§2). The binning agent rewrites
+//! quasi-identifying values, the watermarking agent permutes a keyed subset of
+//! them, and the attack models insert, alter and delete tuples (including the
+//! paper's SQL range delete, §7.2).
+//!
+//! This crate provides exactly that substrate:
+//!
+//! * [`Value`] — a typed cell value (integer, text, half-open interval, null).
+//! * [`ColumnRole`] / [`ColumnDef`] / [`Schema`] — schema with privacy roles.
+//! * [`Table`] / [`Tuple`] / [`TupleId`] — a row store with stable tuple ids,
+//!   insertion, per-column access, predicate-based deletion, and iteration.
+//! * [`Predicate`] — a tiny predicate language sufficient for the attack
+//!   models (`DELETE FROM R WHERE ssn > lo AND ssn < hi`).
+//! * [`stats`] — per-column statistics (value counts, bin sizes, group-by over
+//!   quasi-identifier combinations) used by the metrics crate.
+//! * [`csv`] — plain-text import/export for inspection of generated data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod error;
+pub mod predicate;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use error::RelationError;
+pub use predicate::Predicate;
+pub use schema::{ColumnDef, ColumnRole, Schema};
+pub use table::{Table, Tuple, TupleId};
+pub use value::Value;

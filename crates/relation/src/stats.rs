@@ -1,0 +1,140 @@
+//! Per-column and per-bin statistics.
+//!
+//! The k-anonymity view of a binned table is "records containing the same
+//! value constitute a bin, and the size of every bin is at least k" (§2).
+//! These helpers compute value frequencies per column and bin sizes over the
+//! full quasi-identifier combination, which the metrics crate turns into
+//! information-loss figures, k-anonymity checks and the Fig. 14 statistics.
+
+use crate::error::RelationError;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Frequency of each distinct value in one column.
+///
+/// Returned as a `BTreeMap` so iteration order is deterministic, which keeps
+/// reports and tests stable.
+pub fn value_counts(table: &Table, column: &str) -> Result<BTreeMap<Value, usize>, RelationError> {
+    let mut counts = BTreeMap::new();
+    for v in table.column_values(column)? {
+        *counts.entry(v.clone()).or_insert(0) += 1;
+    }
+    Ok(counts)
+}
+
+/// Number of distinct values in one column.
+pub fn distinct_count(table: &Table, column: &str) -> Result<usize, RelationError> {
+    Ok(value_counts(table, column)?.len())
+}
+
+/// Bin sizes over a combination of columns: every distinct tuple of values in
+/// `columns` is one bin; the map value is the number of records in the bin.
+pub fn bin_sizes(
+    table: &Table,
+    columns: &[&str],
+) -> Result<BTreeMap<Vec<Value>, usize>, RelationError> {
+    let indices: Vec<usize> = columns
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<Result<_, _>>()?;
+    let mut bins = BTreeMap::new();
+    for tuple in table.iter() {
+        let key: Vec<Value> = indices.iter().map(|&i| tuple.values[i].clone()).collect();
+        *bins.entry(key).or_insert(0) += 1;
+    }
+    Ok(bins)
+}
+
+/// Bin sizes over all quasi-identifying columns of the table's schema.
+pub fn quasi_bin_sizes(table: &Table) -> Result<BTreeMap<Vec<Value>, usize>, RelationError> {
+    let names = table.schema().quasi_names();
+    bin_sizes(table, &names)
+}
+
+/// The size of the smallest bin over `columns`, or `None` for an empty table.
+pub fn min_bin_size(table: &Table, columns: &[&str]) -> Result<Option<usize>, RelationError> {
+    Ok(bin_sizes(table, columns)?.values().copied().min())
+}
+
+/// Mean of the integer values in a column, ignoring non-integers.
+/// Used by the rightful-ownership protocol, which derives the owner's mark
+/// from a statistic of the clear-text identifying column (§5.4).
+pub fn numeric_mean(table: &Table, column: &str) -> Result<Option<f64>, RelationError> {
+    let values = table.column_values(column)?;
+    let ints: Vec<i64> = values.iter().filter_map(|v| v.as_int()).collect();
+    if ints.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(ints.iter().map(|&v| v as f64).sum::<f64>() / ints.len() as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnRole, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::new("id", ColumnRole::Identifying),
+            ColumnDef::new("age", ColumnRole::QuasiNumeric),
+            ColumnDef::new("doctor", ColumnRole::QuasiCategorical),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        let rows = [
+            (1, 30, "Surgeon"),
+            (2, 30, "Surgeon"),
+            (3, 30, "Nurse"),
+            (4, 40, "Nurse"),
+            (5, 40, "Nurse"),
+        ];
+        for (id, age, doc) in rows {
+            t.insert(vec![Value::int(id), Value::int(age), Value::text(doc)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn value_counts_per_column() {
+        let t = table();
+        let counts = value_counts(&t, "doctor").unwrap();
+        assert_eq!(counts[&Value::text("Surgeon")], 2);
+        assert_eq!(counts[&Value::text("Nurse")], 3);
+        assert_eq!(distinct_count(&t, "age").unwrap(), 2);
+        assert!(value_counts(&t, "missing").is_err());
+    }
+
+    #[test]
+    fn bin_sizes_over_combination() {
+        let t = table();
+        let bins = bin_sizes(&t, &["age", "doctor"]).unwrap();
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[&vec![Value::int(30), Value::text("Surgeon")]], 2);
+        assert_eq!(bins[&vec![Value::int(30), Value::text("Nurse")]], 1);
+        assert_eq!(bins[&vec![Value::int(40), Value::text("Nurse")]], 2);
+        assert_eq!(min_bin_size(&t, &["age", "doctor"]).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn quasi_bin_sizes_uses_schema_roles() {
+        let t = table();
+        let bins = quasi_bin_sizes(&t).unwrap();
+        // quasi columns are age and doctor → same as the explicit call.
+        assert_eq!(bins, bin_sizes(&t, &["age", "doctor"]).unwrap());
+    }
+
+    #[test]
+    fn min_bin_size_empty_table() {
+        let t = Table::new(Schema::medical_example());
+        assert_eq!(min_bin_size(&t, &["age"]).unwrap(), None);
+    }
+
+    #[test]
+    fn numeric_mean_ignores_text() {
+        let t = table();
+        assert_eq!(numeric_mean(&t, "id").unwrap(), Some(3.0));
+        assert_eq!(numeric_mean(&t, "doctor").unwrap(), None);
+    }
+}

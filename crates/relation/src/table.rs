@@ -1,0 +1,310 @@
+//! The row-store table.
+//!
+//! A [`Table`] is an append-oriented row store with stable [`TupleId`]s. The
+//! id survives deletions of other tuples, which matters for the attack models
+//! (the attacker deletes or alters tuples, the detector must still find the
+//! watermarked survivors) and for the interference analysis (§6), which tracks
+//! how individual bins gain or lose members.
+
+use crate::error::RelationError;
+use crate::predicate::Predicate;
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A stable identifier for a tuple within one table instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TupleId(pub u64);
+
+impl std::fmt::Display for TupleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A single row: a tuple id plus one value per schema column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Stable id of this tuple.
+    pub id: TupleId,
+    /// Values, one per column, in schema order.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// The value at column `index`, if in range.
+    pub fn value(&self, index: usize) -> Option<&Value> {
+        self.values.get(index)
+    }
+}
+
+/// An in-memory relational table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Tuple>,
+    next_id: u64,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Table { schema, rows: Vec::new(), next_id: 0 }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples currently stored.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple, returning its assigned id.
+    ///
+    /// Fails with [`RelationError::ArityMismatch`] if the number of values
+    /// does not match the schema.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<TupleId, RelationError> {
+        if values.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: values.len(),
+            });
+        }
+        let id = TupleId(self.next_id);
+        self.next_id += 1;
+        self.rows.push(Tuple { id, values });
+        Ok(id)
+    }
+
+    /// Insert many tuples at once. Stops at the first arity error.
+    pub fn insert_all(
+        &mut self,
+        tuples: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<Vec<TupleId>, RelationError> {
+        let mut ids = Vec::new();
+        for values in tuples {
+            ids.push(self.insert(values)?);
+        }
+        Ok(ids)
+    }
+
+    /// Iterate over all tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Iterate mutably over all tuples.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Tuple> {
+        self.rows.iter_mut()
+    }
+
+    /// Fetch a tuple by id.
+    pub fn get(&self, id: TupleId) -> Option<&Tuple> {
+        self.rows.iter().find(|t| t.id == id)
+    }
+
+    /// Fetch a tuple mutably by id.
+    pub fn get_mut(&mut self, id: TupleId) -> Option<&mut Tuple> {
+        self.rows.iter_mut().find(|t| t.id == id)
+    }
+
+    /// Read the value of column `column` in tuple `id`.
+    pub fn value(&self, id: TupleId, column: &str) -> Result<&Value, RelationError> {
+        let idx = self.schema.index_of(column)?;
+        let tuple = self
+            .get(id)
+            .ok_or(RelationError::UnknownTuple(id.0))?;
+        Ok(&tuple.values[idx])
+    }
+
+    /// Overwrite the value of column `column` in tuple `id`.
+    pub fn set_value(
+        &mut self,
+        id: TupleId,
+        column: &str,
+        value: Value,
+    ) -> Result<(), RelationError> {
+        let idx = self.schema.index_of(column)?;
+        let tuple = self
+            .get_mut(id)
+            .ok_or(RelationError::UnknownTuple(id.0))?;
+        tuple.values[idx] = value;
+        Ok(())
+    }
+
+    /// All values of one column, in row order.
+    pub fn column_values(&self, column: &str) -> Result<Vec<&Value>, RelationError> {
+        let idx = self.schema.index_of(column)?;
+        Ok(self.rows.iter().map(|t| &t.values[idx]).collect())
+    }
+
+    /// Ids of tuples satisfying `predicate`.
+    pub fn select(&self, predicate: &Predicate) -> Result<Vec<TupleId>, RelationError> {
+        let mut out = Vec::new();
+        for tuple in &self.rows {
+            if predicate.matches(&self.schema, tuple)? {
+                out.push(tuple.id);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Delete tuples satisfying `predicate`; returns the number removed.
+    /// This is the `DELETE FROM R WHERE ...` used by the subset-deletion
+    /// attack of §7.2.
+    pub fn delete_where(&mut self, predicate: &Predicate) -> Result<usize, RelationError> {
+        let victims = self.select(predicate)?;
+        let victim_set: std::collections::HashSet<TupleId> = victims.iter().copied().collect();
+        let before = self.rows.len();
+        self.rows.retain(|t| !victim_set.contains(&t.id));
+        Ok(before - self.rows.len())
+    }
+
+    /// Delete specific tuples by id; returns the number removed.
+    pub fn delete_ids(&mut self, ids: &[TupleId]) -> usize {
+        let victim_set: std::collections::HashSet<TupleId> = ids.iter().copied().collect();
+        let before = self.rows.len();
+        self.rows.retain(|t| !victim_set.contains(&t.id));
+        before - self.rows.len()
+    }
+
+    /// All tuple ids in row order.
+    pub fn ids(&self) -> Vec<TupleId> {
+        self.rows.iter().map(|t| t.id).collect()
+    }
+
+    /// A deep copy of the table with the same ids (used to snapshot the
+    /// pre-watermarking state for interference measurements).
+    pub fn snapshot(&self) -> Table {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnRole};
+
+    fn small_table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::new("ssn", ColumnRole::Identifying),
+            ColumnDef::new("age", ColumnRole::QuasiNumeric),
+            ColumnDef::new("doctor", ColumnRole::QuasiCategorical),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.insert(vec![Value::text("s1"), Value::int(34), Value::text("Surgeon")])
+            .unwrap();
+        t.insert(vec![Value::text("s2"), Value::int(61), Value::text("Pharmacist")])
+            .unwrap();
+        t.insert(vec![Value::text("s3"), Value::int(29), Value::text("Surgeon")])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_assigns_monotone_ids() {
+        let t = small_table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.ids(), vec![TupleId(0), TupleId(1), TupleId(2)]);
+    }
+
+    #[test]
+    fn insert_rejects_wrong_arity() {
+        let mut t = small_table();
+        let err = t.insert(vec![Value::int(1)]).unwrap_err();
+        assert_eq!(err, RelationError::ArityMismatch { expected: 3, actual: 1 });
+    }
+
+    #[test]
+    fn insert_all_propagates_errors() {
+        let mut t = small_table();
+        let res = t.insert_all(vec![
+            vec![Value::text("s4"), Value::int(40), Value::text("Nurse")],
+            vec![Value::int(1)],
+        ]);
+        assert!(res.is_err());
+        // The valid tuple before the error was inserted.
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn value_access_and_update() {
+        let mut t = small_table();
+        assert_eq!(t.value(TupleId(1), "age").unwrap(), &Value::int(61));
+        t.set_value(TupleId(1), "age", Value::interval(60, 70)).unwrap();
+        assert_eq!(t.value(TupleId(1), "age").unwrap(), &Value::interval(60, 70));
+        assert!(t.value(TupleId(1), "nope").is_err());
+        assert!(t.value(TupleId(99), "age").is_err());
+        assert!(t.set_value(TupleId(99), "age", Value::Null).is_err());
+    }
+
+    #[test]
+    fn column_values_in_row_order() {
+        let t = small_table();
+        let ages: Vec<i64> = t
+            .column_values("age")
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(ages, vec![34, 61, 29]);
+    }
+
+    #[test]
+    fn delete_ids_keeps_remaining_ids_stable() {
+        let mut t = small_table();
+        assert_eq!(t.delete_ids(&[TupleId(1)]), 1);
+        assert_eq!(t.ids(), vec![TupleId(0), TupleId(2)]);
+        assert!(t.get(TupleId(1)).is_none());
+        assert!(t.get(TupleId(2)).is_some());
+        // Deleting again is a no-op.
+        assert_eq!(t.delete_ids(&[TupleId(1)]), 0);
+    }
+
+    #[test]
+    fn new_inserts_after_delete_get_fresh_ids() {
+        let mut t = small_table();
+        t.delete_ids(&[TupleId(2)]);
+        let id = t
+            .insert(vec![Value::text("s4"), Value::int(50), Value::text("Nurse")])
+            .unwrap();
+        assert_eq!(id, TupleId(3), "ids are never reused");
+    }
+
+    #[test]
+    fn select_and_delete_where() {
+        let mut t = small_table();
+        let pred = Predicate::eq("doctor", Value::text("Surgeon"));
+        let hits = t.select(&pred).unwrap();
+        assert_eq!(hits, vec![TupleId(0), TupleId(2)]);
+        assert_eq!(t.delete_where(&pred).unwrap(), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.iter().next().unwrap().id, TupleId(1));
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut t = small_table();
+        let snap = t.snapshot();
+        t.set_value(TupleId(0), "age", Value::int(99)).unwrap();
+        assert_eq!(snap.value(TupleId(0), "age").unwrap(), &Value::int(34));
+        assert_eq!(t.value(TupleId(0), "age").unwrap(), &Value::int(99));
+    }
+
+    #[test]
+    fn is_empty_reflects_contents() {
+        let schema = Schema::medical_example();
+        let t = Table::new(schema);
+        assert!(t.is_empty());
+        assert!(!small_table().is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the relational substrate.
+
+use medshield_relation::{csv, ColumnDef, ColumnRole, Predicate, Schema, Table, Value};
+use proptest::prelude::*;
+
+/// Arbitrary cell values, including the generalized interval form.
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i32>().prop_map(|v| Value::Int(v as i64)),
+        "[A-Za-z0-9 .:-]{0,12}".prop_map(Value::Text),
+        (any::<i16>(), 1i64..500).prop_map(|(lo, w)| Value::interval(lo as i64, lo as i64 + w)),
+    ]
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    prop::collection::vec(
+        (arb_value(), arb_value(), arb_value()),
+        0..40,
+    )
+    .prop_map(|rows| {
+        let schema = Schema::new(vec![
+            ColumnDef::new("id", ColumnRole::Identifying),
+            ColumnDef::new("a", ColumnRole::QuasiNumeric),
+            ColumnDef::new("b", ColumnRole::QuasiCategorical),
+        ])
+        .unwrap();
+        let mut table = Table::new(schema);
+        for (x, y, z) in rows {
+            table.insert(vec![x, y, z]).unwrap();
+        }
+        table
+    })
+}
+
+proptest! {
+    /// Value display/parse round-trips for everything except free text that
+    /// happens to look like another variant.
+    #[test]
+    fn value_parse_is_stable_on_reparse(v in arb_value()) {
+        // parse(display(v)) may normalize (e.g. text "42" becomes Int 42), but
+        // a second round trip must be a fixed point.
+        let once = Value::parse(&v.to_string());
+        let twice = Value::parse(&once.to_string());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// CSV export/import preserves the number of rows and re-parses every
+    /// cell to the same normalized value.
+    #[test]
+    fn csv_roundtrip(table in arb_table()) {
+        let text = csv::to_csv(&table);
+        let roles = [
+            ("id", ColumnRole::Identifying),
+            ("a", ColumnRole::QuasiNumeric),
+            ("b", ColumnRole::QuasiCategorical),
+        ];
+        let parsed = csv::from_csv(&text, &roles).unwrap();
+        prop_assert_eq!(parsed.len(), table.len());
+        for (orig, new) in table.iter().zip(parsed.iter()) {
+            for (o, n) in orig.values.iter().zip(new.values.iter()) {
+                // Normalization: whitespace-only text collapses to Null and
+                // numeric-looking text becomes Int; both are idempotent.
+                prop_assert_eq!(n, &Value::parse(&o.to_string()));
+            }
+        }
+        prop_assert_eq!(parsed.schema().quasi_names(), table.schema().quasi_names());
+    }
+
+    /// delete_where(p) removes exactly the tuples selected by p and keeps
+    /// everything else untouched.
+    #[test]
+    fn delete_where_is_exact(table in arb_table(), threshold in any::<i32>()) {
+        let predicate = Predicate::gt("a", Value::Int(threshold as i64));
+        let selected = table.select(&predicate).unwrap();
+        let mut working = table.snapshot();
+        let removed = working.delete_where(&predicate).unwrap();
+        prop_assert_eq!(removed, selected.len());
+        prop_assert_eq!(working.len(), table.len() - removed);
+        for tuple in working.iter() {
+            prop_assert!(!selected.contains(&tuple.id));
+            prop_assert_eq!(&table.get(tuple.id).unwrap().values, &tuple.values);
+        }
+    }
+
+    /// Bin sizes over the quasi columns always sum to the table size.
+    #[test]
+    fn bin_sizes_partition_the_table(table in arb_table()) {
+        let bins = medshield_relation::stats::quasi_bin_sizes(&table).unwrap();
+        let total: usize = bins.values().sum();
+        prop_assert_eq!(total, table.len());
+    }
+}

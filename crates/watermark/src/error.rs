@@ -1,0 +1,68 @@
+//! Error type for the watermarking agent.
+
+use medshield_dht::DhtError;
+use medshield_relation::RelationError;
+
+/// Errors raised while embedding or detecting a watermark.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WatermarkError {
+    /// A column to be watermarked has no domain hierarchy tree configured.
+    MissingTree(String),
+    /// A column to be watermarked has no binning state (maximal/ultimate
+    /// generalization nodes).
+    MissingBinning(String),
+    /// Underlying relational error.
+    Relation(RelationError),
+    /// Underlying DHT error.
+    Dht(DhtError),
+    /// The mark is empty or otherwise unusable.
+    EmptyMark,
+    /// η must be at least 1.
+    InvalidEta,
+    /// The table exposes no identifying column and no virtual key columns
+    /// were configured.
+    NoIdentity,
+}
+
+impl std::fmt::Display for WatermarkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WatermarkError::MissingTree(c) => write!(f, "no domain hierarchy tree for column {c}"),
+            WatermarkError::MissingBinning(c) => write!(f, "no binning state for column {c}"),
+            WatermarkError::Relation(e) => write!(f, "relation error: {e}"),
+            WatermarkError::Dht(e) => write!(f, "dht error: {e}"),
+            WatermarkError::EmptyMark => write!(f, "the mark must contain at least one bit"),
+            WatermarkError::InvalidEta => write!(f, "eta must be at least 1"),
+            WatermarkError::NoIdentity => {
+                write!(f, "no identifying columns available and no virtual key configured")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WatermarkError {}
+
+impl From<RelationError> for WatermarkError {
+    fn from(e: RelationError) -> Self {
+        WatermarkError::Relation(e)
+    }
+}
+
+impl From<DhtError> for WatermarkError {
+    fn from(e: DhtError) -> Self {
+        WatermarkError::Dht(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(WatermarkError::MissingTree("age".into()).to_string().contains("age"));
+        assert!(WatermarkError::EmptyMark.to_string().contains("at least one bit"));
+        assert!(WatermarkError::InvalidEta.to_string().contains("eta"));
+        assert!(WatermarkError::NoIdentity.to_string().contains("identifying"));
+    }
+}

@@ -1,0 +1,522 @@
+//! The hierarchical watermarking scheme (Fig. 9 of the paper).
+//!
+//! **Embedding**: for every keyed-selected tuple and every watermarked
+//! column, locate the value's ultimate generalization node, climb to its
+//! maximal generalization node, then walk back down, at each level choosing
+//! the child whose index parity (within the sorted sibling set) encodes the
+//! mark bit assigned to this tuple, until an ultimate generalization node is
+//! reached. The same bit is thus written into *every* level between the
+//! maximal and the ultimate nodes, which is what defeats the generalization
+//! attack: an attacker who re-generalizes the data destroys only the lowest
+//! copies.
+//!
+//! **Detection**: for every selected tuple and column, locate the value's
+//! node, and walk up towards its maximal generalization node, reading the
+//! parity of the node's index within its sibling set at each level. The
+//! copies from the levels are combined by (optionally level-weighted)
+//! majority voting into one vote for the tuple's bit position; the votes per
+//! position are majority-combined into the extended mark `wmd`; the
+//! replicated copies inside `wmd` are folded by majority into the final mark.
+
+use crate::error::WatermarkError;
+use crate::key::{Mark, WatermarkConfig};
+use crate::select::{set_parity, Selector, TupleIdentity};
+use crate::voting::{level_weights, majority, weighted_majority, VoteAccumulator};
+use medshield_binning::{BinningOutcome, ColumnBinning};
+use medshield_dht::{DomainHierarchyTree, GeneralizationSet, NodeId};
+use medshield_relation::{Table, TupleId};
+use std::collections::BTreeMap;
+
+/// Statistics of an embedding run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbeddingReport {
+    /// Number of tuples selected by Eq. (5).
+    pub selected_tuples: usize,
+    /// Number of (tuple, column) cells where a bit was embedded.
+    pub embedded_cells: usize,
+    /// Number of cells whose value actually changed.
+    pub changed_cells: usize,
+    /// Number of cells skipped because the maximal and ultimate nodes
+    /// coincide (no bandwidth at that cell).
+    pub skipped_cells: usize,
+    /// Length of the extended (duplicated) mark `wmd`.
+    pub wmd_len: usize,
+}
+
+/// Result of a detection run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionReport {
+    /// The recovered mark bits (length = the configured mark length).
+    pub mark: Vec<bool>,
+    /// Number of `wmd` positions that received at least one vote.
+    pub covered_positions: usize,
+    /// Length of the extended mark.
+    pub wmd_len: usize,
+    /// Number of tuples selected by Eq. (5) during detection.
+    pub selected_tuples: usize,
+}
+
+impl DetectionReport {
+    /// The recovered mark as a [`Mark`].
+    pub fn as_mark(&self) -> Mark {
+        Mark::from_bits(self.mark.clone())
+    }
+}
+
+/// The hierarchical watermarking agent.
+#[derive(Debug, Clone)]
+pub struct HierarchicalWatermarker {
+    config: WatermarkConfig,
+}
+
+impl HierarchicalWatermarker {
+    /// Create an agent from a configuration.
+    pub fn new(config: WatermarkConfig) -> Self {
+        HierarchicalWatermarker { config }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &WatermarkConfig {
+        &self.config
+    }
+
+    /// Columns the agent will watermark, given the binning outcome.
+    fn target_columns<'a>(&self, columns: &'a [ColumnBinning]) -> Vec<&'a ColumnBinning> {
+        match &self.config.columns {
+            Some(wanted) => columns.iter().filter(|c| wanted.contains(&c.column)).collect(),
+            None => columns.iter().collect(),
+        }
+    }
+
+    /// `Embedding(tbl, tr, maxgends, ultigends, k1, k2, η, wm)`: watermark the
+    /// binned table, returning the watermarked table and a report.
+    pub fn embed(
+        &self,
+        binned: &BinningOutcome,
+        trees: &BTreeMap<String, DomainHierarchyTree>,
+        mark: &Mark,
+    ) -> Result<(Table, EmbeddingReport), WatermarkError> {
+        self.embed_into(&binned.table, &binned.columns, trees, mark)
+    }
+
+    /// Embed into an arbitrary binned table given its per-column binning
+    /// state. This is what an adversary mounting the additive ownership
+    /// attack would call (he only holds the released table, not the binning
+    /// outcome), and it is also useful for re-marking data received from a
+    /// third party.
+    pub fn embed_into(
+        &self,
+        binned_table: &Table,
+        binning_columns: &[ColumnBinning],
+        trees: &BTreeMap<String, DomainHierarchyTree>,
+        mark: &Mark,
+    ) -> Result<(Table, EmbeddingReport), WatermarkError> {
+        if mark.is_empty() {
+            return Err(WatermarkError::EmptyMark);
+        }
+        let selector = Selector::new(&self.config.key)?;
+        let identity = TupleIdentity::from_virtual_columns(&self.config.virtual_key_columns);
+        let wmd = mark.duplicate(self.config.duplication);
+        let columns = self.target_columns(binning_columns);
+        for c in &columns {
+            if !trees.contains_key(&c.column) {
+                return Err(WatermarkError::MissingTree(c.column.clone()));
+            }
+        }
+
+        let mut table = binned_table.snapshot();
+        let mut report = EmbeddingReport {
+            selected_tuples: 0,
+            embedded_cells: 0,
+            changed_cells: 0,
+            skipped_cells: 0,
+            wmd_len: wmd.len(),
+        };
+
+        // Collect the edits first to avoid borrowing the table mutably while
+        // iterating it.
+        let mut edits: Vec<(TupleId, String, medshield_relation::Value)> = Vec::new();
+        for tuple in table.iter() {
+            let ident = identity.bytes(&table, tuple)?;
+            if !selector.selects(&ident) {
+                continue;
+            }
+            report.selected_tuples += 1;
+            for cb in &columns {
+                let tree = &trees[&cb.column];
+                let col_idx = table.schema().index_of(&cb.column)?;
+                let value = &tuple.values[col_idx];
+                if value.is_null() {
+                    report.skipped_cells += 1;
+                    continue;
+                }
+                let target = match cb.ultimate.node_for_value(tree, value) {
+                    Ok(n) => n,
+                    Err(_) => {
+                        report.skipped_cells += 1;
+                        continue;
+                    }
+                };
+                let max_node = cb
+                    .maximal
+                    .covering_node(tree, target)
+                    .map_err(WatermarkError::Dht)?;
+                if cb.ultimate.contains(max_node) {
+                    // No gap at this cell: permuting here would exceed the
+                    // usage metrics (§5.1 special case), so skip it.
+                    report.skipped_cells += 1;
+                    continue;
+                }
+                let bit = wmd[selector.bit_index(&ident, &cb.column, wmd.len())];
+                let new_node =
+                    descend_with_bit(tree, &cb.ultimate, max_node, &selector, &ident, &cb.column, bit)?;
+                let new_value = tree.node_value(new_node).map_err(WatermarkError::Dht)?;
+                report.embedded_cells += 1;
+                if &new_value != value {
+                    report.changed_cells += 1;
+                }
+                edits.push((tuple.id, cb.column.clone(), new_value));
+            }
+        }
+        for (id, column, value) in edits {
+            table.set_value(id, &column, value)?;
+        }
+        Ok((table, report))
+    }
+
+    /// `Detection(tbl, tr, maxgends, ultigends, k1, k2, η)`: recover the mark
+    /// from a (possibly attacked) table. `mark_len` is the length of the
+    /// original mark `wm`.
+    pub fn detect(
+        &self,
+        table: &Table,
+        columns: &[ColumnBinning],
+        trees: &BTreeMap<String, DomainHierarchyTree>,
+        mark_len: usize,
+    ) -> Result<DetectionReport, WatermarkError> {
+        if mark_len == 0 {
+            return Err(WatermarkError::EmptyMark);
+        }
+        let selector = Selector::new(&self.config.key)?;
+        let identity = TupleIdentity::from_virtual_columns(&self.config.virtual_key_columns);
+        let wmd_len = mark_len * self.config.duplication.max(1);
+        let columns = self.target_columns(columns);
+        for c in &columns {
+            if !trees.contains_key(&c.column) {
+                return Err(WatermarkError::MissingTree(c.column.clone()));
+            }
+        }
+
+        let mut acc = VoteAccumulator::new(wmd_len);
+        let mut selected = 0usize;
+        for tuple in table.iter() {
+            let ident = match identity.bytes(table, tuple) {
+                Ok(b) => b,
+                Err(WatermarkError::NoIdentity) => return Err(WatermarkError::NoIdentity),
+                Err(_) => continue,
+            };
+            if !selector.selects(&ident) {
+                continue;
+            }
+            selected += 1;
+            for cb in &columns {
+                let tree = &trees[&cb.column];
+                let col_idx = match table.schema().index_of(&cb.column) {
+                    Ok(i) => i,
+                    Err(_) => continue,
+                };
+                let value = &tuple.values[col_idx];
+                if value.is_null() {
+                    continue;
+                }
+                let node = match tree.node_for_value(value) {
+                    Ok(n) => n,
+                    Err(_) => continue, // attacker garbage: no vote
+                };
+                let Some(level_bits) = climb_and_read(tree, &cb.maximal, node)? else {
+                    continue;
+                };
+                if level_bits.is_empty() {
+                    continue;
+                }
+                let bit = if self.config.weighted_voting {
+                    weighted_majority(&level_bits, &level_weights(level_bits.len()))
+                } else {
+                    majority(&level_bits)
+                };
+                let pos = selector.bit_index(&ident, &cb.column, wmd_len);
+                acc.vote(pos, bit, 1.0);
+            }
+        }
+
+        let wmd = acc.resolve();
+        let mark = Mark::fold_majority(&wmd, mark_len);
+        Ok(DetectionReport {
+            mark,
+            covered_positions: acc.covered_positions(),
+            wmd_len,
+            selected_tuples: selected,
+        })
+    }
+}
+
+/// Walk down from `start` (a maximal generalization node), at each level
+/// picking the child whose sorted-set index parity equals `bit`, until an
+/// ultimate generalization node is reached.
+fn descend_with_bit(
+    tree: &DomainHierarchyTree,
+    ultimate: &GeneralizationSet,
+    start: NodeId,
+    selector: &Selector,
+    ident: &[u8],
+    column: &str,
+    bit: bool,
+) -> Result<NodeId, WatermarkError> {
+    let mut node = start;
+    loop {
+        let children = tree.children(node).map_err(WatermarkError::Dht)?;
+        if children.is_empty() {
+            // Defensive: we reached a leaf that is not an ultimate node. This
+            // cannot happen for consistent binning state, but never loop.
+            return Ok(node);
+        }
+        let raw = selector.permutation_index(ident, column, children.len());
+        let idx = set_parity(raw, bit, children.len());
+        node = children[idx];
+        if ultimate.contains(node) {
+            return Ok(node);
+        }
+    }
+}
+
+/// Walk up from `node` to its covering maximal generalization node, reading
+/// the index parity at each level (bottom-up). Returns `None` when the node
+/// is not covered by the maximal set (e.g. the attacker replaced the value by
+/// something above the usage metrics), in which case no vote is cast.
+fn climb_and_read(
+    tree: &DomainHierarchyTree,
+    maximal: &GeneralizationSet,
+    node: NodeId,
+) -> Result<Option<Vec<bool>>, WatermarkError> {
+    if maximal.covering_node(tree, node).is_err() {
+        return Ok(None);
+    }
+    let mut bits = Vec::new();
+    let mut current = node;
+    while !maximal.contains(current) {
+        let siblings = tree.siblings(current).map_err(WatermarkError::Dht)?;
+        // Singleton sibling sets carry no information, so they cast no vote.
+        if siblings.len() > 1 {
+            let Some(idx) = DomainHierarchyTree::index_in(current, &siblings) else {
+                return Ok(Some(bits));
+            };
+            bits.push(idx % 2 == 1);
+        }
+        match tree.parent(current).map_err(WatermarkError::Dht)? {
+            Some(p) => current = p,
+            None => break,
+        }
+    }
+    Ok(Some(bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::WatermarkKey;
+    use medshield_binning::{BinningAgent, BinningConfig};
+    use medshield_datagen::{DatasetConfig, MedicalDataset};
+    use medshield_metrics::{mark_loss, satisfies_k_anonymity};
+
+    fn binned_dataset(n: usize, k: usize) -> (MedicalDataset, BinningOutcome) {
+        let ds = MedicalDataset::generate(&DatasetConfig::small(n));
+        let agent = BinningAgent::new(BinningConfig::with_k(k));
+        // Maximal generalization nodes given directly as the tree roots (the
+        // paper's experimental simplification): the gap between the root and
+        // the ultimate nodes is the watermark bandwidth channel.
+        let maximal: BTreeMap<String, GeneralizationSet> = ds
+            .trees
+            .iter()
+            .map(|(name, tree)| (name.clone(), GeneralizationSet::at_depth(tree, 0)))
+            .collect();
+        let outcome = agent.bin(&ds.table, &ds.trees, &maximal).unwrap();
+        (ds, outcome)
+    }
+
+    fn watermarker(eta: u64) -> (HierarchicalWatermarker, Mark) {
+        let key = WatermarkKey::from_master(b"owner-secret", eta);
+        let config = WatermarkConfig::new(key);
+        (HierarchicalWatermarker::new(config), Mark::from_bytes(b"hospital-alpha", 20))
+    }
+
+    #[test]
+    fn roundtrip_recovers_the_mark_exactly() {
+        let (ds, binned) = binned_dataset(1200, 4);
+        let (wm, mark) = watermarker(10);
+        let (marked, report) = wm.embed(&binned, &ds.trees, &mark).unwrap();
+        assert!(report.selected_tuples > 0);
+        assert!(report.embedded_cells > 0);
+        let detected = wm.detect(&marked, &binned.columns, &ds.trees, mark.len()).unwrap();
+        assert_eq!(detected.mark, mark.bits(), "clean detection must be exact");
+        assert_eq!(mark_loss(mark.bits(), &detected.mark), 0.0);
+    }
+
+    #[test]
+    fn detection_with_wrong_key_fails_to_recover() {
+        let (ds, binned) = binned_dataset(1000, 4);
+        let (wm, mark) = watermarker(8);
+        let (marked, _) = wm.embed(&binned, &ds.trees, &mark).unwrap();
+        let wrong = HierarchicalWatermarker::new(WatermarkConfig::new(WatermarkKey::from_master(
+            b"attacker-guess",
+            8,
+        )));
+        let detected = wrong.detect(&marked, &binned.columns, &ds.trees, mark.len()).unwrap();
+        let loss = mark_loss(mark.bits(), &detected.mark);
+        assert!(loss > 0.2, "wrong key should not recover the mark (loss {loss})");
+    }
+
+    #[test]
+    fn watermarking_preserves_per_attribute_k_anonymity_up_to_epsilon() {
+        // The paper's seamlessness claim (§6, Fig. 14) is stated per
+        // attribute: after watermarking, no attribute bin drops below k. Bin
+        // with a k+ε margin and verify the per-attribute property at k.
+        let ds = MedicalDataset::generate(&DatasetConfig::small(1500));
+        let mut config = BinningConfig::with_k(4);
+        config.spec = medshield_binning::KAnonymitySpec::with_epsilon(4, 4);
+        let agent = BinningAgent::new(config);
+        let maximal: BTreeMap<String, GeneralizationSet> = ds
+            .trees
+            .iter()
+            .map(|(name, tree)| (name.clone(), GeneralizationSet::at_depth(tree, 0)))
+            .collect();
+        let binned = agent.bin(&ds.table, &ds.trees, &maximal).unwrap();
+        let (wm, mark) = watermarker(10);
+        let (marked, _) = wm.embed(&binned, &ds.trees, &mark).unwrap();
+        for column in marked.schema().quasi_names() {
+            assert!(
+                medshield_metrics::column_satisfies_k(&marked, column, 4).unwrap(),
+                "column {column} fell below k after watermarking"
+            );
+        }
+        // Keep the multi-attribute checker exercised on the pre-watermark data.
+        let quasi = binned.table.schema().quasi_names();
+        assert!(satisfies_k_anonymity(&binned.table, &quasi, 8).unwrap());
+    }
+
+    #[test]
+    fn watermarked_values_remain_within_usage_metrics() {
+        let (ds, binned) = binned_dataset(800, 4);
+        let (wm, mark) = watermarker(6);
+        let (marked, _) = wm.embed(&binned, &ds.trees, &mark).unwrap();
+        for cb in &binned.columns {
+            let tree = &ds.trees[&cb.column];
+            for v in marked.column_values(&cb.column).unwrap() {
+                let node = tree.node_for_value(v).unwrap();
+                // Every value sits at or below a maximal generalization node
+                // (never above the usage metrics)...
+                assert!(cb.maximal.covering_node(tree, node).is_ok());
+                // ...and is exactly an ultimate generalization node, because
+                // embedding always descends until it reaches one.
+                assert!(cb.ultimate.contains(node), "column {} value {v}", cb.column);
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_eta_selects_more_tuples_and_changes_more_cells() {
+        let (ds, binned) = binned_dataset(1500, 4);
+        let (wm_small, mark) = watermarker(5);
+        let (wm_large, _) = watermarker(100);
+        let (_, report_small) = wm_small.embed(&binned, &ds.trees, &mark).unwrap();
+        let (_, report_large) = wm_large.embed(&binned, &ds.trees, &mark).unwrap();
+        assert!(report_small.selected_tuples > report_large.selected_tuples);
+        assert!(report_small.changed_cells >= report_large.changed_cells);
+    }
+
+    #[test]
+    fn restricting_columns_limits_the_changes() {
+        let (ds, binned) = binned_dataset(800, 4);
+        // Restrict embedding to the column that kept the most granularity
+        // after binning (the one with actual bandwidth).
+        let target = binned
+            .columns
+            .iter()
+            .max_by_key(|cb| cb.ultimate.len())
+            .map(|cb| cb.column.clone())
+            .unwrap();
+        let key = WatermarkKey::from_master(b"owner", 4);
+        let mut config = WatermarkConfig::new(key);
+        config.duplication = 2;
+        config.columns = Some(vec![target.clone()]);
+        let wm = HierarchicalWatermarker::new(config);
+        let mark = Mark::from_bytes(b"m", 20);
+        let (marked, report) = wm.embed(&binned, &ds.trees, &mark).unwrap();
+        assert!(report.embedded_cells > 0, "the granular column must carry bits");
+        // Only the chosen column may differ from the binned table.
+        for (a, b) in binned.table.iter().zip(marked.iter()) {
+            for (idx, col) in binned.table.schema().columns().iter().enumerate() {
+                if col.name != target {
+                    assert_eq!(a.values[idx], b.values[idx], "column {} changed", col.name);
+                }
+            }
+        }
+        // And detection restricted to that column still works.
+        let detected = wm.detect(&marked, &binned.columns, &ds.trees, mark.len()).unwrap();
+        assert_eq!(detected.mark, mark.bits());
+    }
+
+    #[test]
+    fn weighted_voting_also_roundtrips() {
+        let (ds, binned) = binned_dataset(1000, 4);
+        let key = WatermarkKey::from_master(b"owner", 10);
+        let mut config = WatermarkConfig::new(key);
+        config.weighted_voting = true;
+        let wm = HierarchicalWatermarker::new(config);
+        let mark = Mark::from_bytes(b"weighted", 20);
+        let (marked, _) = wm.embed(&binned, &ds.trees, &mark).unwrap();
+        let detected = wm.detect(&marked, &binned.columns, &ds.trees, mark.len()).unwrap();
+        assert_eq!(detected.mark, mark.bits());
+    }
+
+    #[test]
+    fn empty_mark_and_zero_eta_are_rejected() {
+        let (ds, binned) = binned_dataset(100, 2);
+        let (wm, _) = watermarker(10);
+        assert!(matches!(
+            wm.embed(&binned, &ds.trees, &Mark::from_bits(vec![])),
+            Err(WatermarkError::EmptyMark)
+        ));
+        assert!(matches!(
+            wm.detect(&binned.table, &binned.columns, &ds.trees, 0),
+            Err(WatermarkError::EmptyMark)
+        ));
+        let bad_key = WatermarkKey::new(b"a".to_vec(), b"b".to_vec(), 0);
+        let bad = HierarchicalWatermarker::new(WatermarkConfig::new(bad_key));
+        assert!(matches!(
+            bad.embed(&binned, &ds.trees, &Mark::from_bytes(b"m", 8)),
+            Err(WatermarkError::InvalidEta)
+        ));
+    }
+
+    #[test]
+    fn missing_tree_is_reported() {
+        let (ds, binned) = binned_dataset(100, 2);
+        let (wm, mark) = watermarker(10);
+        let mut trees = ds.trees.clone();
+        trees.remove("symptom");
+        assert!(matches!(
+            wm.embed(&binned, &trees, &mark),
+            Err(WatermarkError::MissingTree(c)) if c == "symptom"
+        ));
+    }
+
+    #[test]
+    fn detection_on_unwatermarked_table_does_not_match() {
+        let (ds, binned) = binned_dataset(1200, 4);
+        let (wm, mark) = watermarker(10);
+        // Detect directly on the binned (never watermarked) table.
+        let detected = wm.detect(&binned.table, &binned.columns, &ds.trees, mark.len()).unwrap();
+        let loss = mark_loss(mark.bits(), &detected.mark);
+        assert!(loss > 0.15, "unwatermarked data should not contain the mark (loss {loss})");
+    }
+}

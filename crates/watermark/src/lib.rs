@@ -1,0 +1,46 @@
+//! # medshield-watermark
+//!
+//! The watermarking agent of the MedShield framework (Bertino et al.,
+//! ICDE 2005, §5). After binning, the quasi-identifying columns are
+//! essentially categorical, and the gap between the *maximal* generalization
+//! nodes (allowed by the usage metrics) and the *ultimate* generalization
+//! nodes (actually applied by binning) forms the bandwidth channel: permuting
+//! a value among the ultimate nodes that share the same maximal node is just
+//! another allowable generalization, so a keyed permutation can carry mark
+//! bits without breaking data usability.
+//!
+//! Modules:
+//!
+//! * [`key`] — the secret watermarking key `(k1, k2, η)` and the [`Mark`]
+//!   bit-string type.
+//! * [`select`] — keyed tuple selection, Eq. (5): `H(ti.ident, k1) mod η = 0`,
+//!   with an optional virtual primary key when the identifying columns cannot
+//!   be relied on.
+//! * [`hierarchical`] — the hierarchical embedding/detection algorithm of
+//!   Fig. 9, which watermarks *every* level between the maximal and ultimate
+//!   generalization nodes and is therefore resilient to the generalization
+//!   attack.
+//! * [`single_level`] — the single-level scheme of §5.2, kept as the baseline
+//!   that the generalization attack defeats.
+//! * [`voting`] — plain and level-weighted majority voting used in detection.
+//! * [`ownership`] — the rightful-ownership protocol of §5.4: the mark is
+//!   `F(v)` for a statistic `v` of the clear-text identifying column, so the
+//!   owner never has to present the entire original table in court.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod hierarchical;
+pub mod key;
+pub mod ownership;
+pub mod select;
+pub mod single_level;
+pub mod voting;
+
+pub use error::WatermarkError;
+pub use hierarchical::{DetectionReport, EmbeddingReport, HierarchicalWatermarker};
+pub use key::{Mark, WatermarkConfig, WatermarkKey};
+pub use ownership::{OwnershipProof, OwnershipVerdict};
+pub use select::TupleIdentity;
+pub use single_level::SingleLevelWatermarker;

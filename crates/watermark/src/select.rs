@@ -1,0 +1,288 @@
+//! Tuple identity and keyed tuple selection (Eq. 5 of the paper).
+//!
+//! Watermarking alters only a keyed fraction of the tuples: tuple `ti` is
+//! selected when `H(ti.ident, k1) mod η == 0`. The identity bytes normally
+//! come from the (encrypted) identifying columns, which binning leaves intact;
+//! when those cannot be relied on, a *virtual primary key* is assembled from
+//! other columns (footnote 1, referencing Li/Swarup/Jajodia).
+
+use crate::error::WatermarkError;
+use crate::key::WatermarkKey;
+use medshield_crypto::KeyedPrf;
+use medshield_relation::{Table, Tuple};
+
+/// How a tuple's identity bytes are derived for the keyed hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TupleIdentity {
+    /// Concatenate the canonical bytes of the identifying columns (the
+    /// default; these are encrypted by binning and assumed to stay intact).
+    IdentifyingColumns,
+    /// Concatenate the canonical bytes of the named columns (virtual primary
+    /// key).
+    VirtualKey(Vec<String>),
+}
+
+impl TupleIdentity {
+    /// Build the identity source from a watermark configuration.
+    pub fn from_virtual_columns(virtual_key_columns: &[String]) -> Self {
+        if virtual_key_columns.is_empty() {
+            TupleIdentity::IdentifyingColumns
+        } else {
+            TupleIdentity::VirtualKey(virtual_key_columns.to_vec())
+        }
+    }
+
+    /// The identity bytes of `tuple` within `table`.
+    pub fn bytes(&self, table: &Table, tuple: &Tuple) -> Result<Vec<u8>, WatermarkError> {
+        let indices: Vec<usize> = match self {
+            TupleIdentity::IdentifyingColumns => {
+                let idx = table.schema().identifying_indices();
+                if idx.is_empty() {
+                    return Err(WatermarkError::NoIdentity);
+                }
+                idx
+            }
+            TupleIdentity::VirtualKey(columns) => {
+                if columns.is_empty() {
+                    return Err(WatermarkError::NoIdentity);
+                }
+                columns
+                    .iter()
+                    .map(|c| table.schema().index_of(c))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+        let mut out = Vec::new();
+        for i in indices {
+            out.extend_from_slice(&tuple.values[i].canonical_bytes());
+        }
+        Ok(out)
+    }
+}
+
+/// The selection predicate of Eq. (5) plus the derived indices used by the
+/// embedding primitive, bundled so every call site reduces hashes the same
+/// way.
+#[derive(Debug, Clone)]
+pub struct Selector {
+    selection: KeyedPrf,
+    permutation: KeyedPrf,
+    eta: u64,
+}
+
+impl Selector {
+    /// Build a selector from the watermarking key.
+    pub fn new(key: &WatermarkKey) -> Result<Self, WatermarkError> {
+        if key.eta == 0 {
+            return Err(WatermarkError::InvalidEta);
+        }
+        Ok(Selector {
+            selection: key.selection_prf(),
+            permutation: key.permutation_prf(),
+            eta: key.eta,
+        })
+    }
+
+    /// Eq. (5): is this tuple watermarked?
+    pub fn selects(&self, ident: &[u8]) -> bool {
+        self.selection.selects(ident, self.eta)
+    }
+
+    /// Index of the mark bit carried by this tuple in `column`
+    /// (`H(ident, k2) mod |wmd|`, domain-separated per column).
+    pub fn bit_index(&self, ident: &[u8], column: &str, wmd_len: usize) -> usize {
+        if wmd_len == 0 {
+            return 0;
+        }
+        self.permutation
+            .labeled_value_mod(&format!("bit:{column}"), ident, wmd_len as u64) as usize
+    }
+
+    /// Raw permutation index for a sibling set of size `set_len`
+    /// (`H(ident, k2) mod |S|`, domain-separated per column).
+    pub fn permutation_index(&self, ident: &[u8], column: &str, set_len: usize) -> usize {
+        if set_len == 0 {
+            return 0;
+        }
+        self.permutation
+            .labeled_value_mod(&format!("perm:{column}"), ident, set_len as u64) as usize
+    }
+}
+
+/// `SetµBit`: force the least significant bit of a permutation index to the
+/// mark bit, keeping the index within `set_len`. With a singleton set the bit
+/// cannot be represented and index 0 is returned.
+pub fn set_parity(index: usize, bit: bool, set_len: usize) -> usize {
+    if set_len <= 1 {
+        return 0;
+    }
+    let wanted = usize::from(bit);
+    let candidate = (index & !1usize) | wanted;
+    if candidate < set_len {
+        return candidate;
+    }
+    // Fall back to the highest index with the right parity.
+    let top = set_len - 1;
+    if top % 2 == wanted {
+        top
+    } else {
+        top - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medshield_relation::{ColumnDef, ColumnRole, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::new("ssn", ColumnRole::Identifying),
+            ColumnDef::new("age", ColumnRole::QuasiNumeric),
+            ColumnDef::new("doctor", ColumnRole::QuasiCategorical),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..50 {
+            t.insert(vec![
+                Value::text(format!("ssn-{i}")),
+                Value::int(30 + i),
+                Value::text("Surgeon"),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn identity_from_identifying_columns() {
+        let t = table();
+        let id = TupleIdentity::IdentifyingColumns;
+        let first = t.iter().next().unwrap();
+        let bytes = id.bytes(&t, first).unwrap();
+        assert_eq!(bytes, Value::text("ssn-0").canonical_bytes());
+    }
+
+    #[test]
+    fn identity_from_virtual_key() {
+        let t = table();
+        let id = TupleIdentity::VirtualKey(vec!["age".into(), "doctor".into()]);
+        let first = t.iter().next().unwrap();
+        let bytes = id.bytes(&t, first).unwrap();
+        let mut expected = Value::int(30).canonical_bytes();
+        expected.extend_from_slice(&Value::text("Surgeon").canonical_bytes());
+        assert_eq!(bytes, expected);
+        // Unknown virtual column is an error.
+        let bad = TupleIdentity::VirtualKey(vec!["nope".into()]);
+        assert!(bad.bytes(&t, first).is_err());
+        // Empty virtual key is rejected.
+        let empty = TupleIdentity::VirtualKey(vec![]);
+        assert!(matches!(empty.bytes(&t, first), Err(WatermarkError::NoIdentity)));
+    }
+
+    #[test]
+    fn identity_requires_identifying_columns_when_default() {
+        let schema = Schema::new(vec![ColumnDef::new("x", ColumnRole::NonIdentifying)]).unwrap();
+        let mut t = Table::new(schema);
+        t.insert(vec![Value::int(1)]).unwrap();
+        let id = TupleIdentity::IdentifyingColumns;
+        let first = t.iter().next().unwrap();
+        assert!(matches!(id.bytes(&t, first), Err(WatermarkError::NoIdentity)));
+    }
+
+    #[test]
+    fn from_virtual_columns_picks_source() {
+        assert_eq!(
+            TupleIdentity::from_virtual_columns(&[]),
+            TupleIdentity::IdentifyingColumns
+        );
+        assert_eq!(
+            TupleIdentity::from_virtual_columns(&["a".into()]),
+            TupleIdentity::VirtualKey(vec!["a".into()])
+        );
+    }
+
+    #[test]
+    fn selector_rejects_zero_eta() {
+        let key = WatermarkKey::new(b"k1".to_vec(), b"k2".to_vec(), 0);
+        assert!(matches!(Selector::new(&key), Err(WatermarkError::InvalidEta)));
+    }
+
+    #[test]
+    fn selection_rate_tracks_eta() {
+        let key = WatermarkKey::from_master(b"secret", 10);
+        let sel = Selector::new(&key).unwrap();
+        let n = 10_000;
+        let picked = (0..n)
+            .filter(|i| sel.selects(format!("ident-{i}").as_bytes()))
+            .count();
+        let expected = n as f64 / 10.0;
+        assert!(
+            (picked as f64 - expected).abs() < expected * 0.3,
+            "picked {picked}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn eta_one_selects_everything() {
+        let key = WatermarkKey::from_master(b"secret", 1);
+        let sel = Selector::new(&key).unwrap();
+        assert!((0..100).all(|i| sel.selects(format!("id-{i}").as_bytes())));
+    }
+
+    #[test]
+    fn indices_are_deterministic_and_in_range() {
+        let key = WatermarkKey::from_master(b"secret", 5);
+        let sel = Selector::new(&key).unwrap();
+        for i in 0..200u32 {
+            let ident = i.to_be_bytes();
+            let b = sel.bit_index(&ident, "age", 160);
+            assert!(b < 160);
+            assert_eq!(b, sel.bit_index(&ident, "age", 160));
+            let p = sel.permutation_index(&ident, "age", 7);
+            assert!(p < 7);
+        }
+        // Degenerate lengths.
+        assert_eq!(sel.bit_index(b"x", "age", 0), 0);
+        assert_eq!(sel.permutation_index(b"x", "age", 0), 0);
+    }
+
+    #[test]
+    fn column_separation_of_indices() {
+        let key = WatermarkKey::from_master(b"secret", 5);
+        let sel = Selector::new(&key).unwrap();
+        let differing = (0..100u32)
+            .filter(|i| {
+                sel.bit_index(&i.to_be_bytes(), "age", 1000)
+                    != sel.bit_index(&i.to_be_bytes(), "doctor", 1000)
+            })
+            .count();
+        assert!(differing > 50, "column labels should decorrelate bit indices");
+    }
+
+    #[test]
+    fn set_parity_behaviour() {
+        // Even request.
+        assert_eq!(set_parity(5, false, 8), 4);
+        // Odd request.
+        assert_eq!(set_parity(4, true, 8), 5);
+        // Parity preserved when already correct.
+        assert_eq!(set_parity(6, false, 8), 6);
+        // Clamped to range: index 7 requested odd in a set of 7 (max 6).
+        assert_eq!(set_parity(7, true, 7), 5);
+        assert_eq!(set_parity(7, false, 7), 6);
+        // Singleton set cannot encode.
+        assert_eq!(set_parity(3, true, 1), 0);
+        assert_eq!(set_parity(0, false, 1), 0);
+        // Result always in range and with requested parity when set_len > 1.
+        for len in 2..10usize {
+            for idx in 0..len {
+                for bit in [false, true] {
+                    let r = set_parity(idx, bit, len);
+                    assert!(r < len);
+                    assert_eq!(r % 2 == 1, bit);
+                }
+            }
+        }
+    }
+}

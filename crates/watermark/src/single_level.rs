@@ -1,0 +1,251 @@
+//! The single-level watermarking scheme of §5.2 — the baseline that the
+//! generalization attack defeats.
+//!
+//! The scheme permutes values only at the level of the ultimate
+//! generalization nodes: the bit is carried by the parity of the chosen
+//! node's index within its sorted sibling set. Because the bit lives at that
+//! one level only, an attacker who further generalizes every value (which is
+//! still an allowable generalization as long as the maximal nodes permit it)
+//! destroys the embedded bits without knowing the watermarking key. The
+//! hierarchical scheme in [`crate::hierarchical`] exists precisely to close
+//! this hole; this module is kept as the comparison baseline used in the
+//! ablation experiment.
+
+use crate::error::WatermarkError;
+use crate::key::{Mark, WatermarkConfig};
+use crate::select::{set_parity, Selector, TupleIdentity};
+use crate::voting::VoteAccumulator;
+use medshield_binning::{BinningOutcome, ColumnBinning};
+use medshield_dht::{DomainHierarchyTree, GeneralizationSet, NodeId};
+use medshield_relation::{Table, TupleId};
+use std::collections::BTreeMap;
+
+/// The single-level watermarking agent (baseline).
+#[derive(Debug, Clone)]
+pub struct SingleLevelWatermarker {
+    config: WatermarkConfig,
+}
+
+impl SingleLevelWatermarker {
+    /// Create an agent from a configuration.
+    pub fn new(config: WatermarkConfig) -> Self {
+        SingleLevelWatermarker { config }
+    }
+
+    fn target_columns<'a>(&self, columns: &'a [ColumnBinning]) -> Vec<&'a ColumnBinning> {
+        match &self.config.columns {
+            Some(wanted) => columns.iter().filter(|c| wanted.contains(&c.column)).collect(),
+            None => columns.iter().collect(),
+        }
+    }
+
+    /// Embed the mark by permuting each selected value within the sibling set
+    /// of its ultimate generalization node.
+    pub fn embed(
+        &self,
+        binned: &BinningOutcome,
+        trees: &BTreeMap<String, DomainHierarchyTree>,
+        mark: &Mark,
+    ) -> Result<Table, WatermarkError> {
+        if mark.is_empty() {
+            return Err(WatermarkError::EmptyMark);
+        }
+        let selector = Selector::new(&self.config.key)?;
+        let identity = TupleIdentity::from_virtual_columns(&self.config.virtual_key_columns);
+        let wmd = mark.duplicate(self.config.duplication);
+        let columns = self.target_columns(&binned.columns);
+        for c in &columns {
+            if !trees.contains_key(&c.column) {
+                return Err(WatermarkError::MissingTree(c.column.clone()));
+            }
+        }
+
+        let mut table = binned.table.snapshot();
+        let mut edits: Vec<(TupleId, String, medshield_relation::Value)> = Vec::new();
+        for tuple in table.iter() {
+            let ident = identity.bytes(&table, tuple)?;
+            if !selector.selects(&ident) {
+                continue;
+            }
+            for cb in &columns {
+                let tree = &trees[&cb.column];
+                let col_idx = table.schema().index_of(&cb.column)?;
+                let value = &tuple.values[col_idx];
+                if value.is_null() {
+                    continue;
+                }
+                let Ok(node) = cb.ultimate.node_for_value(tree, value) else {
+                    continue;
+                };
+                let bit = wmd[selector.bit_index(&ident, &cb.column, wmd.len())];
+                let Some(new_node) =
+                    permute_at_level(tree, &cb.ultimate, node, &selector, &ident, &cb.column, bit)?
+                else {
+                    continue;
+                };
+                let new_value = tree.node_value(new_node).map_err(WatermarkError::Dht)?;
+                edits.push((tuple.id, cb.column.clone(), new_value));
+            }
+        }
+        for (id, column, value) in edits {
+            table.set_value(id, &column, value)?;
+        }
+        Ok(table)
+    }
+
+    /// Detect the mark by reading the parity of each selected value's
+    /// ultimate-node index within its sibling set. Values that are no longer
+    /// ultimate generalization nodes (e.g. after a generalization attack)
+    /// yield no vote — which is exactly the scheme's weakness.
+    pub fn detect(
+        &self,
+        table: &Table,
+        columns: &[ColumnBinning],
+        trees: &BTreeMap<String, DomainHierarchyTree>,
+        mark_len: usize,
+    ) -> Result<Vec<bool>, WatermarkError> {
+        if mark_len == 0 {
+            return Err(WatermarkError::EmptyMark);
+        }
+        let selector = Selector::new(&self.config.key)?;
+        let identity = TupleIdentity::from_virtual_columns(&self.config.virtual_key_columns);
+        let wmd_len = mark_len * self.config.duplication.max(1);
+        let columns = self.target_columns(columns);
+
+        let mut acc = VoteAccumulator::new(wmd_len);
+        for tuple in table.iter() {
+            let Ok(ident) = identity.bytes(table, tuple) else { continue };
+            if !selector.selects(&ident) {
+                continue;
+            }
+            for cb in &columns {
+                let Some(tree) = trees.get(&cb.column) else { continue };
+                let Ok(col_idx) = table.schema().index_of(&cb.column) else { continue };
+                let value = &tuple.values[col_idx];
+                let Ok(node) = tree.node_for_value(value) else { continue };
+                if !cb.ultimate.contains(node) {
+                    // The value no longer sits at the ultimate level: the
+                    // single-level bit is gone.
+                    continue;
+                }
+                let siblings = tree.siblings(node).map_err(WatermarkError::Dht)?;
+                if siblings.len() <= 1 {
+                    // A singleton sibling set carries no information (the
+                    // embedder skipped it too).
+                    continue;
+                }
+                let Some(idx) = DomainHierarchyTree::index_in(node, &siblings) else { continue };
+                let bit = idx % 2 == 1;
+                let pos = selector.bit_index(&ident, &cb.column, wmd_len);
+                acc.vote(pos, bit, 1.0);
+            }
+        }
+        Ok(Mark::fold_majority(&acc.resolve(), mark_len))
+    }
+}
+
+/// Permute `node` within its sibling set so that the chosen sibling's index
+/// parity encodes `bit`; if the chosen sibling is not an ultimate
+/// generalization node, continue downward among its children until one is
+/// reached. Returns `None` if the sibling set is a singleton (no bandwidth).
+fn permute_at_level(
+    tree: &DomainHierarchyTree,
+    ultimate: &GeneralizationSet,
+    node: NodeId,
+    selector: &Selector,
+    ident: &[u8],
+    column: &str,
+    bit: bool,
+) -> Result<Option<NodeId>, WatermarkError> {
+    let siblings = tree.siblings(node).map_err(WatermarkError::Dht)?;
+    if siblings.len() <= 1 {
+        return Ok(None);
+    }
+    let raw = selector.permutation_index(ident, column, siblings.len());
+    let idx = set_parity(raw, bit, siblings.len());
+    let mut target = siblings[idx];
+    // Descend until we land on an ultimate generalization node, so the value
+    // remains a valid binned value.
+    loop {
+        if ultimate.contains(target) {
+            return Ok(Some(target));
+        }
+        let children = tree.children(target).map_err(WatermarkError::Dht)?;
+        if children.is_empty() {
+            // The sibling's subtree holds no ultimate node (it lies above the
+            // ultimate level); give up on this cell rather than emit an
+            // invalid value.
+            return Ok(None);
+        }
+        let raw = selector.permutation_index(ident, column, children.len());
+        let idx = set_parity(raw, bit, children.len());
+        target = children[idx];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::WatermarkKey;
+    use medshield_binning::{BinningAgent, BinningConfig};
+    use medshield_datagen::{DatasetConfig, MedicalDataset};
+    use medshield_metrics::mark_loss;
+
+    fn binned(n: usize, k: usize) -> (MedicalDataset, BinningOutcome) {
+        let ds = MedicalDataset::generate(&DatasetConfig::small(n));
+        let agent = BinningAgent::new(BinningConfig::with_k(k));
+        let maximal: BTreeMap<String, GeneralizationSet> = ds
+            .trees
+            .iter()
+            .map(|(name, tree)| (name.clone(), GeneralizationSet::at_depth(tree, 1)))
+            .collect();
+        let outcome = agent.bin(&ds.table, &ds.trees, &maximal).unwrap();
+        (ds, outcome)
+    }
+
+    #[test]
+    fn single_level_roundtrip_without_attack() {
+        let (ds, outcome) = binned(1200, 4);
+        let key = WatermarkKey::from_master(b"owner", 8);
+        let wm = SingleLevelWatermarker::new(WatermarkConfig::new(key));
+        let mark = Mark::from_bytes(b"single-level", 20);
+        let marked = wm.embed(&outcome, &ds.trees, &mark).unwrap();
+        let detected = wm.detect(&marked, &outcome.columns, &ds.trees, mark.len()).unwrap();
+        let loss = mark_loss(mark.bits(), &detected);
+        assert!(
+            loss <= 0.1,
+            "clean single-level detection should mostly recover the mark (loss {loss})"
+        );
+    }
+
+    #[test]
+    fn values_stay_at_ultimate_level() {
+        let (ds, outcome) = binned(600, 4);
+        let key = WatermarkKey::from_master(b"owner", 6);
+        let wm = SingleLevelWatermarker::new(WatermarkConfig::new(key));
+        let mark = Mark::from_bytes(b"x", 16);
+        let marked = wm.embed(&outcome, &ds.trees, &mark).unwrap();
+        for cb in &outcome.columns {
+            let tree = &ds.trees[&cb.column];
+            for v in marked.column_values(&cb.column).unwrap() {
+                let node = tree.node_for_value(v).unwrap();
+                assert!(cb.ultimate.contains(node));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_mark_rejected() {
+        let (ds, outcome) = binned(50, 2);
+        let key = WatermarkKey::from_master(b"owner", 4);
+        let wm = SingleLevelWatermarker::new(WatermarkConfig::new(key));
+        assert!(matches!(
+            wm.embed(&outcome, &ds.trees, &Mark::from_bits(vec![])),
+            Err(WatermarkError::EmptyMark)
+        ));
+        assert!(matches!(
+            wm.detect(&outcome.table, &outcome.columns, &ds.trees, 0),
+            Err(WatermarkError::EmptyMark)
+        ));
+    }
+}

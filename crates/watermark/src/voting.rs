@@ -1,0 +1,127 @@
+//! Majority voting used by watermark detection (§5.3).
+//!
+//! The hierarchical scheme recovers several copies of the same bit from one
+//! embedding position (one per tree level between the ultimate and maximal
+//! generalization nodes) and many embedding positions per mark bit (multiple
+//! embedding). Both reductions are majority votes; the per-level vote can
+//! optionally weight copies from higher levels more heavily, "enforcing the
+//! policy that the copy from a higher level is more reliable than that from a
+//! lower level".
+
+/// `MajorVot`: unweighted majority of a slice of bits. Ties and empty input
+/// resolve to `false`.
+pub fn majority(bits: &[bool]) -> bool {
+    let ones = bits.iter().filter(|&&b| b).count();
+    ones * 2 > bits.len()
+}
+
+/// Weighted majority. `bits[i]` carries `weights[i]` votes; missing weights
+/// default to 1. Ties and empty input resolve to `false`.
+pub fn weighted_majority(bits: &[bool], weights: &[f64]) -> bool {
+    let mut ones = 0.0;
+    let mut total = 0.0;
+    for (i, &b) in bits.iter().enumerate() {
+        let w = weights.get(i).copied().unwrap_or(1.0).max(0.0);
+        total += w;
+        if b {
+            ones += w;
+        }
+    }
+    ones * 2.0 > total
+}
+
+/// Weights for `level_count` copies collected bottom-up (index 0 is the level
+/// right above the ultimate node, the last index is right below the maximal
+/// node). Higher levels receive linearly larger weights.
+pub fn level_weights(level_count: usize) -> Vec<f64> {
+    (0..level_count).map(|i| (i + 1) as f64).collect()
+}
+
+/// An accumulator of votes for the bits of the extended mark `wmd`.
+#[derive(Debug, Clone)]
+pub struct VoteAccumulator {
+    ones: Vec<f64>,
+    totals: Vec<f64>,
+}
+
+impl VoteAccumulator {
+    /// An accumulator for `len` bit positions.
+    pub fn new(len: usize) -> Self {
+        VoteAccumulator { ones: vec![0.0; len], totals: vec![0.0; len] }
+    }
+
+    /// Record a vote of weight `weight` for position `index`.
+    pub fn vote(&mut self, index: usize, bit: bool, weight: f64) {
+        if index >= self.totals.len() || weight <= 0.0 {
+            return;
+        }
+        self.totals[index] += weight;
+        if bit {
+            self.ones[index] += weight;
+        }
+    }
+
+    /// The resolved bit at each position: `Some(bit)` where votes exist,
+    /// `None` where the position received no vote.
+    pub fn resolve(&self) -> Vec<Option<bool>> {
+        self.ones
+            .iter()
+            .zip(self.totals.iter())
+            .map(|(&o, &t)| if t == 0.0 { None } else { Some(o * 2.0 > t) })
+            .collect()
+    }
+
+    /// Number of positions that received at least one vote.
+    pub fn covered_positions(&self) -> usize {
+        self.totals.iter().filter(|&&t| t > 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_basic() {
+        assert!(!majority(&[]));
+        assert!(majority(&[true]));
+        assert!(!majority(&[false]));
+        assert!(majority(&[true, true, false]));
+        assert!(!majority(&[true, false]));
+        assert!(!majority(&[true, false, false]));
+    }
+
+    #[test]
+    fn weighted_majority_respects_weights() {
+        // One heavy true vote beats two light false votes.
+        assert!(weighted_majority(&[true, false, false], &[5.0, 1.0, 1.0]));
+        assert!(!weighted_majority(&[true, false, false], &[1.0, 1.0, 1.0]));
+        // Missing weights default to 1.
+        assert!(weighted_majority(&[true, true, false], &[]));
+        // Negative weights are clamped to zero.
+        assert!(!weighted_majority(&[true, false], &[-3.0, 1.0]));
+        assert!(!weighted_majority(&[], &[]));
+    }
+
+    #[test]
+    fn level_weights_increase_with_level() {
+        let w = level_weights(4);
+        assert_eq!(w, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(level_weights(0).is_empty());
+    }
+
+    #[test]
+    fn accumulator_resolves_votes() {
+        let mut acc = VoteAccumulator::new(3);
+        acc.vote(0, true, 1.0);
+        acc.vote(0, true, 1.0);
+        acc.vote(0, false, 1.0);
+        acc.vote(1, false, 2.0);
+        acc.vote(1, true, 1.0);
+        // Position 2 gets nothing; out-of-range and zero-weight votes ignored.
+        acc.vote(9, true, 1.0);
+        acc.vote(2, true, 0.0);
+        assert_eq!(acc.resolve(), vec![Some(true), Some(false), None]);
+        assert_eq!(acc.covered_positions(), 2);
+    }
+}
