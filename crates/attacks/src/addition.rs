@@ -104,12 +104,8 @@ mod tests {
     fn bogus_identifiers_do_not_collide_with_real_ones() {
         let t = table();
         let attacked = SubsetAddition::new(0.5, 9).apply(&t);
-        let originals: std::collections::HashSet<_> = t
-            .column_values("ssn")
-            .unwrap()
-            .into_iter()
-            .cloned()
-            .collect();
+        let originals: std::collections::HashSet<_> =
+            t.column_values("ssn").unwrap().into_iter().cloned().collect();
         let added = attacked.iter().skip(t.len());
         for tuple in added {
             assert!(!originals.contains(&tuple.values[0]));

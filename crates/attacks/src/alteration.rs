@@ -96,11 +96,7 @@ mod tests {
         let t = table();
         let attacked = SubsetAlteration::new(0.5, 7).apply(&t);
         assert_eq!(attacked.len(), t.len());
-        let changed = t
-            .iter()
-            .zip(attacked.iter())
-            .filter(|(a, b)| a.values != b.values)
-            .count();
+        let changed = t.iter().zip(attacked.iter()).filter(|(a, b)| a.values != b.values).count();
         // Some victims may be re-assigned their original values by chance, so
         // the changed count is at most the victim count and close to it.
         assert!(changed > t.len() / 3, "changed {changed}");

@@ -82,7 +82,7 @@ impl Attack for SubsetDeletion {
                 idents.dedup();
                 let mut remaining = victims;
                 let mut guard = 0;
-                while remaining > 0 && attacked.len() > 0 && guard < 1000 {
+                while remaining > 0 && !attacked.is_empty() && guard < 1000 {
                     guard += 1;
                     if idents.len() < 2 {
                         break;
@@ -146,10 +146,7 @@ mod tests {
         let target = (t.len() as f64 * 0.4).round() as usize;
         assert!(removed > 0);
         // Range deletes are granular, so allow slack around the target.
-        assert!(
-            removed <= target + target / 2 + 5,
-            "removed {removed}, target {target}"
-        );
+        assert!(removed <= target + target / 2 + 5, "removed {removed}, target {target}");
     }
 
     #[test]

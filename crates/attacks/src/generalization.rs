@@ -154,19 +154,17 @@ mod tests {
     fn already_generalized_values_keep_climbing() {
         // Apply on a table whose values are already internal-node values.
         let role = ontology::role_tree();
-        let schema = medshield_relation::Schema::new(vec![
-            medshield_relation::ColumnDef::new("role", medshield_relation::ColumnRole::QuasiCategorical),
-        ])
+        let schema = medshield_relation::Schema::new(vec![medshield_relation::ColumnDef::new(
+            "role",
+            medshield_relation::ColumnRole::QuasiCategorical,
+        )])
         .unwrap();
         let mut t = Table::new(schema);
         t.insert(vec![Value::text("Paramedic")]).unwrap();
         let mut trees = BTreeMap::new();
         trees.insert("role".to_string(), role.clone());
         let attacked = GeneralizationAttack::new(1, trees).apply(&t);
-        assert_eq!(
-            attacked.column_values("role").unwrap()[0],
-            &Value::text("Medical Staff")
-        );
+        assert_eq!(attacked.column_values("role").unwrap()[0], &Value::text("Medical Staff"));
     }
 
     #[test]

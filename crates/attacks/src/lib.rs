@@ -18,9 +18,18 @@
 //!   hierarchy tree. It defeats single-level watermarking but not the
 //!   hierarchical scheme.
 //! * [`mixed`] — compositions of the above for stress testing.
+//!
+//! ```
+//! use medshield_attacks::{Attack, SubsetDeletion};
+//! use medshield_datagen::{DatasetConfig, MedicalDataset};
+//!
+//! let table = MedicalDataset::generate(&DatasetConfig::small(100)).table;
+//! let attacked = SubsetDeletion::random(0.2, 7).apply(&table);
+//! assert_eq!(attacked.len(), 80);
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod addition;
 pub mod alteration;

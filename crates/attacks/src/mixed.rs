@@ -50,11 +50,7 @@ impl Attack for MixedAttack {
         if self.attacks.is_empty() {
             return "no attack".to_string();
         }
-        self.attacks
-            .iter()
-            .map(|a| a.describe())
-            .collect::<Vec<_>>()
-            .join(" + ")
+        self.attacks.iter().map(|a| a.describe()).collect::<Vec<_>>().join(" + ")
     }
 }
 

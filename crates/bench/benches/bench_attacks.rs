@@ -15,12 +15,7 @@ fn protected() -> (MedicalDataset, ProtectionPipeline, ProtectedRelease) {
         zipf_exponent: 0.8,
     });
     let pipeline = ProtectionPipeline::new(
-        ProtectionConfig::builder()
-            .k(10)
-            .eta(20)
-            .duplication(4)
-            .mark_text("bench-owner")
-            .build(),
+        ProtectionConfig::builder().k(10).eta(20).duplication(4).mark_text("bench-owner").build(),
     );
     let release = pipeline.protect(&ds.table, &ds.trees).unwrap();
     (ds, pipeline, release)
@@ -46,11 +41,7 @@ fn bench_detection_under_attack(c: &mut Criterion) {
     let (ds, pipeline, release) = protected();
     let attacked = SubsetAlteration::new(0.5, 3).apply(&release.table);
     c.bench_function("detection_under_50pct_alteration", |b| {
-        b.iter(|| {
-            pipeline
-                .detect(&attacked, &release.binning.columns, &ds.trees)
-                .unwrap()
-        });
+        b.iter(|| pipeline.detect(&attacked, &release.binning.columns, &ds.trees).unwrap());
     });
 }
 

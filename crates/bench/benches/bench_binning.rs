@@ -19,10 +19,7 @@ fn dataset() -> MedicalDataset {
 }
 
 fn root_metrics(ds: &MedicalDataset) -> BTreeMap<String, GeneralizationSet> {
-    ds.trees
-        .iter()
-        .map(|(n, t)| (n.clone(), GeneralizationSet::at_depth(t, 0)))
-        .collect()
+    ds.trees.iter().map(|(n, t)| (n.clone(), GeneralizationSet::at_depth(t, 0))).collect()
 }
 
 fn bench_mono_attribute(c: &mut Criterion) {

@@ -19,14 +19,10 @@ fn binned() -> (MedicalDataset, BinningOutcome) {
         seed: 0xBE9C,
         zipf_exponent: 0.8,
     });
-    let maximal: BTreeMap<String, GeneralizationSet> = ds
-        .trees
-        .iter()
-        .map(|(n, t)| (n.clone(), GeneralizationSet::at_depth(t, 0)))
-        .collect();
-    let outcome = BinningAgent::new(BinningConfig::with_k(10))
-        .bin(&ds.table, &ds.trees, &maximal)
-        .unwrap();
+    let maximal: BTreeMap<String, GeneralizationSet> =
+        ds.trees.iter().map(|(n, t)| (n.clone(), GeneralizationSet::at_depth(t, 0))).collect();
+    let outcome =
+        BinningAgent::new(BinningConfig::with_k(10)).bin(&ds.table, &ds.trees, &maximal).unwrap();
     (ds, outcome)
 }
 

@@ -5,15 +5,8 @@
 use std::process::Command;
 
 fn main() {
-    let binaries = [
-        "fig11",
-        "fig12a",
-        "fig12b",
-        "fig12c",
-        "fig13",
-        "fig14",
-        "generalization_attack",
-    ];
+    let binaries =
+        ["fig11", "fig12a", "fig12b", "fig12c", "fig13", "fig14", "generalization_attack"];
     // Re-exec the sibling binaries so each experiment stays independently
     // runnable; fall back to a clear error if one is missing.
     let current = std::env::current_exe().expect("current executable path");

@@ -21,11 +21,8 @@ fn main() {
         let conservative = BinningAgent::new(BinningConfig::with_k(k))
             .bin(&dataset.table, &dataset.trees, &maximal)
             .expect("binnable");
-        let mono_cols: Vec<_> = conservative
-            .columns
-            .iter()
-            .map(|cb| (cb.column.clone(), cb.minimal.clone()))
-            .collect();
+        let mono_cols: Vec<_> =
+            conservative.columns.iter().map(|cb| (cb.column.clone(), cb.minimal.clone())).collect();
         let multi_cols: Vec<_> = conservative
             .columns
             .iter()
@@ -40,11 +37,8 @@ fn main() {
         let aggressive = BinningAgent::new(aggressive_cfg)
             .bin(&dataset.table, &dataset.trees, &maximal)
             .expect("binnable");
-        let aggressive_cols: Vec<_> = aggressive
-            .columns
-            .iter()
-            .map(|cb| (cb.column.clone(), cb.minimal.clone()))
-            .collect();
+        let aggressive_cols: Vec<_> =
+            aggressive.columns.iter().map(|cb| (cb.column.clone(), cb.minimal.clone())).collect();
         let aggressive_loss = info_loss_of(&dataset, &aggressive_cols);
 
         println!(

@@ -7,7 +7,10 @@ use medshield_core::metrics::mark_loss;
 
 fn main() {
     let dataset = experiment_dataset();
-    print_figure_header("Figure 12(a)", "robustness of hierarchical watermarking to Subset Alteration");
+    print_figure_header(
+        "Figure 12(a)",
+        "robustness of hierarchical watermarking to Subset Alteration",
+    );
 
     let etas = [50u64, 75, 100];
     let fractions = [0.0f64, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];

@@ -7,7 +7,10 @@ use medshield_core::metrics::mark_loss;
 
 fn main() {
     let dataset = experiment_dataset();
-    print_figure_header("Figure 12(b)", "robustness of hierarchical watermarking to Subset Addition");
+    print_figure_header(
+        "Figure 12(b)",
+        "robustness of hierarchical watermarking to Subset Addition",
+    );
 
     let etas = [50u64, 75, 100];
     let fractions = [0.0f64, 0.2, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0];

@@ -9,7 +9,10 @@ use medshield_core::metrics::mark_loss;
 
 fn main() {
     let dataset = experiment_dataset();
-    print_figure_header("Figure 12(c)", "robustness of hierarchical watermarking to Subset Deletion");
+    print_figure_header(
+        "Figure 12(c)",
+        "robustness of hierarchical watermarking to Subset Deletion",
+    );
 
     let etas = [50u64, 75, 100];
     let fractions = [0.0f64, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.98];

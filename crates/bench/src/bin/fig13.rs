@@ -9,7 +9,9 @@
 //! per cent. The extra Eq.-3 information loss of the watermarked table over
 //! the binned table is reported alongside for completeness.
 
-use medshield_bench::{experiment_dataset, info_loss_of, print_figure_header, protect_per_attribute};
+use medshield_bench::{
+    experiment_dataset, info_loss_of, print_figure_header, protect_per_attribute,
+};
 
 fn main() {
     let dataset = experiment_dataset();

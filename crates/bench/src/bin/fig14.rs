@@ -28,10 +28,7 @@ fn main() {
         let mut row = format!("{k:>5} |");
         for column in &columns {
             let r = &by_name[*column];
-            row.push_str(&format!(
-                " {:>6} {:>6} {:>6} |",
-                r.total_bins, r.changed_bins, r.below_k
-            ));
+            row.push_str(&format!(" {:>6} {:>6} {:>6} |", r.total_bins, r.changed_bins, r.below_k));
         }
         println!("{row}");
     }

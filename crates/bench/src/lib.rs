@@ -16,6 +16,19 @@
 //!
 //! The experiments default to the paper's scale (20,000 tuples); set the
 //! environment variable `MEDSHIELD_TUPLES` to run them smaller or larger.
+//!
+//! ```
+//! use medshield_datagen::{DatasetConfig, MedicalDataset};
+//!
+//! let ds = MedicalDataset::generate(&DatasetConfig::small(50));
+//! // "Directly given" usage metrics: one maximal node (the root) per tree.
+//! let metrics = medshield_bench::root_usage_metrics(&ds);
+//! assert_eq!(metrics.len(), 5);
+//! assert!(metrics.values().all(|g| g.len() == 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use medshield_core::dht::GeneralizationSet;
 use medshield_core::metrics::{table_info_loss, ColumnGeneralization};
@@ -26,10 +39,7 @@ use std::collections::BTreeMap;
 /// Number of tuples used by the experiments: `MEDSHIELD_TUPLES` or the
 /// paper's 20,000.
 pub fn experiment_tuples() -> usize {
-    std::env::var("MEDSHIELD_TUPLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20_000)
+    std::env::var("MEDSHIELD_TUPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000)
 }
 
 /// The seed shared by all experiments so that every figure is generated from
@@ -48,9 +58,7 @@ pub fn experiment_dataset() -> MedicalDataset {
 /// Usage metrics used throughout the experiments: the maximal generalization
 /// nodes are "directly given" (§7) as the tree roots, leaving the full tree
 /// height available to binning and the watermark bandwidth channel.
-pub fn root_usage_metrics(
-    dataset: &MedicalDataset,
-) -> BTreeMap<String, GeneralizationSet> {
+pub fn root_usage_metrics(dataset: &MedicalDataset) -> BTreeMap<String, GeneralizationSet> {
     dataset
         .trees
         .iter()
@@ -74,7 +82,11 @@ pub fn experiment_pipeline(k: usize, eta: u64) -> ProtectionPipeline {
 
 /// Protect the experiment data set with the standard pipeline (full
 /// multi-attribute k-anonymity).
-pub fn protect(dataset: &MedicalDataset, k: usize, eta: u64) -> (ProtectionPipeline, ProtectedRelease) {
+pub fn protect(
+    dataset: &MedicalDataset,
+    k: usize,
+    eta: u64,
+) -> (ProtectionPipeline, ProtectedRelease) {
     let pipeline = experiment_pipeline(k, eta);
     let release = pipeline
         .protect(&dataset.table, &dataset.trees)
@@ -101,10 +113,7 @@ pub fn protect_per_attribute(
 
 /// Normalized information loss (Eq. 3) of a set of per-column generalizations
 /// measured against the original table.
-pub fn info_loss_of(
-    dataset: &MedicalDataset,
-    columns: &[(String, GeneralizationSet)],
-) -> f64 {
+pub fn info_loss_of(dataset: &MedicalDataset, columns: &[(String, GeneralizationSet)]) -> f64 {
     let cgs: Vec<ColumnGeneralization<'_>> = columns
         .iter()
         .map(|(name, g)| ColumnGeneralization {
@@ -148,11 +157,8 @@ mod tests {
     #[test]
     fn info_loss_of_root_generalization_is_high() {
         let ds = MedicalDataset::generate(&DatasetConfig::small(200));
-        let columns: Vec<(String, GeneralizationSet)> = ds
-            .trees
-            .iter()
-            .map(|(n, t)| (n.clone(), GeneralizationSet::root_only(t)))
-            .collect();
+        let columns: Vec<(String, GeneralizationSet)> =
+            ds.trees.iter().map(|(n, t)| (n.clone(), GeneralizationSet::root_only(t))).collect();
         let loss = info_loss_of(&ds, &columns);
         assert!(loss > 0.9);
     }

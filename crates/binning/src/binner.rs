@@ -89,25 +89,18 @@ impl BinningAgent {
         trees: &BTreeMap<String, DomainHierarchyTree>,
         maximal: &BTreeMap<String, GeneralizationSet>,
     ) -> Result<BinningOutcome, BinningError> {
-        let quasi: Vec<String> = table
-            .schema()
-            .quasi_names()
-            .into_iter()
-            .map(|s| s.to_string())
-            .collect();
+        let quasi: Vec<String> =
+            table.schema().quasi_names().into_iter().map(|s| s.to_string()).collect();
         let mut warnings = Vec::new();
         let effective_k = self.config.spec.effective_k();
 
         // 1. Mono-attribute binning per column.
         let mut per_column: Vec<(String, GeneralizationSet, GeneralizationSet)> = Vec::new();
         for column in &quasi {
-            let tree = trees
-                .get(column)
-                .ok_or_else(|| BinningError::MissingTree(column.clone()))?;
-            let max_nodes = maximal
-                .get(column)
-                .cloned()
-                .unwrap_or_else(|| GeneralizationSet::root_only(tree));
+            let tree =
+                trees.get(column).ok_or_else(|| BinningError::MissingTree(column.clone()))?;
+            let max_nodes =
+                maximal.get(column).cloned().unwrap_or_else(|| GeneralizationSet::root_only(tree));
             let mono = mono::generate_minimal_nodes(
                 table,
                 column,
@@ -157,16 +150,15 @@ impl BinningAgent {
             for (i, (column, _, _)) in per_column.iter().enumerate() {
                 let tree = &trees[column];
                 let v = binned.value(*id, column)?.clone();
-                let generalized = multi.ultimate[i]
-                    .generalize_value(tree, &v)
-                    .map_err(BinningError::Dht)?;
+                let generalized =
+                    multi.ultimate[i].generalize_value(tree, &v).map_err(BinningError::Dht)?;
                 binned.set_value(*id, column, generalized)?;
             }
         }
 
         let columns = per_column
             .into_iter()
-            .zip(multi.ultimate.into_iter())
+            .zip(multi.ultimate)
             .map(|((column, maximal, minimal), ultimate)| ColumnBinning {
                 column,
                 maximal,
@@ -200,24 +192,17 @@ impl BinningAgent {
         trees: &BTreeMap<String, DomainHierarchyTree>,
         maximal: &BTreeMap<String, GeneralizationSet>,
     ) -> Result<BinningOutcome, BinningError> {
-        let quasi: Vec<String> = table
-            .schema()
-            .quasi_names()
-            .into_iter()
-            .map(|s| s.to_string())
-            .collect();
+        let quasi: Vec<String> =
+            table.schema().quasi_names().into_iter().map(|s| s.to_string()).collect();
         let mut warnings = Vec::new();
         let effective_k = self.config.spec.effective_k();
 
         let mut columns: Vec<ColumnBinning> = Vec::new();
         for column in &quasi {
-            let tree = trees
-                .get(column)
-                .ok_or_else(|| BinningError::MissingTree(column.clone()))?;
-            let max_nodes = maximal
-                .get(column)
-                .cloned()
-                .unwrap_or_else(|| GeneralizationSet::root_only(tree));
+            let tree =
+                trees.get(column).ok_or_else(|| BinningError::MissingTree(column.clone()))?;
+            let max_nodes =
+                maximal.get(column).cloned().unwrap_or_else(|| GeneralizationSet::root_only(tree));
             let mono = mono::generate_minimal_nodes(
                 table,
                 column,
@@ -252,10 +237,8 @@ impl BinningAgent {
             for cb in &columns {
                 let tree = &trees[&cb.column];
                 let v = binned.value(id, &cb.column)?.clone();
-                let generalized = cb
-                    .ultimate
-                    .generalize_value(tree, &v)
-                    .map_err(BinningError::Dht)?;
+                let generalized =
+                    cb.ultimate.generalize_value(tree, &v).map_err(BinningError::Dht)?;
                 binned.set_value(id, &cb.column, generalized)?;
             }
         }
@@ -281,9 +264,8 @@ impl BinningAgent {
     ) -> Result<BinningOutcome, BinningError> {
         let mut maximal = BTreeMap::new();
         for column in table.schema().quasi_names() {
-            let tree = trees
-                .get(column)
-                .ok_or_else(|| BinningError::MissingTree(column.to_string()))?;
+            let tree =
+                trees.get(column).ok_or_else(|| BinningError::MissingTree(column.to_string()))?;
             let nodes =
                 maximal::maximal_nodes_for_bound(table, column, tree, bounds.bound_for(column))?;
             maximal.insert(column.to_string(), nodes);

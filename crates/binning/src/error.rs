@@ -71,9 +71,7 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(BinningError::MissingTree("age".into()).to_string().contains("age"));
-        assert!(BinningError::NotBinnable { k: 7, reason: "x".into() }
-            .to_string()
-            .contains("k=7"));
+        assert!(BinningError::NotBinnable { k: 7, reason: "x".into() }.to_string().contains("k=7"));
         assert!(BinningError::InvalidK.to_string().contains("at least 1"));
     }
 }

@@ -32,9 +32,22 @@
 //! the three node sets per column, which is exactly the state the
 //! watermarking agent needs (it permutes values between the maximal and
 //! ultimate generalization nodes).
+//!
+//! ```
+//! use medshield_binning::{BinningAgent, BinningConfig};
+//! use medshield_datagen::{DatasetConfig, MedicalDataset};
+//! use std::collections::BTreeMap;
+//!
+//! let ds = MedicalDataset::generate(&DatasetConfig::small(200));
+//! let agent = BinningAgent::new(BinningConfig::with_k(5));
+//! // An empty maximal-node map means the usage metrics allow the full trees.
+//! let outcome = agent.bin(&ds.table, &ds.trees, &BTreeMap::new()).unwrap();
+//! assert!(outcome.satisfied);
+//! assert_eq!(outcome.table.len(), 200);
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod binner;
 pub mod config;

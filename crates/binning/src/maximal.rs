@@ -66,19 +66,13 @@ fn subtree_loss_within_bound(
     bound: f64,
 ) -> Result<bool, BinningError> {
     // Build the probe generalization: `node` plus every leaf outside it.
-    let inside: std::collections::HashSet<NodeId> =
-        tree.leaves_under(node)?.into_iter().collect();
-    let mut nodes: Vec<NodeId> = tree
-        .leaves()
-        .into_iter()
-        .filter(|l| !inside.contains(l))
-        .collect();
+    let inside: std::collections::HashSet<NodeId> = tree.leaves_under(node)?.into_iter().collect();
+    let mut nodes: Vec<NodeId> =
+        tree.leaves().into_iter().filter(|l| !inside.contains(l)).collect();
     nodes.push(node);
     let probe = GeneralizationSet::new(tree, nodes).map_err(BinningError::Dht)?;
-    let loss = column_info_loss(
-        table,
-        &ColumnGeneralization { column, tree, generalization: &probe },
-    )?;
+    let loss =
+        column_info_loss(table, &ColumnGeneralization { column, tree, generalization: &probe })?;
     Ok(loss <= bound + 1e-9)
 }
 
@@ -165,8 +159,7 @@ mod tests {
     #[test]
     fn numeric_bound_behaviour() {
         let tree = numeric_binary_tree("age", &[(0, 25), (25, 50), (50, 75), (75, 100)]).unwrap();
-        let schema =
-            Schema::new(vec![ColumnDef::new("age", ColumnRole::QuasiNumeric)]).unwrap();
+        let schema = Schema::new(vec![ColumnDef::new("age", ColumnRole::QuasiNumeric)]).unwrap();
         let mut table = Table::new(schema);
         for v in [10, 30, 60, 90] {
             table.insert(vec![Value::int(v)]).unwrap();
@@ -201,10 +194,7 @@ mod tests {
         let table = role_table(&["Surgeon", "Nurse", "Nurse", "Consultant", "Pharmacist"]);
         for bound in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
             let g = maximal_nodes_for_bound(&table, "role", &tree, bound).unwrap();
-            assert!(
-                GeneralizationSet::new(&tree, g.nodes().to_vec()).is_ok(),
-                "bound {bound}"
-            );
+            assert!(GeneralizationSet::new(&tree, g.nodes().to_vec()).is_ok(), "bound {bound}");
         }
     }
 }

@@ -63,8 +63,7 @@ pub fn generate_minimal_nodes(
         sub_gmn(tree, &leaf_counts, max_node, k, strategy, &mut minimal_nodes)?;
     }
 
-    let minimal =
-        GeneralizationSet::new(tree, minimal_nodes).map_err(BinningError::Dht)?;
+    let minimal = GeneralizationSet::new(tree, minimal_nodes).map_err(BinningError::Dht)?;
     Ok(MonoBinning { minimal, warnings })
 }
 
@@ -208,8 +207,8 @@ mod tests {
         let tree = role_tree();
         let table = role_table(&[("Surgeon", 3), ("Nurse", 2), ("Pharmacist", 1)]);
         let maximal = GeneralizationSet::root_only(&tree);
-        let r = generate_minimal_nodes(&table, "role", &tree, &maximal, 1, Default::default())
-            .unwrap();
+        let r =
+            generate_minimal_nodes(&table, "role", &tree, &maximal, 1, Default::default()).unwrap();
         // Every populated leaf satisfies k=1; unpopulated leaves make their
         // parents stop descending under the conservative rule only if a
         // populated sibling exists... with k=1 any leaf (even empty) has
@@ -254,7 +253,8 @@ mod tests {
         // Pharmacist 6, Nurse 6, Consultant 0. Conservative: Paramedic stays
         // whole (Consultant has 0 < k). Aggressive: descends, keeping the
         // empty Consultant leaf as its own node.
-        let table = role_table(&[("Pharmacist", 6), ("Nurse", 6), ("Surgeon", 6), ("Physician", 6)]);
+        let table =
+            role_table(&[("Pharmacist", 6), ("Nurse", 6), ("Surgeon", 6), ("Physician", 6)]);
         let maximal = GeneralizationSet::root_only(&tree);
         let paramedic = tree.node_by_label("Paramedic").unwrap();
 
@@ -296,8 +296,8 @@ mod tests {
         let doctor = tree.node_by_label("Doctor").unwrap();
         let paramedic = tree.node_by_label("Paramedic").unwrap();
         let maximal = GeneralizationSet::new(&tree, vec![doctor, paramedic]).unwrap();
-        let r = generate_minimal_nodes(&table, "role", &tree, &maximal, 2, Default::default())
-            .unwrap();
+        let r =
+            generate_minimal_nodes(&table, "role", &tree, &maximal, 2, Default::default()).unwrap();
         // Every minimal node must lie at or below a maximal node.
         assert!(r.minimal.is_at_or_below(&tree, &maximal).unwrap());
         // k=2 with only 1 Nurse under Paramedic → Paramedic stays whole;
@@ -314,8 +314,8 @@ mod tests {
         let doctor = tree.node_by_label("Doctor").unwrap();
         let paramedic = tree.node_by_label("Paramedic").unwrap();
         let maximal = GeneralizationSet::new(&tree, vec![doctor, paramedic]).unwrap();
-        let r = generate_minimal_nodes(&table, "role", &tree, &maximal, 5, Default::default())
-            .unwrap();
+        let r =
+            generate_minimal_nodes(&table, "role", &tree, &maximal, 5, Default::default()).unwrap();
         assert_eq!(r.warnings.len(), 1);
         assert!(r.warnings[0].contains("Doctor"));
         // Result is still a valid generalization bounded by the maximal nodes.
@@ -324,13 +324,8 @@ mod tests {
 
     #[test]
     fn numeric_tree_downward_binning() {
-        let tree = numeric_binary_tree(
-            "age",
-            &[(0, 25), (25, 50), (50, 75), (75, 100)],
-        )
-        .unwrap();
-        let schema =
-            Schema::new(vec![ColumnDef::new("age", ColumnRole::QuasiNumeric)]).unwrap();
+        let tree = numeric_binary_tree("age", &[(0, 25), (25, 50), (50, 75), (75, 100)]).unwrap();
+        let schema = Schema::new(vec![ColumnDef::new("age", ColumnRole::QuasiNumeric)]).unwrap();
         let mut table = Table::new(schema);
         // 5 young, 5 middle-aged, 4 old (75-100), none in [50,75): the left
         // half splits into its leaves; the right half must stay whole because
@@ -339,8 +334,8 @@ mod tests {
             table.insert(vec![Value::int(v)]).unwrap();
         }
         let maximal = GeneralizationSet::root_only(&tree);
-        let r = generate_minimal_nodes(&table, "age", &tree, &maximal, 4, Default::default())
-            .unwrap();
+        let r =
+            generate_minimal_nodes(&table, "age", &tree, &maximal, 4, Default::default()).unwrap();
         let right = tree.node_for_value(&Value::interval(50, 100)).unwrap();
         let left_lo = tree.node_for_value(&Value::interval(0, 25)).unwrap();
         let left_hi = tree.node_for_value(&Value::interval(25, 50)).unwrap();

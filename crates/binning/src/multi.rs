@@ -92,10 +92,8 @@ pub fn generate_ultimate_nodes(
     }
 
     // Per column: the leaf node of every row (row order follows table.iter()).
-    let row_leaves: Vec<Vec<NodeId>> = columns
-        .iter()
-        .map(|c| leaves_per_row(table, c))
-        .collect::<Result<_, _>>()?;
+    let row_leaves: Vec<Vec<NodeId>> =
+        columns.iter().map(|c| leaves_per_row(table, c)).collect::<Result<_, _>>()?;
     // Per column: entries per leaf (for scoring).
     let leaf_counts: Vec<HashMap<NodeId, usize>> = row_leaves
         .iter()
@@ -124,10 +122,7 @@ pub fn generate_ultimate_nodes(
 }
 
 /// Map every row of the table to its leaf node in the column's tree.
-fn leaves_per_row(
-    table: &Table,
-    ctx: &ColumnContext<'_>,
-) -> Result<Vec<NodeId>, BinningError> {
+fn leaves_per_row(table: &Table, ctx: &ColumnContext<'_>) -> Result<Vec<NodeId>, BinningError> {
     let mut memo: HashMap<medshield_relation::Value, NodeId> = HashMap::new();
     let mut out = Vec::with_capacity(table.len());
     for v in table.column_values(ctx.column)? {
@@ -153,9 +148,7 @@ fn covering_map(
 ) -> Result<HashMap<NodeId, NodeId>, BinningError> {
     let mut map = HashMap::with_capacity(leaves.len());
     for &leaf in leaves.keys() {
-        let cover = generalization
-            .covering_node(tree, leaf)
-            .map_err(BinningError::Dht)?;
+        let cover = generalization.covering_node(tree, leaf).map_err(BinningError::Dht)?;
         map.insert(leaf, cover);
     }
     Ok(map)
@@ -308,11 +301,8 @@ fn exhaustive_search(
 
     match best {
         Some((_, idx)) => {
-            let ultimate: Vec<GeneralizationSet> = idx
-                .iter()
-                .enumerate()
-                .map(|(i, &j)| options[i][j].clone())
-                .collect();
+            let ultimate: Vec<GeneralizationSet> =
+                idx.iter().enumerate().map(|(i, &j)| options[i][j].clone()).collect();
             Ok(MultiBinning { ultimate, satisfied: true, mode: SearchMode::Exhaustive, warnings })
         }
         None => {
@@ -339,10 +329,8 @@ fn greedy_search(
 ) -> Result<MultiBinning, BinningError> {
     let mut warnings = Vec::new();
     // Current generalization per column, as a node set.
-    let mut current: Vec<BTreeMap<NodeId, ()>> = columns
-        .iter()
-        .map(|c| c.minimal.nodes().iter().map(|&n| (n, ())).collect())
-        .collect();
+    let mut current: Vec<BTreeMap<NodeId, ()>> =
+        columns.iter().map(|c| c.minimal.nodes().iter().map(|&n| (n, ())).collect()).collect();
     // Covering maps for the present leaves.
     let mut covers: Vec<HashMap<NodeId, NodeId>> = Vec::with_capacity(columns.len());
     for (i, c) in columns.iter().enumerate() {
@@ -372,7 +360,7 @@ fn greedy_search(
         for (i, c) in columns.iter().enumerate() {
             // Group current nodes by parent.
             let mut by_parent: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-            for (&node, _) in &current[i] {
+            for &node in current[i].keys() {
                 if let Some(parent) = c.tree.parent(node).map_err(BinningError::Dht)? {
                     by_parent.entry(parent).or_default().push(node);
                 }
@@ -503,10 +491,8 @@ fn merge_score_delta(
                         (h - l) as f64
                     };
                     let parent_cost = entries_under(parent) as f64 * width(parent) / span;
-                    let child_cost: f64 = children
-                        .iter()
-                        .map(|&c| entries_under(c) as f64 * width(c) / span)
-                        .sum();
+                    let child_cost: f64 =
+                        children.iter().map(|&c| entries_under(c) as f64 * width(c) / span).sum();
                     (parent_cost - child_cost) / total as f64
                 }
             }
@@ -533,7 +519,10 @@ mod tests {
                 ),
                 CategoricalNodeSpec::internal(
                     "Paramedic",
-                    vec![CategoricalNodeSpec::leaf("Nurse"), CategoricalNodeSpec::leaf("Pharmacist")],
+                    vec![
+                        CategoricalNodeSpec::leaf("Nurse"),
+                        CategoricalNodeSpec::leaf("Pharmacist"),
+                    ],
                 ),
             ],
         )
@@ -576,7 +565,12 @@ mod tests {
     ) -> Vec<ColumnContext<'a>> {
         vec![
             ColumnContext { column: "age", tree: age_tree, minimal: age_min, maximal: age_max },
-            ColumnContext { column: "doctor", tree: doctor_tree, minimal: doc_min, maximal: doc_max },
+            ColumnContext {
+                column: "doctor",
+                tree: doctor_tree,
+                minimal: doc_min,
+                maximal: doc_max,
+            },
         ]
     }
 
@@ -608,8 +602,9 @@ mod tests {
         let doc_max = GeneralizationSet::root_only(&doctor_tree);
         let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
 
-        let r = generate_ultimate_nodes(&table, &ctxs, 2, SelectionStrategy::SpecificityLoss, 10_000)
-            .unwrap();
+        let r =
+            generate_ultimate_nodes(&table, &ctxs, 2, SelectionStrategy::SpecificityLoss, 10_000)
+                .unwrap();
         assert_eq!(r.mode, SearchMode::Exhaustive);
         assert!(r.satisfied);
         assert!(satisfies(&table, &[("age", &age_tree), ("doctor", &doctor_tree)], &r.ultimate, 2));
@@ -669,18 +664,17 @@ mod tests {
         // k = 2 over the combination cannot be met.
         let age_leaves = GeneralizationSet::all_leaves(&age_tree);
         let doc_leaves = GeneralizationSet::all_leaves(&doctor_tree);
-        let ctxs = contexts(
-            &age_tree,
-            &doctor_tree,
-            &age_leaves,
-            &age_leaves,
-            &doc_leaves,
-            &doc_leaves,
-        );
+        let ctxs =
+            contexts(&age_tree, &doctor_tree, &age_leaves, &age_leaves, &doc_leaves, &doc_leaves);
         for limit in [1usize, 10_000] {
-            let r =
-                generate_ultimate_nodes(&table, &ctxs, 2, SelectionStrategy::SpecificityLoss, limit)
-                    .unwrap();
+            let r = generate_ultimate_nodes(
+                &table,
+                &ctxs,
+                2,
+                SelectionStrategy::SpecificityLoss,
+                limit,
+            )
+            .unwrap();
             assert!(!r.satisfied, "limit {limit}");
             assert!(!r.warnings.is_empty());
         }
@@ -694,8 +688,9 @@ mod tests {
         let doc_min = GeneralizationSet::all_leaves(&doctor_tree);
         let doc_max = GeneralizationSet::root_only(&doctor_tree);
         let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
-        let r = generate_ultimate_nodes(&table, &ctxs, 1, SelectionStrategy::SpecificityLoss, 10_000)
-            .unwrap();
+        let r =
+            generate_ultimate_nodes(&table, &ctxs, 1, SelectionStrategy::SpecificityLoss, 10_000)
+                .unwrap();
         assert!(r.satisfied);
         // With k=1 nothing needs generalizing, so the minimal (all-leaves)
         // generalization is optimal under both scores.

@@ -44,9 +44,7 @@ impl Options {
     pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.values.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("flag --{name} has an invalid value: {v}")),
+            Some(v) => v.parse().map_err(|_| format!("flag --{name} has an invalid value: {v}")),
         }
     }
 }

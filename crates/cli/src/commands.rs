@@ -1,7 +1,9 @@
 //! The four CLI commands: `generate`, `protect`, `detect`, `attack`.
 
 use crate::args::Options;
-use medshield_attacks::{Attack, GeneralizationAttack, SubsetAddition, SubsetAlteration, SubsetDeletion};
+use medshield_attacks::{
+    Attack, GeneralizationAttack, SubsetAddition, SubsetAlteration, SubsetDeletion,
+};
 use medshield_core::metrics::mark_loss;
 use medshield_core::{ProtectionConfig, ProtectionPipeline};
 use medshield_datagen::{ontology, DatasetConfig, MedicalDataset};
@@ -72,7 +74,8 @@ pub fn generate(options: &Options) -> Result<(), String> {
     let tuples: usize = options.parse_or("tuples", 20_000)?;
     let seed: u64 = options.parse_or("seed", 0x1CDE_2005)?;
     let out = options.required("out")?;
-    let dataset = MedicalDataset::generate(&DatasetConfig { num_tuples: tuples, seed, zipf_exponent: 0.8 });
+    let dataset =
+        MedicalDataset::generate(&DatasetConfig { num_tuples: tuples, seed, zipf_exponent: 0.8 });
     write_table(out, &dataset.table)?;
     println!("wrote {tuples} synthetic tuples to {out}");
     Ok(())
@@ -179,10 +182,8 @@ mod tests {
     use crate::args::Options;
 
     fn opts(pairs: &[(&str, &str)]) -> Options {
-        let argv: Vec<String> = pairs
-            .iter()
-            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
-            .collect();
+        let argv: Vec<String> =
+            pairs.iter().flat_map(|(k, v)| [format!("--{k}"), v.to_string()]).collect();
         Options::parse(&argv).unwrap()
     }
 

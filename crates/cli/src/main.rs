@@ -16,6 +16,9 @@
 //! medshield attack   --input release.csv --kind alteration --fraction 0.3 --out attacked.csv
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 mod args;
 mod commands;
 

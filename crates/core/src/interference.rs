@@ -141,10 +141,7 @@ mod tests {
         // does not push bins below k (up to the tiny ε the paper discusses).
         let below: usize = reports.iter().map(|(_, r)| r.below_k).sum();
         let total: usize = reports.iter().map(|(_, r)| r.total_bins).sum();
-        assert!(
-            below * 20 <= total,
-            "too many bins fell below k: {below} of {total}"
-        );
+        assert!(below * 20 <= total, "too many bins fell below k: {below} of {total}");
     }
 
     #[test]

@@ -175,9 +175,7 @@ impl ProtectionPipeline {
         columns: &[ColumnBinning],
         trees: &BTreeMap<String, DomainHierarchyTree>,
     ) -> Result<DetectionReport, PipelineError> {
-        Ok(self
-            .watermarker
-            .detect(table, columns, trees, self.config.mark_len)?)
+        Ok(self.watermarker.detect(table, columns, trees, self.config.mark_len)?)
     }
 
     /// Resolve an ownership dispute over `disputed` (§5.4): decrypt the
@@ -289,9 +287,8 @@ mod tests {
                 .build(),
         );
         let bogus_proof = OwnershipProof { statistic: 123456.0, mark_len: 20 };
-        let detection = attacker
-            .detect(&release.table, &release.binning.columns, &ds.trees)
-            .unwrap();
+        let detection =
+            attacker.detect(&release.table, &release.binning.columns, &ds.trees).unwrap();
         let verdict = attacker.resolve_ownership(
             &bogus_proof,
             &release.table,
@@ -338,11 +335,8 @@ mod tests {
         let ds = dataset(500);
         let p = pipeline(3, 10);
         // Usage metrics: depth-1 maximal nodes for every column.
-        let maximal: BTreeMap<String, GeneralizationSet> = ds
-            .trees
-            .iter()
-            .map(|(n, t)| (n.clone(), GeneralizationSet::at_depth(t, 1)))
-            .collect();
+        let maximal: BTreeMap<String, GeneralizationSet> =
+            ds.trees.iter().map(|(n, t)| (n.clone(), GeneralizationSet::at_depth(t, 1))).collect();
         let release = p.protect_with_metrics(&ds.table, &ds.trees, &maximal).unwrap();
         for cb in &release.binning.columns {
             let tree = &ds.trees[&cb.column];

@@ -98,10 +98,7 @@ impl Aes128 {
     /// Expand a 16-byte key into the round-key schedule.
     pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
         if key.len() != KEY_LEN {
-            return Err(CryptoError::InvalidKeyLength {
-                expected: KEY_LEN,
-                actual: key.len(),
-            });
+            return Err(CryptoError::InvalidKeyLength { expected: KEY_LEN, actual: key.len() });
         }
         let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
         for (i, chunk) in key.chunks_exact(4).enumerate() {
@@ -174,10 +171,7 @@ impl Aes128 {
     /// replacement of the binning step; see the module documentation.
     pub fn ecb_encrypt(&self, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
         if data.len() % BLOCK_LEN != 0 {
-            return Err(CryptoError::InvalidBlockLength {
-                block: BLOCK_LEN,
-                actual: data.len(),
-            });
+            return Err(CryptoError::InvalidBlockLength { block: BLOCK_LEN, actual: data.len() });
         }
         let mut out = data.to_vec();
         for chunk in out.chunks_exact_mut(BLOCK_LEN) {
@@ -192,10 +186,7 @@ impl Aes128 {
     /// ECB-decrypt `data`, which must be a multiple of 16 bytes.
     pub fn ecb_decrypt(&self, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
         if data.len() % BLOCK_LEN != 0 {
-            return Err(CryptoError::InvalidBlockLength {
-                block: BLOCK_LEN,
-                actual: data.len(),
-            });
+            return Err(CryptoError::InvalidBlockLength { block: BLOCK_LEN, actual: data.len() });
         }
         let mut out = data.to_vec();
         for chunk in out.chunks_exact_mut(BLOCK_LEN) {
@@ -236,9 +227,7 @@ impl Aes128 {
         while plain.len() % BLOCK_LEN != 0 {
             plain.push(0);
         }
-        let cipher = self
-            .ecb_encrypt(&plain)
-            .expect("padded plaintext is block aligned");
+        let cipher = self.ecb_encrypt(&plain).expect("padded plaintext is block aligned");
         crate::hex::encode(&cipher)
     }
 
@@ -247,10 +236,7 @@ impl Aes128 {
         let cipher = crate::hex::decode(hex_ciphertext)?;
         let plain = self.ecb_decrypt(&cipher)?;
         if plain.len() < 8 {
-            return Err(CryptoError::InvalidBlockLength {
-                block: BLOCK_LEN,
-                actual: plain.len(),
-            });
+            return Err(CryptoError::InvalidBlockLength { block: BLOCK_LEN, actual: plain.len() });
         }
         let mut len_bytes = [0u8; 8];
         len_bytes.copy_from_slice(&plain[..8]);

@@ -28,10 +28,9 @@ impl std::fmt::Display for CryptoError {
             CryptoError::InvalidKeyLength { expected, actual } => {
                 write!(f, "invalid key length: expected {expected} bytes, got {actual}")
             }
-            CryptoError::InvalidBlockLength { block, actual } => write!(
-                f,
-                "input length {actual} is not a multiple of the {block}-byte block size"
-            ),
+            CryptoError::InvalidBlockLength { block, actual } => {
+                write!(f, "input length {actual} is not a multiple of the {block}-byte block size")
+            }
             CryptoError::InvalidHex(s) => write!(f, "invalid hex string: {s}"),
         }
     }

@@ -1,7 +1,7 @@
 //! Minimal hex encoding/decoding helpers.
 //!
 //! Used for displaying digests in reports and for round-tripping encrypted
-//! identifier values through the textual [`Value`] representation of the
+//! identifier values through the textual `Value` representation of the
 //! relational substrate.
 
 use crate::error::CryptoError;

@@ -49,12 +49,7 @@ macro_rules! impl_hmac {
 
 impl_hmac!(hmac_md5, Md5, 16, "HMAC-MD5 of `message` under `key` (16-byte tag).");
 impl_hmac!(hmac_sha1, Sha1, 20, "HMAC-SHA1 of `message` under `key` (20-byte tag).");
-impl_hmac!(
-    hmac_sha256,
-    Sha256,
-    32,
-    "HMAC-SHA256 of `message` under `key` (32-byte tag)."
-);
+impl_hmac!(hmac_sha256, Sha256, 32, "HMAC-SHA256 of `message` under `key` (32-byte tag).");
 
 #[cfg(test)]
 mod tests {
@@ -65,10 +60,7 @@ mod tests {
     #[test]
     fn rfc2202_hmac_md5() {
         let key = [0x0b_u8; 16];
-        assert_eq!(
-            hex::encode(&hmac_md5(&key, b"Hi There")),
-            "9294727a3638bb1c13f48ef8158bfc9d"
-        );
+        assert_eq!(hex::encode(&hmac_md5(&key, b"Hi There")), "9294727a3638bb1c13f48ef8158bfc9d");
         assert_eq!(
             hex::encode(&hmac_md5(b"Jefe", b"what do ya want for nothing?")),
             "750c783e6ab0b503eaa86e310a5db738"

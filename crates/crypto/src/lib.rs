@@ -32,9 +32,19 @@
 //!
 //! The crate is `#![forbid(unsafe_code)]` and has no dependencies besides
 //! `serde` (for key serialization).
+//!
+//! ```
+//! use medshield_crypto::{hex, HashAlgorithm};
+//!
+//! let digest = HashAlgorithm::Sha256.digest(b"abc");
+//! assert_eq!(
+//!     hex::encode(&digest),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aes;
 pub mod error;
@@ -124,10 +134,7 @@ mod tests {
         let data = b"outsourced medical data";
         assert_eq!(HashAlgorithm::Md5.digest(data), md5::md5(data).to_vec());
         assert_eq!(HashAlgorithm::Sha1.digest(data), sha1::sha1(data).to_vec());
-        assert_eq!(
-            HashAlgorithm::Sha256.digest(data),
-            sha256::sha256(data).to_vec()
-        );
+        assert_eq!(HashAlgorithm::Sha256.digest(data), sha256::sha256(data).to_vec());
     }
 
     #[test]

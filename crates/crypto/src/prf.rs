@@ -41,10 +41,7 @@ impl KeyedPrf {
 
     /// Create a PRF with an explicit algorithm.
     pub fn with_algorithm(key: impl AsRef<[u8]>, algorithm: PrfAlgorithm) -> Self {
-        KeyedPrf {
-            key: key.as_ref().to_vec(),
-            algorithm,
-        }
+        KeyedPrf { key: key.as_ref().to_vec(), algorithm }
     }
 
     /// The algorithm backing this PRF.
@@ -160,9 +157,7 @@ mod tests {
         let prf = KeyedPrf::new(b"watermark-key");
         let eta = 10u64;
         let n = 20_000u32;
-        let selected = (0..n)
-            .filter(|i| prf.selects(format!("ident-{i}").as_bytes(), eta))
-            .count();
+        let selected = (0..n).filter(|i| prf.selects(format!("ident-{i}").as_bytes(), eta)).count();
         let expected = (n as f64) / eta as f64;
         let tolerance = expected * 0.25;
         assert!(
@@ -174,10 +169,7 @@ mod tests {
     #[test]
     fn labels_decorrelate() {
         let prf = KeyedPrf::new(b"k2");
-        assert_ne!(
-            prf.labeled_value("perm", b"tuple"),
-            prf.labeled_value("bit", b"tuple")
-        );
+        assert_ne!(prf.labeled_value("perm", b"tuple"), prf.labeled_value("bit", b"tuple"));
     }
 
     #[test]

@@ -93,12 +93,8 @@ impl Sha1 {
                 40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
                 _ => (b ^ c ^ d, 0xCA62C1D6),
             };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
+            let tmp =
+                a.rotate_left(5).wrapping_add(f).wrapping_add(e).wrapping_add(k).wrapping_add(wi);
             e = d;
             d = c;
             c = b.rotate_left(30);
@@ -154,10 +150,7 @@ mod tests {
         for _ in 0..1000 {
             h.update(&chunk);
         }
-        assert_eq!(
-            hex::encode(&h.finalize()),
-            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
-        );
+        assert_eq!(hex::encode(&h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
     }
 
     #[test]

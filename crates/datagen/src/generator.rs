@@ -64,11 +64,13 @@ impl MedicalDataset {
         let doctor_cdf = zipf_cdf(doctor_leaves.len(), config.zipf_exponent);
         let symptom_cdf = zipf_cdf(symptom_leaves.len(), config.zipf_exponent);
         let prescription_cdf = zipf_cdf(prescription_leaves.len(), config.zipf_exponent);
-        let zip_leaves = ((ontology::ZIP_MAX - ontology::ZIP_MIN) / ontology::ZIP_LEAF_WIDTH) as usize;
+        let zip_leaves =
+            ((ontology::ZIP_MAX - ontology::ZIP_MIN) / ontology::ZIP_LEAF_WIDTH) as usize;
         let zip_cdf = zipf_cdf(zip_leaves, config.zipf_exponent);
 
         for i in 0..config.num_tuples {
-            let ssn = format!("{:03}-{:02}-{:04}", (i / 100_000) % 1000, (i / 10_000) % 100, i % 10_000);
+            let ssn =
+                format!("{:03}-{:02}-{:04}", (i / 100_000) % 1000, (i / 10_000) % 100, i % 10_000);
             let age = sample_age(&mut rng);
             let zip = sample_zip(&mut rng, &zip_cdf);
             let doctor = pick(&mut rng, &doctor_cdf, &doctor_leaves);
@@ -96,21 +98,13 @@ impl MedicalDataset {
 
     /// Names of the quasi-identifying columns, in schema order.
     pub fn quasi_columns(&self) -> Vec<String> {
-        self.table
-            .schema()
-            .quasi_names()
-            .into_iter()
-            .map(|s| s.to_string())
-            .collect()
+        self.table.schema().quasi_names().into_iter().map(|s| s.to_string()).collect()
     }
 }
 
 /// Labels of the leaves of a categorical tree, in left-to-right order.
 fn leaf_labels(tree: &DomainHierarchyTree) -> Vec<String> {
-    tree.leaves()
-        .into_iter()
-        .map(|l| tree.node(l).expect("leaf exists").label.clone())
-        .collect()
+    tree.leaves().into_iter().map(|l| tree.node(l).expect("leaf exists").label.clone()).collect()
 }
 
 /// Cumulative distribution of a Zipf(s) law over `n` ranks.
@@ -145,7 +139,7 @@ fn pick<'a>(rng: &mut StdRng, cdf: &[f64], labels: &'a [String]) -> &'a str {
 /// clinical population (children, adults, elderly), clipped to the domain.
 fn sample_age(rng: &mut StdRng) -> i64 {
     let band: f64 = rng.gen();
-    let age = if band < 0.15 {
+    let age: i64 = if band < 0.15 {
         rng.gen_range(0..18)
     } else if band < 0.70 {
         rng.gen_range(18..65)
@@ -183,12 +177,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = MedicalDataset::generate(&DatasetConfig { seed: 1, ..DatasetConfig::small(100) });
         let b = MedicalDataset::generate(&DatasetConfig { seed: 2, ..DatasetConfig::small(100) });
-        let same = a
-            .table
-            .iter()
-            .zip(b.table.iter())
-            .filter(|(x, y)| x.values == y.values)
-            .count();
+        let same = a.table.iter().zip(b.table.iter()).filter(|(x, y)| x.values == y.values).count();
         assert!(same < 100, "tables should differ between seeds");
     }
 
@@ -242,10 +231,7 @@ mod tests {
     #[test]
     fn quasi_columns_match_schema() {
         let d = MedicalDataset::generate(&DatasetConfig::small(10));
-        assert_eq!(
-            d.quasi_columns(),
-            vec!["age", "zip_code", "doctor", "symptom", "prescription"]
-        );
+        assert_eq!(d.quasi_columns(), vec!["age", "zip_code", "doctor", "symptom", "prescription"]);
         assert!(d.tree("age").is_some());
         assert!(d.tree("ssn").is_none());
     }

@@ -22,9 +22,19 @@
 //! All algorithms in the paper depend only on tree topology and on the
 //! multiplicity of values per leaf, so this substitution preserves the
 //! behaviour that the experiments measure.
+//!
+//! ```
+//! use medshield_datagen::{DatasetConfig, MedicalDataset};
+//!
+//! let ds = MedicalDataset::generate(&DatasetConfig::small(100));
+//! assert_eq!(ds.table.len(), 100);
+//! // Every quasi-identifying column comes with its domain hierarchy tree.
+//! assert_eq!(ds.quasi_columns().len(), 5);
+//! assert!(ds.quasi_columns().iter().all(|c| ds.tree(c).is_some()));
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod generator;
 pub mod ontology;

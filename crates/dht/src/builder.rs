@@ -40,12 +40,7 @@ impl CategoricalNodeSpec {
         let mut nodes: Vec<Node> = Vec::new();
         let mut seen: HashSet<String> = HashSet::new();
         let root = Self::add(self, None, 0, &mut nodes, &mut seen)?;
-        Ok(DomainHierarchyTree::from_parts(
-            attribute.into(),
-            DhtKind::Categorical,
-            nodes,
-            root,
-        ))
+        Ok(DomainHierarchyTree::from_parts(attribute.into(), DhtKind::Categorical, nodes, root))
     }
 
     fn add(
@@ -168,12 +163,7 @@ pub fn numeric_binary_tree(
         }
     }
 
-    Ok(DomainHierarchyTree::from_parts(
-        attribute.into(),
-        DhtKind::Numeric,
-        nodes,
-        root,
-    ))
+    Ok(DomainHierarchyTree::from_parts(attribute.into(), DhtKind::Numeric, nodes, root))
 }
 
 /// Build a numeric binary DHT over `[lo, hi)` with `leaves` equal-width leaf
@@ -250,16 +240,8 @@ mod tests {
     #[test]
     fn fig3_age_tree() {
         // Figure 3: [0,150) split into 8 intervals, pairwise combined.
-        let intervals = [
-            (0, 20),
-            (20, 40),
-            (40, 60),
-            (60, 80),
-            (80, 100),
-            (100, 120),
-            (120, 140),
-            (140, 150),
-        ];
+        let intervals =
+            [(0, 20), (20, 40), (40, 60), (60, 80), (80, 100), (100, 120), (120, 140), (140, 150)];
         let tree = numeric_binary_tree("age", &intervals).unwrap();
         assert_eq!(tree.leaf_count(), 8);
         assert_eq!(tree.node_count(), 15);

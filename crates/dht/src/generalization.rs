@@ -101,7 +101,11 @@ impl GeneralizationSet {
 
     /// The unique generalization node on the path from `leaf` (or any
     /// descendant node) to the root.
-    pub fn covering_node(&self, tree: &DomainHierarchyTree, node: NodeId) -> Result<NodeId, DhtError> {
+    pub fn covering_node(
+        &self,
+        tree: &DomainHierarchyTree,
+        node: NodeId,
+    ) -> Result<NodeId, DhtError> {
         for n in tree.path_to_root(node)? {
             if self.contains(n) {
                 return Ok(n);
@@ -350,10 +354,7 @@ mod tests {
         let nurse = t.node_by_label("Nurse").unwrap();
         let consultant = t.node_by_label("Consultant").unwrap();
         let nonmed = t.node_by_label("Non-medical Staff").unwrap();
-        let valid = GeneralizationSet::new(
-            &t,
-            vec![doctor, pharmacist, nurse, consultant, nonmed],
-        );
+        let valid = GeneralizationSet::new(&t, vec![doctor, pharmacist, nurse, consultant, nonmed]);
         assert!(valid.is_ok());
 
         // Invalid: a leaf covered zero times.
@@ -389,10 +390,7 @@ mod tests {
             g.generalize_value(&t, &Value::text("Pharmacist")).unwrap(),
             Value::text("Paramedic")
         );
-        assert_eq!(
-            g.generalize_value(&t, &Value::text("Surgeon")).unwrap(),
-            Value::text("Doctor")
-        );
+        assert_eq!(g.generalize_value(&t, &Value::text("Surgeon")).unwrap(), Value::text("Doctor"));
         assert_eq!(
             g.generalize_value(&t, &Value::text("Technician")).unwrap(),
             Value::text("Non-medical Staff")
@@ -495,8 +493,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let upper =
-            GeneralizationSet::new(&t, vec![node(&t, 0, 80), node(&t, 80, 160)]).unwrap();
+        let upper = GeneralizationSet::new(&t, vec![node(&t, 0, 80), node(&t, 80, 160)]).unwrap();
         assert!(lower.is_at_or_below(&t, &upper).unwrap());
         assert_eq!(GeneralizationSet::count_between(&t, &lower, &upper).unwrap(), 6);
         let all = GeneralizationSet::enumerate_between(&t, &lower, &upper, 100).unwrap();
@@ -516,10 +513,7 @@ mod tests {
         }
         assert_eq!(GeneralizationSet::at_depth(&t, 0).len(), 1);
         // Depth beyond the height is just the leaves.
-        assert_eq!(
-            GeneralizationSet::at_depth(&t, 10),
-            GeneralizationSet::all_leaves(&t)
-        );
+        assert_eq!(GeneralizationSet::at_depth(&t, 10), GeneralizationSet::all_leaves(&t));
     }
 
     #[test]
@@ -556,11 +550,7 @@ mod tests {
     #[test]
     fn generalize_numeric_values() {
         let t = fig6_tree();
-        let g = GeneralizationSet::new(
-            &t,
-            vec![node(&t, 0, 80), node(&t, 80, 160)],
-        )
-        .unwrap();
+        let g = GeneralizationSet::new(&t, vec![node(&t, 0, 80), node(&t, 80, 160)]).unwrap();
         assert_eq!(g.generalize_value(&t, &Value::int(35)).unwrap(), Value::interval(0, 80));
         assert_eq!(g.generalize_value(&t, &Value::int(150)).unwrap(), Value::interval(80, 160));
         // Already generalized input stays within its covering node.

@@ -33,9 +33,32 @@
 //!   value↔node mapping (`Val2Nd` / `Nd2Val`), and enumeration of the
 //!   allowable generalizations between two node sets (used by multi-attribute
 //!   binning).
+//!
+//! ```
+//! use medshield_dht::{CategoricalNodeSpec, GeneralizationSet};
+//!
+//! let tree = CategoricalNodeSpec::internal(
+//!     "any symptom",
+//!     vec![
+//!         CategoricalNodeSpec::internal(
+//!             "respiratory",
+//!             vec![CategoricalNodeSpec::leaf("asthma"), CategoricalNodeSpec::leaf("bronchitis")],
+//!         ),
+//!         CategoricalNodeSpec::internal(
+//!             "cardiac",
+//!             vec![CategoricalNodeSpec::leaf("angina"), CategoricalNodeSpec::leaf("arrhythmia")],
+//!         ),
+//!     ],
+//! )
+//! .build("symptom")
+//! .unwrap();
+//! assert_eq!(tree.leaf_count(), 4);
+//! // Generalizing to depth 1 describes every value as respiratory/cardiac.
+//! assert_eq!(GeneralizationSet::at_depth(&tree, 1).len(), 2);
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod builder;
 pub mod error;
@@ -45,4 +68,4 @@ pub mod tree;
 pub use builder::CategoricalNodeSpec;
 pub use error::DhtError;
 pub use generalization::GeneralizationSet;
-pub use tree::{DhtKind, Node, NodeId, DomainHierarchyTree};
+pub use tree::{DhtKind, DomainHierarchyTree, Node, NodeId};

@@ -171,7 +171,11 @@ impl DomainHierarchyTree {
 
     /// True if `ancestor` is `descendant` or lies on the path from
     /// `descendant` to the root.
-    pub fn is_ancestor_or_self(&self, ancestor: NodeId, descendant: NodeId) -> Result<bool, DhtError> {
+    pub fn is_ancestor_or_self(
+        &self,
+        ancestor: NodeId,
+        descendant: NodeId,
+    ) -> Result<bool, DhtError> {
         let mut cur = Some(descendant);
         while let Some(n) = cur {
             if n == ancestor {
@@ -273,11 +277,7 @@ impl DomainHierarchyTree {
                 }
             }
             Value::Interval { lo, hi } => {
-                if let Some(n) = self
-                    .nodes
-                    .iter()
-                    .find(|n| n.interval == Some((*lo, *hi)))
-                {
+                if let Some(n) = self.nodes.iter().find(|n| n.interval == Some((*lo, *hi))) {
                     return Ok(n.id);
                 }
             }
@@ -450,18 +450,9 @@ mod tests {
         )
         .build("symptom")
         .unwrap();
-        assert_eq!(
-            t.leaf_for_value(&Value::int(527)).unwrap(),
-            t.node_by_label("527").unwrap()
-        );
-        assert_eq!(
-            t.leaf_for_value(&Value::int(8)).unwrap(),
-            t.node_by_label("008").unwrap()
-        );
-        assert_eq!(
-            t.node_for_value(&Value::int(1)).unwrap(),
-            t.node_by_label("001").unwrap()
-        );
+        assert_eq!(t.leaf_for_value(&Value::int(527)).unwrap(), t.node_by_label("527").unwrap());
+        assert_eq!(t.leaf_for_value(&Value::int(8)).unwrap(), t.node_by_label("008").unwrap());
+        assert_eq!(t.node_for_value(&Value::int(1)).unwrap(), t.node_by_label("001").unwrap());
         assert!(t.leaf_for_value(&Value::int(999)).is_err());
     }
 

@@ -101,8 +101,7 @@ mod tests {
 
     #[test]
     fn empty_table_is_vacuously_anonymous() {
-        let schema =
-            Schema::new(vec![ColumnDef::new("age", ColumnRole::QuasiNumeric)]).unwrap();
+        let schema = Schema::new(vec![ColumnDef::new("age", ColumnRole::QuasiNumeric)]).unwrap();
         let t = Table::new(schema);
         assert!(satisfies_k_anonymity(&t, &["age"], 100).unwrap());
     }

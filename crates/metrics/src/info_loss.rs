@@ -76,10 +76,7 @@ pub struct ColumnGeneralization<'a> {
 /// categorical trees, Eq. 2 for numeric trees). The table may hold either the
 /// original specific values or already-binned values; both are mapped to
 /// their covering generalization node.
-pub fn column_info_loss(
-    table: &Table,
-    cg: &ColumnGeneralization<'_>,
-) -> Result<f64, MetricsError> {
+pub fn column_info_loss(table: &Table, cg: &ColumnGeneralization<'_>) -> Result<f64, MetricsError> {
     let values = table.column_values(cg.column)?;
     if values.is_empty() {
         return Err(MetricsError::EmptyColumn(cg.column.to_string()));
@@ -179,7 +176,8 @@ mod tests {
     }
 
     fn table_with(values: &[&str]) -> Table {
-        let schema = Schema::new(vec![ColumnDef::new("role", ColumnRole::QuasiCategorical)]).unwrap();
+        let schema =
+            Schema::new(vec![ColumnDef::new("role", ColumnRole::QuasiCategorical)]).unwrap();
         let mut t = Table::new(schema);
         for v in values {
             t.insert(vec![Value::text(*v)]).unwrap();
@@ -250,8 +248,7 @@ mod tests {
         // {[0,50), [50,100)}. Three entries in [0,50), one in [50,100):
         //   InfLoss = (3·50/100 + 1·50/100) / 4 = 0.5
         let tree = numeric_binary_tree("age", &[(0, 25), (25, 50), (50, 75), (75, 100)]).unwrap();
-        let schema =
-            Schema::new(vec![ColumnDef::new("age", ColumnRole::QuasiNumeric)]).unwrap();
+        let schema = Schema::new(vec![ColumnDef::new("age", ColumnRole::QuasiNumeric)]).unwrap();
         let mut table = Table::new(schema);
         for v in [10, 30, 40, 80] {
             table.insert(vec![Value::int(v)]).unwrap();
@@ -267,8 +264,7 @@ mod tests {
     #[test]
     fn numeric_loss_of_leaf_generalization_is_leaf_width_fraction() {
         let tree = numeric_binary_tree("age", &[(0, 25), (25, 50), (50, 75), (75, 100)]).unwrap();
-        let schema =
-            Schema::new(vec![ColumnDef::new("age", ColumnRole::QuasiNumeric)]).unwrap();
+        let schema = Schema::new(vec![ColumnDef::new("age", ColumnRole::QuasiNumeric)]).unwrap();
         let mut table = Table::new(schema);
         for v in [10, 30, 80] {
             table.insert(vec![Value::int(v)]).unwrap();
@@ -310,10 +306,7 @@ mod tests {
         let table = table_with(&[]);
         let g = GeneralizationSet::all_leaves(&tree);
         let cg = ColumnGeneralization { column: "role", tree: &tree, generalization: &g };
-        assert!(matches!(
-            column_info_loss(&table, &cg),
-            Err(MetricsError::EmptyColumn(_))
-        ));
+        assert!(matches!(column_info_loss(&table, &cg), Err(MetricsError::EmptyColumn(_))));
         assert_eq!(table_info_loss(&table, &[]).unwrap(), 0.0);
     }
 

@@ -17,9 +17,17 @@
 //!   whose size changed after watermarking, bins that fell below k.
 //! * [`mark`] — mark-loss (fraction of mark bits destroyed), the y-axis of
 //!   Fig. 12.
+//!
+//! ```
+//! use medshield_metrics::mark_loss;
+//!
+//! let embedded = [true, false, true, false];
+//! let recovered = [true, false, false, false];
+//! assert_eq!(mark_loss(&embedded, &recovered), 0.25);
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod anonymity;
 pub mod bin_stats;

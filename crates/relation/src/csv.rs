@@ -15,12 +15,7 @@ use crate::value::Value;
 /// line per tuple, values in display form.
 pub fn to_csv(table: &Table) -> String {
     let mut out = String::new();
-    let names: Vec<&str> = table
-        .schema()
-        .columns()
-        .iter()
-        .map(|c| c.name.as_str())
-        .collect();
+    let names: Vec<&str> = table.schema().columns().iter().map(|c| c.name.as_str()).collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for tuple in table.iter() {
@@ -73,10 +68,9 @@ fn split_line(line: &str) -> Vec<String> {
 /// listed default to [`ColumnRole::NonIdentifying`].
 pub fn from_csv(text: &str, roles: &[(&str, ColumnRole)]) -> Result<Table, RelationError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or(RelationError::CsvParse {
-        line: 1,
-        message: "missing header".into(),
-    })?;
+    let (_, header) = lines
+        .next()
+        .ok_or(RelationError::CsvParse { line: 1, message: "missing header".into() })?;
     let columns: Vec<ColumnDef> = header
         .split(',')
         .map(|name| {
@@ -138,10 +132,7 @@ mod tests {
     fn to_csv_has_header_and_rows() {
         let csv = to_csv(&sample());
         let mut lines = csv.lines();
-        assert_eq!(
-            lines.next().unwrap(),
-            "ssn,age,zip_code,doctor,symptom,prescription"
-        );
+        assert_eq!(lines.next().unwrap(), "ssn,age,zip_code,doctor,symptom,prescription");
         assert_eq!(lines.count(), 2);
     }
 
@@ -159,18 +150,9 @@ mod tests {
         ];
         let parsed = from_csv(&csv, &roles).unwrap();
         assert_eq!(parsed.len(), original.len());
-        assert_eq!(
-            parsed.value(crate::TupleId(1), "age").unwrap(),
-            &Value::interval(30, 40)
-        );
-        assert_eq!(
-            parsed.value(crate::TupleId(1), "prescription").unwrap(),
-            &Value::Null
-        );
-        assert_eq!(
-            parsed.schema().column_by_name("ssn").unwrap().role,
-            ColumnRole::Identifying
-        );
+        assert_eq!(parsed.value(crate::TupleId(1), "age").unwrap(), &Value::interval(30, 40));
+        assert_eq!(parsed.value(crate::TupleId(1), "prescription").unwrap(), &Value::Null);
+        assert_eq!(parsed.schema().column_by_name("ssn").unwrap().role, ColumnRole::Identifying);
     }
 
     #[test]
@@ -178,10 +160,7 @@ mod tests {
         // ICD-9-like codes such as "428.0" must not be mangled into numbers.
         let csv = to_csv(&sample());
         let parsed = from_csv(&csv, &[]).unwrap();
-        assert_eq!(
-            parsed.value(crate::TupleId(0), "symptom").unwrap(),
-            &Value::text("428.0")
-        );
+        assert_eq!(parsed.value(crate::TupleId(0), "symptom").unwrap(), &Value::text("428.0"));
     }
 
     #[test]

@@ -60,9 +60,7 @@ mod tests {
     #[test]
     fn display_contains_details() {
         assert!(RelationError::UnknownColumn("age".into()).to_string().contains("age"));
-        assert!(RelationError::ArityMismatch { expected: 6, actual: 5 }
-            .to_string()
-            .contains('6'));
+        assert!(RelationError::ArityMismatch { expected: 6, actual: 5 }.to_string().contains('6'));
         assert!(RelationError::UnknownTuple(42).to_string().contains("42"));
         assert!(RelationError::CsvParse { line: 3, message: "bad int".into() }
             .to_string()

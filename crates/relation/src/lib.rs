@@ -22,9 +22,23 @@
 //! * [`stats`] — per-column statistics (value counts, bin sizes, group-by over
 //!   quasi-identifier combinations) used by the metrics crate.
 //! * [`csv`] — plain-text import/export for inspection of generated data.
+//!
+//! ```
+//! use medshield_relation::{ColumnDef, ColumnRole, Schema, Table, Value};
+//!
+//! let schema = Schema::new(vec![
+//!     ColumnDef::new("ssn", ColumnRole::Identifying),
+//!     ColumnDef::new("age", ColumnRole::QuasiNumeric),
+//! ])
+//! .unwrap();
+//! let mut table = Table::new(schema);
+//! table.insert(vec![Value::text("123-45-6789"), Value::int(42)]).unwrap();
+//! assert_eq!(table.len(), 1);
+//! assert_eq!(table.column_values("age").unwrap(), vec![&Value::int(42)]);
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod csv;
 pub mod error;

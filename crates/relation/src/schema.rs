@@ -130,21 +130,12 @@ impl Schema {
 
     /// Names of all quasi-identifying columns, in schema order.
     pub fn quasi_names(&self) -> Vec<&str> {
-        self.columns
-            .iter()
-            .filter(|c| c.role.is_quasi())
-            .map(|c| c.name.as_str())
-            .collect()
+        self.columns.iter().filter(|c| c.role.is_quasi()).map(|c| c.name.as_str()).collect()
     }
 
     /// Indices of columns matching a role predicate.
     fn indices_with(&self, pred: impl Fn(&ColumnRole) -> bool) -> Vec<usize> {
-        self.columns
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| pred(&c.role))
-            .map(|(i, _)| i)
-            .collect()
+        self.columns.iter().enumerate().filter(|(_, c)| pred(&c.role)).map(|(i, _)| i).collect()
     }
 }
 
@@ -158,10 +149,7 @@ mod tests {
         assert_eq!(s.arity(), 6);
         assert_eq!(s.identifying_indices(), vec![0]);
         assert_eq!(s.quasi_indices(), vec![1, 2, 3, 4, 5]);
-        assert_eq!(
-            s.quasi_names(),
-            vec!["age", "zip_code", "doctor", "symptom", "prescription"]
-        );
+        assert_eq!(s.quasi_names(), vec!["age", "zip_code", "doctor", "symptom", "prescription"]);
     }
 
     #[test]

@@ -34,10 +34,8 @@ pub fn bin_sizes(
     table: &Table,
     columns: &[&str],
 ) -> Result<BTreeMap<Vec<Value>, usize>, RelationError> {
-    let indices: Vec<usize> = columns
-        .iter()
-        .map(|c| table.schema().index_of(c))
-        .collect::<Result<_, _>>()?;
+    let indices: Vec<usize> =
+        columns.iter().map(|c| table.schema().index_of(c)).collect::<Result<_, _>>()?;
     let mut bins = BTreeMap::new();
     for tuple in table.iter() {
         let key: Vec<Value> = indices.iter().map(|&i| tuple.values[i].clone()).collect();
@@ -90,8 +88,7 @@ mod tests {
             (5, 40, "Nurse"),
         ];
         for (id, age, doc) in rows {
-            t.insert(vec![Value::int(id), Value::int(age), Value::text(doc)])
-                .unwrap();
+            t.insert(vec![Value::int(id), Value::int(age), Value::text(doc)]).unwrap();
         }
         t
     }

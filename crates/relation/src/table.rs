@@ -119,9 +119,7 @@ impl Table {
     /// Read the value of column `column` in tuple `id`.
     pub fn value(&self, id: TupleId, column: &str) -> Result<&Value, RelationError> {
         let idx = self.schema.index_of(column)?;
-        let tuple = self
-            .get(id)
-            .ok_or(RelationError::UnknownTuple(id.0))?;
+        let tuple = self.get(id).ok_or(RelationError::UnknownTuple(id.0))?;
         Ok(&tuple.values[idx])
     }
 
@@ -133,9 +131,7 @@ impl Table {
         value: Value,
     ) -> Result<(), RelationError> {
         let idx = self.schema.index_of(column)?;
-        let tuple = self
-            .get_mut(id)
-            .ok_or(RelationError::UnknownTuple(id.0))?;
+        let tuple = self.get_mut(id).ok_or(RelationError::UnknownTuple(id.0))?;
         tuple.values[idx] = value;
         Ok(())
     }
@@ -201,12 +197,9 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new(schema);
-        t.insert(vec![Value::text("s1"), Value::int(34), Value::text("Surgeon")])
-            .unwrap();
-        t.insert(vec![Value::text("s2"), Value::int(61), Value::text("Pharmacist")])
-            .unwrap();
-        t.insert(vec![Value::text("s3"), Value::int(29), Value::text("Surgeon")])
-            .unwrap();
+        t.insert(vec![Value::text("s1"), Value::int(34), Value::text("Surgeon")]).unwrap();
+        t.insert(vec![Value::text("s2"), Value::int(61), Value::text("Pharmacist")]).unwrap();
+        t.insert(vec![Value::text("s3"), Value::int(29), Value::text("Surgeon")]).unwrap();
         t
     }
 
@@ -250,12 +243,8 @@ mod tests {
     #[test]
     fn column_values_in_row_order() {
         let t = small_table();
-        let ages: Vec<i64> = t
-            .column_values("age")
-            .unwrap()
-            .iter()
-            .map(|v| v.as_int().unwrap())
-            .collect();
+        let ages: Vec<i64> =
+            t.column_values("age").unwrap().iter().map(|v| v.as_int().unwrap()).collect();
         assert_eq!(ages, vec![34, 61, 29]);
     }
 
@@ -274,9 +263,7 @@ mod tests {
     fn new_inserts_after_delete_get_fresh_ids() {
         let mut t = small_table();
         t.delete_ids(&[TupleId(2)]);
-        let id = t
-            .insert(vec![Value::text("s4"), Value::int(50), Value::text("Nurse")])
-            .unwrap();
+        let id = t.insert(vec![Value::text("s4"), Value::int(50), Value::text("Nurse")]).unwrap();
         assert_eq!(id, TupleId(3), "ids are never reused");
     }
 

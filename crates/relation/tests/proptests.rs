@@ -14,11 +14,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
 }
 
 fn arb_table() -> impl Strategy<Value = Table> {
-    prop::collection::vec(
-        (arb_value(), arb_value(), arb_value()),
-        0..40,
-    )
-    .prop_map(|rows| {
+    prop::collection::vec((arb_value(), arb_value(), arb_value()), 0..40).prop_map(|rows| {
         let schema = Schema::new(vec![
             ColumnDef::new("id", ColumnRole::Identifying),
             ColumnDef::new("a", ColumnRole::QuasiNumeric),

@@ -157,10 +157,8 @@ impl HierarchicalWatermarker {
                         continue;
                     }
                 };
-                let max_node = cb
-                    .maximal
-                    .covering_node(tree, target)
-                    .map_err(WatermarkError::Dht)?;
+                let max_node =
+                    cb.maximal.covering_node(tree, target).map_err(WatermarkError::Dht)?;
                 if cb.ultimate.contains(max_node) {
                     // No gap at this cell: permuting here would exceed the
                     // usage metrics (§5.1 special case), so skip it.
@@ -168,8 +166,15 @@ impl HierarchicalWatermarker {
                     continue;
                 }
                 let bit = wmd[selector.bit_index(&ident, &cb.column, wmd.len())];
-                let new_node =
-                    descend_with_bit(tree, &cb.ultimate, max_node, &selector, &ident, &cb.column, bit)?;
+                let new_node = descend_with_bit(
+                    tree,
+                    &cb.ultimate,
+                    max_node,
+                    &selector,
+                    &ident,
+                    &cb.column,
+                    bit,
+                )?;
                 let new_value = tree.node_value(new_node).map_err(WatermarkError::Dht)?;
                 report.embedded_cells += 1;
                 if &new_value != value {

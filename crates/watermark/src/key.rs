@@ -217,14 +217,7 @@ mod tests {
     fn fold_majority_votes_across_copies() {
         // mark_len = 2, three copies; position 0 sees [1, 1, 0] → 1,
         // position 1 sees [0, None, 0] → 0.
-        let recovered = vec![
-            Some(true),
-            Some(false),
-            Some(true),
-            None,
-            Some(false),
-            Some(false),
-        ];
+        let recovered = vec![Some(true), Some(false), Some(true), None, Some(false), Some(false)];
         assert_eq!(Mark::fold_majority(&recovered, 2), vec![true, false]);
     }
 

@@ -26,9 +26,23 @@
 //! * [`ownership`] — the rightful-ownership protocol of §5.4: the mark is
 //!   `F(v)` for a statistic `v` of the clear-text identifying column, so the
 //!   owner never has to present the entire original table in court.
+//!
+//! The ownership resolver derives the owner's mark from the original data
+//! alone, so the court can recompute it at dispute time:
+//!
+//! ```
+//! use medshield_datagen::{DatasetConfig, MedicalDataset};
+//! use medshield_watermark::ownership::OwnershipProof;
+//!
+//! let ds = MedicalDataset::generate(&DatasetConfig::small(100));
+//! let proof = OwnershipProof::from_original_table(&ds.table, 16).unwrap();
+//! assert_eq!(proof.mark().len(), 16);
+//! // Deterministic: the same table always yields the same mark.
+//! assert_eq!(proof.mark().bits(), OwnershipProof::from_original_table(&ds.table, 16).unwrap().mark().bits());
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod error;
 pub mod hierarchical;

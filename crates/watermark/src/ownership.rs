@@ -35,10 +35,8 @@ impl OwnershipProof {
     pub fn from_original_table(table: &Table, mark_len: usize) -> Option<OwnershipProof> {
         let ident_indices = table.schema().identifying_indices();
         let first = *ident_indices.first()?;
-        let values: Vec<f64> = table
-            .iter()
-            .map(|t| numeric_projection(&t.values[first].canonical_bytes()))
-            .collect();
+        let values: Vec<f64> =
+            table.iter().map(|t| numeric_projection(&t.values[first].canonical_bytes())).collect();
         if values.is_empty() {
             return None;
         }

@@ -46,10 +46,7 @@ impl TupleIdentity {
                 if columns.is_empty() {
                     return Err(WatermarkError::NoIdentity);
                 }
-                columns
-                    .iter()
-                    .map(|c| table.schema().index_of(c))
-                    .collect::<Result<Vec<_>, _>>()?
+                columns.iter().map(|c| table.schema().index_of(c)).collect::<Result<Vec<_>, _>>()?
             }
         };
         let mut out = Vec::new();
@@ -94,8 +91,7 @@ impl Selector {
         if wmd_len == 0 {
             return 0;
         }
-        self.permutation
-            .labeled_value_mod(&format!("bit:{column}"), ident, wmd_len as u64) as usize
+        self.permutation.labeled_value_mod(&format!("bit:{column}"), ident, wmd_len as u64) as usize
     }
 
     /// Raw permutation index for a sibling set of size `set_len`
@@ -104,8 +100,8 @@ impl Selector {
         if set_len == 0 {
             return 0;
         }
-        self.permutation
-            .labeled_value_mod(&format!("perm:{column}"), ident, set_len as u64) as usize
+        self.permutation.labeled_value_mod(&format!("perm:{column}"), ident, set_len as u64)
+            as usize
     }
 }
 
@@ -192,10 +188,7 @@ mod tests {
 
     #[test]
     fn from_virtual_columns_picks_source() {
-        assert_eq!(
-            TupleIdentity::from_virtual_columns(&[]),
-            TupleIdentity::IdentifyingColumns
-        );
+        assert_eq!(TupleIdentity::from_virtual_columns(&[]), TupleIdentity::IdentifyingColumns);
         assert_eq!(
             TupleIdentity::from_virtual_columns(&["a".into()]),
             TupleIdentity::VirtualKey(vec!["a".into()])
@@ -213,9 +206,7 @@ mod tests {
         let key = WatermarkKey::from_master(b"secret", 10);
         let sel = Selector::new(&key).unwrap();
         let n = 10_000;
-        let picked = (0..n)
-            .filter(|i| sel.selects(format!("ident-{i}").as_bytes()))
-            .count();
+        let picked = (0..n).filter(|i| sel.selects(format!("ident-{i}").as_bytes())).count();
         let expected = n as f64 / 10.0;
         assert!(
             (picked as f64 - expected).abs() < expected * 0.3,

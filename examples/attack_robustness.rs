@@ -34,19 +34,10 @@ fn main() {
     );
 
     let attacks: Vec<(String, Box<dyn Attack>)> = vec![
-        (
-            "subset alteration 30%".into(),
-            Box::new(SubsetAlteration::new(0.30, 1)),
-        ),
-        (
-            "subset alteration 60%".into(),
-            Box::new(SubsetAlteration::new(0.60, 2)),
-        ),
+        ("subset alteration 30%".into(), Box::new(SubsetAlteration::new(0.30, 1))),
+        ("subset alteration 60%".into(), Box::new(SubsetAlteration::new(0.60, 2))),
         ("subset addition 50%".into(), Box::new(SubsetAddition::new(0.50, 3))),
-        (
-            "subset deletion 50% (random)".into(),
-            Box::new(SubsetDeletion::random(0.50, 4)),
-        ),
+        ("subset deletion 50% (random)".into(), Box::new(SubsetDeletion::random(0.50, 4))),
         (
             "subset deletion 40% (SQL ranges)".into(),
             Box::new(SubsetDeletion::ranges(0.40, 5, "ssn")),
@@ -69,9 +60,8 @@ fn main() {
     println!("\n{:<42} {:>10} {:>12}", "attack", "mark loss", "table size");
     for (name, attack) in &attacks {
         let attacked = attack.apply(&release.table);
-        let detection = pipeline
-            .detect(&attacked, &release.binning.columns, &dataset.trees)
-            .unwrap();
+        let detection =
+            pipeline.detect(&attacked, &release.binning.columns, &dataset.trees).unwrap();
         let loss = mark_loss(release.mark.bits(), &detection.mark);
         println!("{:<42} {:>9.1}% {:>12}", name, loss * 100.0, attacked.len());
     }

@@ -56,9 +56,8 @@ fn main() {
 
     // The owner's detector still finds the owner's mark (the attacker's extra
     // permutations act like a subset-alteration attack).
-    let owner_detection = owner
-        .detect(&double_marked, &release.binning.columns, &dataset.trees)
-        .unwrap();
+    let owner_detection =
+        owner.detect(&double_marked, &release.binning.columns, &dataset.trees).unwrap();
     let owner_verdict = owner.resolve_ownership(
         &owner_proof,
         &double_marked,
@@ -78,9 +77,8 @@ fn main() {
     // binning key), so his recomputed statistic is garbage; and his mark is
     // not F(v) for any v he can exhibit of the clear-text identifiers.
     let attacker_claim = OwnershipProof { statistic: 987_654_321.0, mark_len: 20 };
-    let attacker_detection = attacker_wm
-        .detect(&double_marked, &release.binning.columns, &dataset.trees, 20)
-        .unwrap();
+    let attacker_detection =
+        attacker_wm.detect(&double_marked, &release.binning.columns, &dataset.trees, 20).unwrap();
     let attacker_verdict = owner.resolve_ownership(
         // The court uses the claimant's own proof and extraction, but the
         // decryption step requires the binning key, which only the owner has.

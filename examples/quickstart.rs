@@ -13,7 +13,10 @@ fn main() {
     // 1. A synthetic hospital data set (stand-in for the paper's 20,000-tuple
     //    clinical table). 2,000 tuples keep the example fast.
     let dataset = MedicalDataset::generate(&DatasetConfig::small(2_000));
-    println!("generated {} tuples with schema R(ssn, age, zip_code, doctor, symptom, prescription)", dataset.table.len());
+    println!(
+        "generated {} tuples with schema R(ssn, age, zip_code, doctor, symptom, prescription)",
+        dataset.table.len()
+    );
 
     // 2. Configure the framework: 10-anonymity, watermark 1 tuple in 10,
     //    20-bit mark derived from the owner's name.
@@ -28,15 +31,17 @@ fn main() {
 
     // 3. Protect: binning (privacy) followed by hierarchical watermarking
     //    (ownership).
-    let release = pipeline
-        .protect(&dataset.table, &dataset.trees)
-        .expect("the synthetic data are binnable");
+    let release =
+        pipeline.protect(&dataset.table, &dataset.trees).expect("the synthetic data are binnable");
 
     // 4. Privacy check: every quasi-identifier combination is shared by at
     //    least k records.
     let quasi = release.table.schema().quasi_names();
     let k_ok = satisfies_k_anonymity(&release.binning.table, &quasi, 10).unwrap();
-    println!("k-anonymity (k=10) on the binned table: {}", if k_ok { "satisfied" } else { "NOT satisfied" });
+    println!(
+        "k-anonymity (k=10) on the binned table: {}",
+        if k_ok { "satisfied" } else { "NOT satisfied" }
+    );
 
     // 5. Information loss of the release (Eq. 3).
     let cgs: Vec<ColumnGeneralization<'_>> = release
@@ -53,9 +58,8 @@ fn main() {
     println!("normalized information loss of binning: {:.1}%", loss * 100.0);
 
     // 6. Ownership check: the mark is recoverable from the released table.
-    let detection = pipeline
-        .detect(&release.table, &release.binning.columns, &dataset.trees)
-        .unwrap();
+    let detection =
+        pipeline.detect(&release.table, &release.binning.columns, &dataset.trees).unwrap();
     println!(
         "embedded mark : {}\nrecovered mark: {}",
         release.mark,

@@ -1,0 +1,188 @@
+//! Offline micro-benchmark harness exposing the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API this workspace uses.
+//!
+//! The workspace builds hermetically (no crates.io access), so its
+//! `cargo bench` targets run on this small stand-in: each benchmark is warmed
+//! up briefly, timed for a fixed wall-clock budget, and reported as a
+//! mean-per-iteration line on stdout. There is no statistical analysis,
+//! plotting, or saved baseline — swap the workspace dependency for the real
+//! crate when comparative numbers are needed.
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("sum", |b| b.iter(|| (0..100u64).map(black_box).sum::<u64>()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value
+/// (thin wrapper over [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How long each benchmark is measured for.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// How long each benchmark is warmed up for.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// A named benchmark id, optionally carrying a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// An id that is just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Times closures; handed to the benchmark function.
+pub struct Bencher {
+    iters: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, then run repeatedly within the budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        // Size batches so the clock is read ~100 times per budget at most.
+        let batch = (warmup_iters / 4).max(1);
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.iters = iters;
+        self.mean = start.elapsed() / iters.max(1) as u32;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_one(name, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into() }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's budget is wall-clock based.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark of the group against `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.name), |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut bencher = Bencher { iters: 0, mean: Duration::ZERO };
+    f(&mut bencher);
+    println!("bench {name:<50} {:>12.3?} /iter ({} iters)", bencher.mean, bencher.iters);
+}
+
+/// Collect benchmark functions into one runner, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut ran = false;
+        Criterion::default().bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &k| {
+            b.iter(|| black_box(k * 2));
+            seen = k;
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &k| {
+            b.iter(|| black_box(k * 2));
+            seen += k;
+        });
+        group.finish();
+        assert_eq!(seen, 8);
+    }
+}

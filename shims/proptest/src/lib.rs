@@ -1,0 +1,632 @@
+//! Offline mini property-testing harness exposing the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API this workspace uses.
+//!
+//! The workspace builds hermetically (no crates.io access), so its
+//! property-based tests run on this small, self-contained engine instead of
+//! the real `proptest`. Supported surface:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   inner attribute) and the [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`], [`prop_assume!`] and [`prop_oneof!`] macros,
+//! * [`Strategy`] with `prop_map` and `boxed`, implemented for integer
+//!   ranges, tuples, [`Just`], [`any`] and simple `"[class]{lo,hi}"` string
+//!   patterns,
+//! * [`collection::vec`] (re-exported as `prop::collection::vec` from the
+//!   [`prelude`]).
+//!
+//! Differences from the real crate: no shrinking (a failure reports the test
+//! name, case number and seed instead of a minimized input), regex string
+//! strategies only support a single character class with a `{lo,hi}`
+//! repetition, and the default number of cases is 64.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #[test]
+//!     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+// The crate example above must show `#[test]` inside `proptest!` because
+// that is exactly what callers write; the doctest only checks compilation.
+#![allow(clippy::test_attr_in_doctest)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// The random source handed to strategies (a seeded [`StdRng`]).
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic generator for a named test.
+    pub fn for_test(name: &str) -> TestRng {
+        // Mix the test name into the seed so sibling tests draw different
+        // streams while every run of the same test is reproducible.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn u64_below(&mut self, n: u64) -> u64 {
+        self.0.gen_range(0..n.max(1))
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assert!`-style failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: the inputs do not apply, try others.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// An input rejection.
+    pub fn reject() -> TestCaseError {
+        TestCaseError::Reject
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Per-test configuration, settable via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections before the runner gives up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_global_rejects: 4096 }
+    }
+}
+
+/// Drives one `proptest!`-generated test; called by the macro expansion.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_test(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    // A pass here would be vacuous; fail loudly like real
+                    // proptest's "Too many global rejects".
+                    panic!(
+                        "proptest {name}: too many prop_assume! rejects \
+                         ({rejected}; only {accepted}/{} cases ran)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest {name} failed at case {accepted} \
+                     (deterministic seed; rerun this test to reproduce): {message}"
+                );
+            }
+        }
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Unlike real proptest there is no shrinking tree; a strategy simply draws a
+/// fresh value per case.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] backing [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-typed strategies; built by [`prop_oneof!`].
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// A union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let arm = rng.u64_below(self.0.len() as u64) as usize;
+        self.0[arm].new_value(rng)
+    }
+}
+
+/// Types with a canonical full-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.0.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.0.gen()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`, e.g. `any::<u8>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) }
+
+/// String strategies from `"[class]{lo,hi}"` patterns.
+///
+/// Only this single-class shape of proptest's regex strategies is supported;
+/// a pattern without metacharacters generates itself literally. Anything
+/// else panics with a clear message.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_pattern(self);
+        let len = lo + rng.u64_below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| alphabet[rng.u64_below(alphabet.len() as u64) as usize]).collect()
+    }
+}
+
+/// Parse `[class]{lo,hi}` into (alphabet, lo, hi); literals become
+/// themselves with a fixed repetition of 1.
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let unsupported = || {
+        panic!(
+            "the proptest shim only supports \"[class]{{lo,hi}}\" string \
+             patterns or plain literals, got {pattern:?}"
+        )
+    };
+    if !pattern.starts_with('[') {
+        if pattern.contains(['[', ']', '{', '}', '*', '+', '?', '|', '(', ')']) {
+            unsupported();
+        }
+        // A literal: "generate" the literal itself.
+        return (pattern.chars().collect(), 1, 1);
+    }
+    let Some(class_end) = pattern.find(']') else { return unsupported() };
+    let class: Vec<char> = pattern[1..class_end].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `x-y` is a range unless the `-` is the first or last character.
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            if a > b {
+                unsupported();
+            }
+            alphabet.extend((a..=b).filter(|c| c.is_ascii() || a == b));
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        unsupported();
+    }
+    let rest = &pattern[class_end + 1..];
+    let (lo, hi) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let Some(inner) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+            return unsupported();
+        };
+        match inner.split_once(',') {
+            Some((lo, hi)) => match (lo.trim().parse(), hi.trim().parse()) {
+                (Ok(lo), Ok(hi)) if lo <= hi => (lo, hi),
+                _ => return unsupported(),
+            },
+            None => match inner.trim().parse() {
+                Ok(n) => (n, n),
+                Err(_) => return unsupported(),
+            },
+        }
+    };
+    (alphabet, lo, hi)
+}
+
+/// Collection strategies (subset: [`collection::vec`]).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// An element-count range for [`vec()`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.u64_below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Mirror of real proptest's `prelude::prop` module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($config) $($rest)* }
+    };
+    (@run ($config:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $(let $arg = $strategy;)+
+                $crate::run_cases(&config, stringify!($name), |prop_rng| {
+                    // Each binding shadows its strategy with a drawn value,
+                    // so the body sees concretely-typed inputs (closures with
+                    // inferred parameters would break method resolution).
+                    $(let $arg = $crate::Strategy::new_value(&$arg, prop_rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}: {:?} vs {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {}: both {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Discard the current case (retry with fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i64..50, y in 1usize..=9) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..=9).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respect_the_range(v in prop::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn prop_map_applies(s in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert!(s % 2 == 0 && s < 20);
+        }
+
+        #[test]
+        fn oneof_covers_all_arms(v in prop_oneof![Just(1u8), Just(2u8), 3u8..=3]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        #[test]
+        fn string_patterns_match_class_and_length(s in "[a-c0-2 .:-]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| "abc012 .:-".contains(c)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn config_cases_are_honoured() {
+        let mut runs = 0;
+        super::run_cases(&ProptestConfig::with_cases(24), "counting", |_| {
+            runs += 1;
+            Ok(())
+        });
+        assert_eq!(runs, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest always_fails failed")]
+    fn failures_panic_with_the_test_name() {
+        super::run_cases(&ProptestConfig::with_cases(1), "always_fails", |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume! rejects")]
+    fn unsatisfiable_assumptions_fail_instead_of_passing_vacuously() {
+        super::run_cases(&ProptestConfig::with_cases(1), "always_rejects", |_| {
+            Err(TestCaseError::reject())
+        });
+    }
+
+    #[test]
+    fn literal_patterns_generate_themselves() {
+        let (alphabet, lo, hi) = super::parse_pattern("abc");
+        assert_eq!(alphabet, vec!['a', 'b', 'c']);
+        assert_eq!((lo, hi), (1, 1));
+    }
+}

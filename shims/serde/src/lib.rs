@@ -1,0 +1,13 @@
+//! Offline stand-in for the `serde` façade crate.
+//!
+//! Re-exports the no-op [`Serialize`] / [`Deserialize`] derive macros from
+//! the sibling `serde_derive` shim so that `use serde::{Deserialize,
+//! Serialize}` and `#[derive(serde::Serialize)]` compile unchanged in
+//! hermetic builds. No serializer runs anywhere in the workspace yet; when
+//! one is needed, point the workspace dependency at the real crates.io
+//! `serde` and everything keeps compiling.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so that the real `serde` can be dropped in once a
+//! serialization workload lands (see ROADMAP), but nothing currently calls a
+//! serializer. In hermetic builds these derives therefore expand to nothing:
+//! the annotation is kept purely as a forward-compatible marker.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

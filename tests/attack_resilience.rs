@@ -34,9 +34,7 @@ fn loss_under(
     release: &ProtectedRelease,
 ) -> f64 {
     let attacked = attack.apply(&release.table);
-    let detection = pipeline
-        .detect(&attacked, &release.binning.columns, &ds.trees)
-        .unwrap();
+    let detection = pipeline.detect(&attacked, &release.binning.columns, &ds.trees).unwrap();
     mark_loss(release.mark.bits(), &detection.mark)
 }
 
@@ -52,12 +50,8 @@ fn alteration_loss_is_monotone_in_attack_strength() {
     let (ds, pipeline, release) = protect(3_000, 10);
     let mut previous = -1.0f64;
     for (i, fraction) in [0.0, 0.4, 0.8].into_iter().enumerate() {
-        let loss = loss_under(
-            &SubsetAlteration::new(fraction, 42 + i as u64),
-            &ds,
-            &pipeline,
-            &release,
-        );
+        let loss =
+            loss_under(&SubsetAlteration::new(fraction, 42 + i as u64), &ds, &pipeline, &release);
         assert!(
             loss + 0.15 >= previous,
             "loss should generally grow with alteration strength ({previous} → {loss})"
@@ -77,10 +71,7 @@ fn addition_attack_is_weaker_than_alteration() {
 #[test]
 fn deletion_up_to_half_keeps_most_of_the_mark() {
     let (ds, pipeline, release) = protect(3_000, 10);
-    for style in [
-        SubsetDeletion::random(0.5, 5),
-        SubsetDeletion::ranges(0.5, 6, "ssn"),
-    ] {
+    for style in [SubsetDeletion::random(0.5, 5), SubsetDeletion::ranges(0.5, 6, "ssn")] {
         let loss = loss_under(&style, &ds, &pipeline, &release);
         assert!(loss <= 0.3, "{}: lost {loss}", style.describe());
     }
@@ -118,16 +109,12 @@ fn generalization_attack_defeats_single_level_but_not_hierarchical() {
     let mark = Mark::from_bytes(b"single-level-owner", 20);
     let marked = single.embed(&release.binning, &ds.trees, &mark).unwrap();
 
-    let clean = single
-        .detect(&marked, &release.binning.columns, &ds.trees, mark.len())
-        .unwrap();
+    let clean = single.detect(&marked, &release.binning.columns, &ds.trees, mark.len()).unwrap();
     let clean_loss = mark_loss(mark.bits(), &clean);
     assert!(clean_loss <= 0.1, "single-level clean detection lost {clean_loss}");
 
     let attacked = attack.apply(&marked);
-    let after = single
-        .detect(&attacked, &release.binning.columns, &ds.trees, mark.len())
-        .unwrap();
+    let after = single.detect(&attacked, &release.binning.columns, &ds.trees, mark.len()).unwrap();
     let attacked_loss = mark_loss(mark.bits(), &after);
     assert!(
         attacked_loss >= 0.25,

@@ -37,13 +37,8 @@ fn full_pipeline_guarantees_privacy_and_ownership() {
     }
 
     // The identifying column is encrypted: no original SSN appears anywhere.
-    let originals: std::collections::HashSet<&str> = ds
-        .table
-        .column_values("ssn")
-        .unwrap()
-        .into_iter()
-        .filter_map(|v| v.as_text())
-        .collect();
+    let originals: std::collections::HashSet<&str> =
+        ds.table.column_values("ssn").unwrap().into_iter().filter_map(|v| v.as_text()).collect();
     for v in release.table.column_values("ssn").unwrap() {
         assert!(!originals.contains(v.as_text().unwrap()));
     }
@@ -58,8 +53,7 @@ fn information_loss_stays_below_one_and_grows_with_k() {
     let ds = dataset(1_500);
     let mut previous = 0.0f64;
     for k in [2usize, 20, 80] {
-        let pipeline =
-            ProtectionPipeline::new(ProtectionConfig::builder().k(k).eta(25).build());
+        let pipeline = ProtectionPipeline::new(ProtectionConfig::builder().k(k).eta(25).build());
         let release = pipeline.protect(&ds.table, &ds.trees).unwrap();
         let cgs: Vec<ColumnGeneralization<'_>> = release
             .binning
@@ -128,7 +122,8 @@ fn two_owners_with_different_keys_do_not_interfere() {
     );
     let release_a = owner_a.protect(&ds.table, &ds.trees).unwrap();
     // Owner B's detector on owner A's release must not find owner B's mark.
-    let detection = owner_b.detect(&release_a.table, &release_a.binning.columns, &ds.trees).unwrap();
+    let detection =
+        owner_b.detect(&release_a.table, &release_a.binning.columns, &ds.trees).unwrap();
     let mark_b = medshield_core::watermark::Mark::from_bytes(b"owner-b", 20);
     assert!(mark_loss(mark_b.bits(), &detection.mark) > 0.2);
 }

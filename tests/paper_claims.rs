@@ -22,11 +22,8 @@ fn dataset(n: usize) -> MedicalDataset {
 #[test]
 fn fig11_shape_mono_vs_multi_information_loss() {
     let ds = dataset(2_000);
-    let maximal: BTreeMap<String, GeneralizationSet> = ds
-        .trees
-        .iter()
-        .map(|(n, t)| (n.clone(), GeneralizationSet::at_depth(t, 0)))
-        .collect();
+    let maximal: BTreeMap<String, GeneralizationSet> =
+        ds.trees.iter().map(|(n, t)| (n.clone(), GeneralizationSet::at_depth(t, 0))).collect();
 
     let mut mono_losses = Vec::new();
     let mut multi_losses = Vec::new();
@@ -128,7 +125,10 @@ fn fig13_shape_watermarking_info_loss_is_minor() {
         losses.push((binned_loss, extra));
     }
     for (binned_loss, extra) in &losses {
-        assert!(*extra <= 0.12, "watermarking altered {extra:.3} of the cells (binned loss {binned_loss:.3})");
+        assert!(
+            *extra <= 0.12,
+            "watermarking altered {extra:.3} of the cells (binned loss {binned_loss:.3})"
+        );
     }
     // Larger η → fewer selected tuples → less extra distortion.
     assert!(losses[1].1 <= losses[0].1 + 1e-9);
@@ -208,7 +208,13 @@ fn ownership_protocol_separates_owner_from_attacker() {
     };
     let attacker_detection =
         attacker.detect(&release.table, &release.binning.columns, &ds.trees).unwrap();
-    let attacker_verdict =
-        attacker.resolve_ownership(&bogus, &release.table, "ssn", &attacker_detection.mark, tau, 0.2);
+    let attacker_verdict = attacker.resolve_ownership(
+        &bogus,
+        &release.table,
+        "ssn",
+        &attacker_detection.mark,
+        tau,
+        0.2,
+    );
     assert!(!attacker_verdict.accepted);
 }
