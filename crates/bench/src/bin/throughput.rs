@@ -1,0 +1,148 @@
+//! Protection-engine throughput: rows/sec of chunk-parallel watermark
+//! embedding + detection at 1, 2, 4 and 8 worker threads, written to
+//! `BENCH_throughput.json`.
+//!
+//! The table is binned once (binning is sequential and off the measured
+//! path); each thread count then runs the embed + detect hot paths over the
+//! same binned table. Before timing, every configuration is checked to
+//! produce byte-identical output to the single-threaded run, so the numbers
+//! can never come from a divergent fast path.
+//!
+//! Environment:
+//!
+//! * `MEDSHIELD_BENCH_TUPLES` — table size (default 8000).
+//! * `MEDSHIELD_BENCH_ITERS` — timed iterations per thread count (default 3).
+//! * `MEDSHIELD_BENCH_OUT` — output path (default `BENCH_throughput.json`).
+
+use medshield_core::relation::csv;
+use medshield_core::{ProtectionConfig, ProtectionEngine};
+use medshield_datagen::{DatasetConfig, MedicalDataset};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct ThreadResult {
+    threads: usize,
+    embed_rows_per_sec: f64,
+    detect_rows_per_sec: f64,
+    rows_per_sec: f64,
+}
+
+fn main() {
+    let tuples = env_usize("MEDSHIELD_BENCH_TUPLES", 8000);
+    let iters = env_usize("MEDSHIELD_BENCH_ITERS", 3).max(1);
+    let out_path =
+        std::env::var("MEDSHIELD_BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
+
+    eprintln!("generating {tuples} tuples…");
+    let ds = MedicalDataset::generate(&DatasetConfig {
+        num_tuples: tuples,
+        seed: 0x1CDE_2005,
+        zipf_exponent: 0.8,
+    });
+    let config = || {
+        ProtectionConfig::builder()
+            .k(4)
+            .eta(5)
+            .duplication(4)
+            .mark_text("throughput-benchmark-owner")
+            .build()
+    };
+
+    // Bin once, sequentially: the watermark hot paths are what shards.
+    let reference_engine = ProtectionEngine::sequential(config());
+    let release = reference_engine
+        .protect_per_attribute(&ds.table, &ds.trees)
+        .expect("the synthetic table is binnable");
+    let binned = &release.binning;
+    let mark = &release.mark;
+    let reference_csv = csv::to_csv(&release.table);
+    let reference_detection = reference_engine
+        .detect(&release.table, &binned.columns, &ds.trees)
+        .expect("sequential detection succeeds");
+
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut results = Vec::new();
+    for &threads in &thread_counts {
+        let engine = ProtectionEngine::new(config(), threads);
+
+        // Equivalence gate: the timed path must reproduce the sequential
+        // bytes and the sequential detection report exactly.
+        let (table, _) = engine
+            .embed(&binned.table, &binned.columns, &ds.trees, mark)
+            .expect("embedding succeeds");
+        assert_eq!(
+            csv::to_csv(&table),
+            reference_csv,
+            "{threads}-thread embedding diverged from the sequential bytes"
+        );
+        let detection =
+            engine.detect(&table, &binned.columns, &ds.trees).expect("detection succeeds");
+        assert_eq!(
+            detection, reference_detection,
+            "{threads}-thread detection diverged from the sequential report"
+        );
+
+        // Warm-up once, then time.
+        let mut embed_secs = 0.0;
+        let mut detect_secs = 0.0;
+        for _ in 0..iters {
+            let start = Instant::now();
+            let (marked, _) = engine
+                .embed(&binned.table, &binned.columns, &ds.trees, mark)
+                .expect("embedding succeeds");
+            embed_secs += start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            let _ = engine.detect(&marked, &binned.columns, &ds.trees).expect("detection succeeds");
+            detect_secs += start.elapsed().as_secs_f64();
+        }
+        let n = (tuples * iters) as f64;
+        let result = ThreadResult {
+            threads,
+            embed_rows_per_sec: n / embed_secs,
+            detect_rows_per_sec: n / detect_secs,
+            rows_per_sec: 2.0 * n / (embed_secs + detect_secs),
+        };
+        eprintln!(
+            "{:>2} thread(s): embed {:>12.0} rows/s, detect {:>12.0} rows/s",
+            threads, result.embed_rows_per_sec, result.detect_rows_per_sec
+        );
+        results.push(result);
+    }
+
+    let speedup_4t = results
+        .iter()
+        .find(|r| r.threads == 4)
+        .map(|r| r.rows_per_sec / results[0].rows_per_sec)
+        .unwrap_or(f64::NAN);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"protection-engine-throughput\",\n");
+    json.push_str(&format!("  \"rows\": {tuples},\n"));
+    json.push_str(&format!("  \"iterations\": {iters},\n"));
+    json.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    ));
+    json.push_str("  \"equivalence_checked\": true,\n");
+    json.push_str("  \"threads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"embed_rows_per_sec\": {:.1}, \"detect_rows_per_sec\": {:.1}, \"rows_per_sec\": {:.1}}}{}\n",
+            r.threads,
+            r.embed_rows_per_sec,
+            r.detect_rows_per_sec,
+            r.rows_per_sec,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_4t_vs_1t\": {speedup_4t:.2}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    eprintln!("4-thread speedup over 1 thread: {speedup_4t:.2}x");
+    eprintln!("wrote {out_path}");
+}

@@ -5,7 +5,7 @@ use medshield_attacks::{
     Attack, GeneralizationAttack, SubsetAddition, SubsetAlteration, SubsetDeletion,
 };
 use medshield_core::metrics::mark_loss;
-use medshield_core::{ProtectionConfig, ProtectionPipeline};
+use medshield_core::{ProtectionConfig, ProtectionEngine};
 use medshield_datagen::{ontology, DatasetConfig, MedicalDataset};
 use medshield_relation::{csv, ColumnRole, Table};
 
@@ -17,17 +17,19 @@ USAGE:
   medshield generate --tuples N [--seed S] --out FILE.csv
   medshield protect  --input FILE.csv [--k K] [--eta ETA] [--duplication L]
                      [--enc-secret S1] [--wm-secret S2] [--mark-text T]
-                     [--per-attribute true] --out RELEASE.csv
+                     [--per-attribute true] [--threads N] --out RELEASE.csv
   medshield detect   --original FILE.csv --suspect SUSPECT.csv
                      [--k K] [--eta ETA] [--duplication L]
                      [--enc-secret S1] [--wm-secret S2] [--mark-text T]
-                     [--per-attribute true]
+                     [--per-attribute true] [--threads N]
   medshield attack   --input RELEASE.csv --kind alteration|addition|deletion|generalization
                      [--fraction F] [--levels N] [--seed S] --out ATTACKED.csv
 
 The CSV files use the schema R(ssn, age, zip_code, doctor, symptom, prescription)
 and the built-in domain ontologies. Detection re-derives the binning state from
-the original CSV and the same parameters, so no extra state file is needed.";
+the original CSV and the same parameters, so no extra state file is needed.
+--threads N shards watermark embedding/detection over N worker threads; the
+output is byte-identical for every N.";
 
 /// Column roles of the medical schema, used when re-importing CSV files.
 const ROLES: [(&str, ColumnRole); 6] = [
@@ -48,10 +50,11 @@ fn write_table(path: &str, table: &Table) -> Result<(), String> {
     std::fs::write(path, csv::to_csv(table)).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
-fn pipeline_from(options: &Options) -> Result<ProtectionPipeline, String> {
+fn engine_from(options: &Options) -> Result<ProtectionEngine, String> {
     let k: usize = options.parse_or("k", 10)?;
     let eta: u64 = options.parse_or("eta", 50)?;
     let duplication: usize = options.parse_or("duplication", 4)?;
+    let threads: usize = options.parse_or("threads", 1)?;
     let config = ProtectionConfig::builder()
         .k(k)
         .epsilon(options.parse_or("epsilon", 2)?)
@@ -62,7 +65,7 @@ fn pipeline_from(options: &Options) -> Result<ProtectionPipeline, String> {
         .encryption_secret(options.string_or("enc-secret", "medshield-enc").into_bytes())
         .watermark_secret(options.string_or("wm-secret", "medshield-wm").into_bytes())
         .build();
-    Ok(ProtectionPipeline::new(config))
+    Ok(ProtectionEngine::new(config, threads))
 }
 
 fn per_attribute(options: &Options) -> Result<bool, String> {
@@ -87,19 +90,21 @@ pub fn protect(options: &Options) -> Result<(), String> {
     let out = options.required("out")?;
     let table = read_table(input)?;
     let trees = ontology::all_trees();
-    let pipeline = pipeline_from(options)?;
+    let engine = engine_from(options)?;
     let release = if per_attribute(options)? {
-        pipeline.protect_per_attribute(&table, &trees)
+        engine.protect_per_attribute(&table, &trees)
     } else {
-        pipeline.protect(&table, &trees)
+        engine.protect(&table, &trees)
     }
     .map_err(|e| format!("protection failed: {e}"))?;
     write_table(out, &release.table)?;
     println!(
-        "protected {} tuples (k={}, η={}): {} tuples watermarked, {} cells changed",
+        "protected {} tuples (k={}, η={}, {} thread{}): {} tuples watermarked, {} cells changed",
         release.table.len(),
-        pipeline.config().binning.spec.k,
-        pipeline.config().watermark.key.eta,
+        engine.config().binning.spec.k,
+        engine.config().watermark.key.eta,
+        engine.threads(),
+        if engine.threads() == 1 { "" } else { "s" },
         release.embedding.selected_tuples,
         release.embedding.changed_cells,
     );
@@ -117,14 +122,14 @@ pub fn detect(options: &Options) -> Result<(), String> {
     let original = read_table(options.required("original")?)?;
     let suspect = read_table(options.required("suspect")?)?;
     let trees = ontology::all_trees();
-    let pipeline = pipeline_from(options)?;
+    let engine = engine_from(options)?;
     let release = if per_attribute(options)? {
-        pipeline.protect_per_attribute(&original, &trees)
+        engine.protect_per_attribute(&original, &trees)
     } else {
-        pipeline.protect(&original, &trees)
+        engine.protect(&original, &trees)
     }
     .map_err(|e| format!("re-deriving the binning state failed: {e}"))?;
-    let detection = pipeline
+    let detection = engine
         .detect(&suspect, &release.binning.columns, &trees)
         .map_err(|e| format!("detection failed: {e}"))?;
     let loss = mark_loss(release.mark.bits(), &detection.mark);
@@ -223,6 +228,39 @@ mod tests {
             ("suspect", attacked.to_str().unwrap()),
             ("k", "5"),
             ("eta", "5"),
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn threads_flag_produces_identical_release_bytes() {
+        let dir = std::env::temp_dir().join("medshield-cli-threads");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let seq = dir.join("release-1t.csv");
+        let par = dir.join("release-4t.csv");
+        generate(&opts(&[("tuples", "300"), ("seed", "11"), ("out", data.to_str().unwrap())]))
+            .unwrap();
+        let base = [("input", data.to_str().unwrap()), ("k", "4"), ("eta", "5")];
+        let mut one = base.to_vec();
+        one.push(("out", seq.to_str().unwrap()));
+        protect(&opts(&one)).unwrap();
+        let mut four = base.to_vec();
+        four.push(("out", par.to_str().unwrap()));
+        four.push(("threads", "4"));
+        protect(&opts(&four)).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&seq).unwrap(),
+            std::fs::read_to_string(&par).unwrap(),
+            "--threads must not change the release bytes"
+        );
+        // And multi-threaded detection accepts the release.
+        detect(&opts(&[
+            ("original", data.to_str().unwrap()),
+            ("suspect", par.to_str().unwrap()),
+            ("k", "4"),
+            ("eta", "5"),
+            ("threads", "4"),
         ]))
         .unwrap();
     }

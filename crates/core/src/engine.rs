@@ -1,0 +1,419 @@
+//! The chunk-parallel protection engine.
+//!
+//! [`ProtectionEngine`] runs the paper's Fig. 2 pipeline — binning agent,
+//! watermarking agent, detection, dispute resolution — with the watermark
+//! hot paths sharded over row chunks and executed on scoped threads.
+//!
+//! Tuple selection and embedding are keyed per-tuple PRF decisions (Eq. 5)
+//! with no cross-tuple data dependency, so the table can be split into
+//! disjoint row chunks processed independently (the same observation
+//! exploited by Agrawal–Kiernan-style relational watermarking):
+//!
+//! 1. the run-wide state (selector, resolved identity, extended mark, target
+//!    columns) is precomputed once as an
+//!    [`EmbedPlan`](medshield_watermark::EmbedPlan) /
+//!    [`DetectPlan`](medshield_watermark::DetectPlan);
+//! 2. the rows are split into `threads` contiguous chunks
+//!    (`chunks_mut` / `chunks`), one scoped worker per chunk
+//!    (`std::thread::scope` — no extra dependencies, no detached threads);
+//! 3. per-chunk results ([`EmbeddingReport`] counters, detection vote
+//!    tallies) are merged **in chunk order**.
+//!
+//! Because every per-tuple decision is content-keyed and chunk results merge
+//! by exact integer arithmetic, the parallel output is byte-identical to the
+//! sequential path for any thread count — a property pinned by the
+//! `engine_equivalence` test suite. Binning itself remains sequential: its
+//! bin-cardinality bookkeeping is a global computation and is not on the
+//! per-release hot path.
+
+use crate::config::ProtectionConfig;
+use medshield_binning::{BinningAgent, BinningError, BinningOutcome, ColumnBinning};
+use medshield_dht::{DomainHierarchyTree, GeneralizationSet};
+use medshield_relation::Table;
+use medshield_watermark::hierarchical::{DetectionTally, EmbeddingReport};
+use medshield_watermark::ownership::{self, OwnershipProof, OwnershipVerdict};
+use medshield_watermark::{DetectionReport, HierarchicalWatermarker, Mark, WatermarkError};
+use std::collections::BTreeMap;
+use std::thread;
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The binning stage failed.
+    Binning(BinningError),
+    /// The watermarking stage failed.
+    Watermark(WatermarkError),
+    /// The table has no identifying column to derive the ownership statistic
+    /// from.
+    NoIdentifyingColumn,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Binning(e) => write!(f, "binning failed: {e}"),
+            PipelineError::Watermark(e) => write!(f, "watermarking failed: {e}"),
+            PipelineError::NoIdentifyingColumn => {
+                write!(f, "the schema declares no identifying column")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<BinningError> for PipelineError {
+    fn from(e: BinningError) -> Self {
+        PipelineError::Binning(e)
+    }
+}
+
+impl From<WatermarkError> for PipelineError {
+    fn from(e: WatermarkError) -> Self {
+        PipelineError::Watermark(e)
+    }
+}
+
+/// Everything the data holder keeps after protecting a table: the release
+/// itself plus the state needed for later detection and dispute resolution.
+#[derive(Debug, Clone)]
+pub struct ProtectedRelease {
+    /// The binned **and** watermarked table — this is what gets outsourced.
+    pub table: Table,
+    /// The binning outcome (binned-but-unmarked table, per-column node sets).
+    /// Kept by the data holder; the maximal/ultimate sets are needed to
+    /// detect the mark later.
+    pub binning: BinningOutcome,
+    /// The embedded mark.
+    pub mark: Mark,
+    /// The ownership proof (`v` and `F(v)`), present when the mark was
+    /// derived from the identifying-column statistic.
+    pub ownership: Option<OwnershipProof>,
+    /// Statistics of the embedding run.
+    pub embedding: EmbeddingReport,
+}
+
+/// The unified protection framework — binning agent + watermarking agent —
+/// with chunk-parallel watermark embedding and detection.
+#[derive(Debug, Clone)]
+pub struct ProtectionEngine {
+    config: ProtectionConfig,
+    binning_agent: BinningAgent,
+    watermarker: HierarchicalWatermarker,
+    threads: usize,
+}
+
+impl ProtectionEngine {
+    /// Build an engine from a configuration. `threads` is the number of row
+    /// chunks the watermark hot paths are sharded into (clamped to at least
+    /// one); `1` reproduces the strictly sequential pipeline — though every
+    /// thread count produces byte-identical output, so the choice is purely
+    /// about hardware.
+    pub fn new(config: ProtectionConfig, threads: usize) -> Self {
+        let binning_agent = BinningAgent::new(config.binning.clone());
+        let watermarker = HierarchicalWatermarker::new(config.watermark.clone());
+        ProtectionEngine { config, binning_agent, watermarker, threads: threads.max(1) }
+    }
+
+    /// A single-threaded engine (the sequential pipeline).
+    pub fn sequential(config: ProtectionConfig) -> Self {
+        Self::new(config, 1)
+    }
+
+    /// Number of worker threads the watermark stages use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Change the worker-thread count (clamped to at least one).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ProtectionConfig {
+        &self.config
+    }
+
+    /// The binning agent (exposes the identifier cipher for dispute
+    /// resolution).
+    pub fn binning_agent(&self) -> &BinningAgent {
+        &self.binning_agent
+    }
+
+    /// The watermarking agent.
+    pub fn watermarker(&self) -> &HierarchicalWatermarker {
+        &self.watermarker
+    }
+
+    /// Default per-column usage metrics: maximal generalization nodes at the
+    /// configured depth.
+    pub fn default_maximal(
+        &self,
+        trees: &BTreeMap<String, DomainHierarchyTree>,
+    ) -> BTreeMap<String, GeneralizationSet> {
+        trees
+            .iter()
+            .map(|(name, tree)| {
+                (name.clone(), GeneralizationSet::at_depth(tree, self.config.default_maximal_depth))
+            })
+            .collect()
+    }
+
+    /// Protect `table`: bin to the k-anonymity specification under the
+    /// default usage metrics, then embed the owner's mark chunk-parallel.
+    pub fn protect(
+        &self,
+        table: &Table,
+        trees: &BTreeMap<String, DomainHierarchyTree>,
+    ) -> Result<ProtectedRelease, PipelineError> {
+        let maximal = self.default_maximal(trees);
+        self.protect_with_metrics(table, trees, &maximal)
+    }
+
+    /// Protect `table` under explicit per-column usage metrics (maximal
+    /// generalization nodes).
+    pub fn protect_with_metrics(
+        &self,
+        table: &Table,
+        trees: &BTreeMap<String, DomainHierarchyTree>,
+        maximal: &BTreeMap<String, GeneralizationSet>,
+    ) -> Result<ProtectedRelease, PipelineError> {
+        let binning = self.binning_agent.bin(table, trees, maximal)?;
+        self.finish_release(table, trees, binning)
+    }
+
+    /// Protect `table` enforcing k-anonymity **per attribute only** (the
+    /// mono-attribute stage of the paper; the granularity at which its §6
+    /// analysis and Fig. 12–14 experiments operate). Leaves much more
+    /// watermark bandwidth than the full combination requirement.
+    pub fn protect_per_attribute(
+        &self,
+        table: &Table,
+        trees: &BTreeMap<String, DomainHierarchyTree>,
+    ) -> Result<ProtectedRelease, PipelineError> {
+        let maximal = self.default_maximal(trees);
+        let binning = self.binning_agent.bin_per_attribute(table, trees, &maximal)?;
+        self.finish_release(table, trees, binning)
+    }
+
+    /// Shared tail of the protect variants: derive the mark and embed it.
+    fn finish_release(
+        &self,
+        original: &Table,
+        trees: &BTreeMap<String, DomainHierarchyTree>,
+        binning: BinningOutcome,
+    ) -> Result<ProtectedRelease, PipelineError> {
+        // The owner's mark: either F(statistic of the clear-text identifiers)
+        // or a hash of the configured mark text.
+        let (mark, ownership) = if self.config.mark_from_statistic {
+            let proof = OwnershipProof::from_original_table(original, self.config.mark_len)
+                .ok_or(PipelineError::NoIdentifyingColumn)?;
+            (proof.mark(), Some(proof))
+        } else {
+            (Mark::from_bytes(self.config.mark_text.as_bytes(), self.config.mark_len), None)
+        };
+
+        let (table, embedding) = self.embed(&binning.table, &binning.columns, trees, &mark)?;
+        Ok(ProtectedRelease { table, binning, mark, ownership, embedding })
+    }
+
+    /// Embed `mark` into a binned table, sharding the rows over the engine's
+    /// worker threads. Chunk reports are merged in chunk order; the result is
+    /// byte-identical to the sequential embedding.
+    pub fn embed(
+        &self,
+        binned_table: &Table,
+        binning_columns: &[ColumnBinning],
+        trees: &BTreeMap<String, DomainHierarchyTree>,
+        mark: &Mark,
+    ) -> Result<(Table, EmbeddingReport), PipelineError> {
+        let plan = self
+            .watermarker
+            .plan_embed(binned_table.schema(), binning_columns, trees, mark)
+            .map_err(PipelineError::Watermark)?;
+        let mut table = binned_table.snapshot();
+        let rows = table.tuples_mut();
+        let threads = self.threads.min(rows.len()).max(1);
+        if threads == 1 {
+            let report =
+                self.watermarker.embed_chunk(&plan, rows, 0).map_err(PipelineError::Watermark)?;
+            return Ok((table, report));
+        }
+        let chunk_size = rows.len().div_ceil(threads);
+        let watermarker = &self.watermarker;
+        let plan = &plan;
+        let results: Vec<Result<EmbeddingReport, WatermarkError>> = thread::scope(|scope| {
+            let workers: Vec<_> = rows
+                .chunks_mut(chunk_size)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    scope.spawn(move || watermarker.embed_chunk(plan, chunk, i * chunk_size))
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().expect("embedding worker panicked")).collect()
+        });
+        let mut report = EmbeddingReport::empty(plan.wmd_len());
+        for chunk_report in results {
+            report.merge(&chunk_report.map_err(PipelineError::Watermark)?);
+        }
+        Ok((table, report))
+    }
+
+    /// Detect the mark in a (possibly attacked) table, using the binning
+    /// state retained by the data holder. Votes are collected chunk-parallel
+    /// and merged in chunk order, so the report is identical to the
+    /// sequential detector's.
+    pub fn detect(
+        &self,
+        table: &Table,
+        columns: &[ColumnBinning],
+        trees: &BTreeMap<String, DomainHierarchyTree>,
+    ) -> Result<DetectionReport, PipelineError> {
+        let mark_len = self.config.mark_len;
+        let plan = self
+            .watermarker
+            .plan_detect(table.schema(), columns, trees, mark_len)
+            .map_err(PipelineError::Watermark)?;
+        let rows = table.tuples();
+        let threads = self.threads.min(rows.len()).max(1);
+        if threads == 1 {
+            let tally =
+                self.watermarker.detect_chunk(&plan, rows, 0).map_err(PipelineError::Watermark)?;
+            return Ok(tally.into_report(mark_len));
+        }
+        let chunk_size = rows.len().div_ceil(threads);
+        let watermarker = &self.watermarker;
+        let plan_ref = &plan;
+        let results: Vec<Result<DetectionTally, WatermarkError>> = thread::scope(|scope| {
+            let workers: Vec<_> = rows
+                .chunks(chunk_size)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    scope.spawn(move || watermarker.detect_chunk(plan_ref, chunk, i * chunk_size))
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().expect("detection worker panicked")).collect()
+        });
+        let mut tally = DetectionTally::new(plan.wmd_len());
+        for chunk_tally in results {
+            tally.merge(&chunk_tally.map_err(PipelineError::Watermark)?);
+        }
+        Ok(tally.into_report(mark_len))
+    }
+
+    /// Resolve an ownership dispute over `disputed` (§5.4): decrypt the
+    /// identifying column with the holder's binning key, recompute the
+    /// statistic, compare against the claimed proof and the extracted mark.
+    pub fn resolve_ownership(
+        &self,
+        proof: &OwnershipProof,
+        disputed: &Table,
+        identifier_column: &str,
+        extracted_mark: &[bool],
+        tau: f64,
+        max_mark_loss: f64,
+    ) -> OwnershipVerdict {
+        ownership::resolve_dispute(
+            proof,
+            disputed,
+            identifier_column,
+            |cipher| self.binning_agent.decrypt_identifier(cipher).ok(),
+            tau,
+            extracted_mark,
+            max_mark_loss,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medshield_datagen::{DatasetConfig, MedicalDataset};
+    use medshield_relation::csv;
+
+    fn dataset(n: usize) -> MedicalDataset {
+        MedicalDataset::generate(&DatasetConfig::small(n))
+    }
+
+    fn config(k: usize, eta: u64) -> ProtectionConfig {
+        ProtectionConfig::builder().k(k).eta(eta).duplication(2).mark_text("Engine Owner").build()
+    }
+
+    #[test]
+    fn parallel_release_is_byte_identical_to_sequential() {
+        let ds = dataset(1200);
+        let sequential = ProtectionEngine::sequential(config(4, 5));
+        let reference = sequential.protect(&ds.table, &ds.trees).unwrap();
+        let reference_csv = csv::to_csv(&reference.table);
+        for threads in [2usize, 3, 4, 8] {
+            let engine = ProtectionEngine::new(config(4, 5), threads);
+            let release = engine.protect(&ds.table, &ds.trees).unwrap();
+            assert_eq!(
+                csv::to_csv(&release.table),
+                reference_csv,
+                "{threads}-thread release must match the sequential bytes"
+            );
+            assert_eq!(release.embedding, reference.embedding, "{threads}-thread report");
+            assert_eq!(release.mark, reference.mark);
+        }
+    }
+
+    #[test]
+    fn parallel_detection_matches_sequential_report() {
+        let ds = dataset(1000);
+        let sequential = ProtectionEngine::sequential(config(4, 5));
+        let release = sequential.protect(&ds.table, &ds.trees).unwrap();
+        let reference =
+            sequential.detect(&release.table, &release.binning.columns, &ds.trees).unwrap();
+        assert_eq!(reference.mark, release.mark.bits());
+        for threads in [2usize, 4, 8] {
+            let engine = ProtectionEngine::new(config(4, 5), threads);
+            let report =
+                engine.detect(&release.table, &release.binning.columns, &ds.trees).unwrap();
+            assert_eq!(report, reference, "{threads}-thread detection report");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_degrades_gracefully() {
+        // A 40-row table offers too little bandwidth to guarantee exact mark
+        // recovery; what must hold is that 64 requested workers collapse to
+        // the row count and reproduce the sequential results exactly.
+        let ds = dataset(40);
+        let sequential = ProtectionEngine::sequential(config(2, 2));
+        let reference = sequential.protect(&ds.table, &ds.trees).unwrap();
+        let reference_report =
+            sequential.detect(&reference.table, &reference.binning.columns, &ds.trees).unwrap();
+        let engine = ProtectionEngine::new(config(2, 2), 64);
+        let release = engine.protect(&ds.table, &ds.trees).unwrap();
+        assert_eq!(csv::to_csv(&release.table), csv::to_csv(&reference.table));
+        let report = engine.detect(&release.table, &release.binning.columns, &ds.trees).unwrap();
+        assert_eq!(report, reference_report);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let engine = ProtectionEngine::new(config(2, 2), 0);
+        assert_eq!(engine.threads(), 1);
+        let mut engine = engine;
+        engine.set_threads(0);
+        assert_eq!(engine.threads(), 1);
+        engine.set_threads(4);
+        assert_eq!(engine.threads(), 4);
+    }
+
+    #[test]
+    fn empty_table_is_handled() {
+        let ds = dataset(10);
+        let empty = Table::new(ds.table.schema().clone());
+        let engine = ProtectionEngine::new(config(2, 2), 4);
+        // Binning an empty table succeeds trivially; embedding selects
+        // nothing; detection sees no votes.
+        let release = engine.protect(&empty, &ds.trees);
+        if let Ok(release) = release {
+            assert_eq!(release.table.len(), 0);
+            assert_eq!(release.embedding.selected_tuples, 0);
+        }
+    }
+}

@@ -23,10 +23,13 @@
 //!    identifying column, which settles the rightful-ownership problem
 //!    without presenting the original table in court.
 //!
-//! [`ProtectionPipeline`] wires the two agents together (Fig. 2 of the
-//! paper): `protect` runs binning followed by watermarking, `detect` recovers
-//! the mark from a (possibly attacked) release, and `resolve_ownership` runs
-//! the court protocol. [`interference`] quantifies how much watermarking
+//! [`ProtectionEngine`] wires the two agents together (Fig. 2 of the paper):
+//! `protect` runs binning followed by watermarking, `detect` recovers the
+//! mark from a (possibly attacked) release, and `resolve_ownership` runs the
+//! court protocol. The watermark hot paths are sharded over row chunks and
+//! run on scoped worker threads — with output byte-identical to the
+//! sequential path, which survives as the single-threaded
+//! [`ProtectionPipeline`]. [`interference`] quantifies how much watermarking
 //! perturbs the bins (Lemmas 1–2 and the Fig. 14 statistics).
 //!
 //! ```
@@ -52,12 +55,14 @@
 #![deny(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod interference;
 pub mod pipeline;
 
 pub use config::{ProtectionConfig, ProtectionConfigBuilder};
+pub use engine::{PipelineError, ProtectedRelease, ProtectionEngine};
 pub use interference::{analytic_interference, measure_interference, ColumnInterference};
-pub use pipeline::{ProtectedRelease, ProtectionPipeline};
+pub use pipeline::ProtectionPipeline;
 
 // Re-export the sub-crates so downstream users can depend on `medshield-core`
 // alone.

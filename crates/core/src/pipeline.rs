@@ -1,98 +1,44 @@
 //! The end-to-end protection pipeline (Fig. 2 of the paper): binning agent
 //! followed by watermarking agent, plus detection and the ownership-dispute
 //! protocol.
+//!
+//! [`ProtectionPipeline`] is the strictly sequential front door — a
+//! single-threaded [`ProtectionEngine`] — kept as the reference semantics
+//! the chunk-parallel engine is pinned against (the engine's output is
+//! byte-identical for every thread count).
 
 use crate::config::ProtectionConfig;
-use medshield_binning::{BinningAgent, BinningError, BinningOutcome, ColumnBinning};
+use crate::engine::ProtectionEngine;
+pub use crate::engine::{PipelineError, ProtectedRelease};
+use medshield_binning::{BinningAgent, ColumnBinning};
 use medshield_dht::{DomainHierarchyTree, GeneralizationSet};
 use medshield_relation::Table;
-use medshield_watermark::hierarchical::EmbeddingReport;
-use medshield_watermark::ownership::{self, OwnershipProof, OwnershipVerdict};
-use medshield_watermark::{DetectionReport, HierarchicalWatermarker, Mark, WatermarkError};
+use medshield_watermark::ownership::{OwnershipProof, OwnershipVerdict};
+use medshield_watermark::DetectionReport;
 use std::collections::BTreeMap;
 
-/// Errors from the end-to-end pipeline.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PipelineError {
-    /// The binning stage failed.
-    Binning(BinningError),
-    /// The watermarking stage failed.
-    Watermark(WatermarkError),
-    /// The table has no identifying column to derive the ownership statistic
-    /// from.
-    NoIdentifyingColumn,
-}
-
-impl std::fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PipelineError::Binning(e) => write!(f, "binning failed: {e}"),
-            PipelineError::Watermark(e) => write!(f, "watermarking failed: {e}"),
-            PipelineError::NoIdentifyingColumn => {
-                write!(f, "the schema declares no identifying column")
-            }
-        }
-    }
-}
-
-impl std::error::Error for PipelineError {}
-
-impl From<BinningError> for PipelineError {
-    fn from(e: BinningError) -> Self {
-        PipelineError::Binning(e)
-    }
-}
-
-impl From<WatermarkError> for PipelineError {
-    fn from(e: WatermarkError) -> Self {
-        PipelineError::Watermark(e)
-    }
-}
-
-/// Everything the data holder keeps after protecting a table: the release
-/// itself plus the state needed for later detection and dispute resolution.
-#[derive(Debug, Clone)]
-pub struct ProtectedRelease {
-    /// The binned **and** watermarked table — this is what gets outsourced.
-    pub table: Table,
-    /// The binning outcome (binned-but-unmarked table, per-column node sets).
-    /// Kept by the data holder; the maximal/ultimate sets are needed to
-    /// detect the mark later.
-    pub binning: BinningOutcome,
-    /// The embedded mark.
-    pub mark: Mark,
-    /// The ownership proof (`v` and `F(v)`), present when the mark was
-    /// derived from the identifying-column statistic.
-    pub ownership: Option<OwnershipProof>,
-    /// Statistics of the embedding run.
-    pub embedding: EmbeddingReport,
-}
-
-/// The unified protection framework: binning agent + watermarking agent.
+/// The unified protection framework: binning agent + watermarking agent,
+/// run sequentially.
 #[derive(Debug, Clone)]
 pub struct ProtectionPipeline {
-    config: ProtectionConfig,
-    binning_agent: BinningAgent,
-    watermarker: HierarchicalWatermarker,
+    engine: ProtectionEngine,
 }
 
 impl ProtectionPipeline {
     /// Build a pipeline from a configuration.
     pub fn new(config: ProtectionConfig) -> Self {
-        let binning_agent = BinningAgent::new(config.binning.clone());
-        let watermarker = HierarchicalWatermarker::new(config.watermark.clone());
-        ProtectionPipeline { config, binning_agent, watermarker }
+        ProtectionPipeline { engine: ProtectionEngine::sequential(config) }
     }
 
     /// The pipeline's configuration.
     pub fn config(&self) -> &ProtectionConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// The binning agent (exposes the identifier cipher for dispute
     /// resolution).
     pub fn binning_agent(&self) -> &BinningAgent {
-        &self.binning_agent
+        self.engine.binning_agent()
     }
 
     /// Default per-column usage metrics: maximal generalization nodes at the
@@ -101,12 +47,7 @@ impl ProtectionPipeline {
         &self,
         trees: &BTreeMap<String, DomainHierarchyTree>,
     ) -> BTreeMap<String, GeneralizationSet> {
-        trees
-            .iter()
-            .map(|(name, tree)| {
-                (name.clone(), GeneralizationSet::at_depth(tree, self.config.default_maximal_depth))
-            })
-            .collect()
+        self.engine.default_maximal(trees)
     }
 
     /// Protect `table`: bin to the k-anonymity specification under the
@@ -116,8 +57,7 @@ impl ProtectionPipeline {
         table: &Table,
         trees: &BTreeMap<String, DomainHierarchyTree>,
     ) -> Result<ProtectedRelease, PipelineError> {
-        let maximal = self.default_maximal(trees);
-        self.protect_with_metrics(table, trees, &maximal)
+        self.engine.protect(table, trees)
     }
 
     /// Protect `table` under explicit per-column usage metrics (maximal
@@ -128,8 +68,7 @@ impl ProtectionPipeline {
         trees: &BTreeMap<String, DomainHierarchyTree>,
         maximal: &BTreeMap<String, GeneralizationSet>,
     ) -> Result<ProtectedRelease, PipelineError> {
-        let binning = self.binning_agent.bin(table, trees, maximal)?;
-        self.finish_release(table, trees, binning)
+        self.engine.protect_with_metrics(table, trees, maximal)
     }
 
     /// Protect `table` enforcing k-anonymity **per attribute only** (the
@@ -141,30 +80,7 @@ impl ProtectionPipeline {
         table: &Table,
         trees: &BTreeMap<String, DomainHierarchyTree>,
     ) -> Result<ProtectedRelease, PipelineError> {
-        let maximal = self.default_maximal(trees);
-        let binning = self.binning_agent.bin_per_attribute(table, trees, &maximal)?;
-        self.finish_release(table, trees, binning)
-    }
-
-    /// Shared tail of the protect variants: derive the mark and embed it.
-    fn finish_release(
-        &self,
-        original: &Table,
-        trees: &BTreeMap<String, DomainHierarchyTree>,
-        binning: BinningOutcome,
-    ) -> Result<ProtectedRelease, PipelineError> {
-        // The owner's mark: either F(statistic of the clear-text identifiers)
-        // or a hash of the configured mark text.
-        let (mark, ownership) = if self.config.mark_from_statistic {
-            let proof = OwnershipProof::from_original_table(original, self.config.mark_len)
-                .ok_or(PipelineError::NoIdentifyingColumn)?;
-            (proof.mark(), Some(proof))
-        } else {
-            (Mark::from_bytes(self.config.mark_text.as_bytes(), self.config.mark_len), None)
-        };
-
-        let (table, embedding) = self.watermarker.embed(&binning, trees, &mark)?;
-        Ok(ProtectedRelease { table, binning, mark, ownership, embedding })
+        self.engine.protect_per_attribute(table, trees)
     }
 
     /// Detect the mark in a (possibly attacked) table, using the binning
@@ -175,7 +91,7 @@ impl ProtectionPipeline {
         columns: &[ColumnBinning],
         trees: &BTreeMap<String, DomainHierarchyTree>,
     ) -> Result<DetectionReport, PipelineError> {
-        Ok(self.watermarker.detect(table, columns, trees, self.config.mark_len)?)
+        self.engine.detect(table, columns, trees)
     }
 
     /// Resolve an ownership dispute over `disputed` (§5.4): decrypt the
@@ -190,13 +106,12 @@ impl ProtectionPipeline {
         tau: f64,
         max_mark_loss: f64,
     ) -> OwnershipVerdict {
-        ownership::resolve_dispute(
+        self.engine.resolve_ownership(
             proof,
             disputed,
             identifier_column,
-            |cipher| self.binning_agent.decrypt_identifier(cipher).ok(),
-            tau,
             extracted_mark,
+            tau,
             max_mark_loss,
         )
     }
@@ -205,8 +120,10 @@ impl ProtectionPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use medshield_binning::BinningError;
     use medshield_datagen::{DatasetConfig, MedicalDataset};
     use medshield_metrics::mark_loss;
+    use medshield_watermark::WatermarkError;
 
     fn dataset(n: usize) -> MedicalDataset {
         MedicalDataset::generate(&DatasetConfig::small(n))
@@ -346,6 +263,47 @@ mod tests {
                 assert!(maximal[&cb.column].covering_node(tree, node).is_ok());
             }
         }
+    }
+
+    /// §5.4 under fire: the rightful owner must still win a dispute over a
+    /// release mauled by a composition of the paper's attack models, and an
+    /// attacker presenting a fabricated statistic over the same mauled
+    /// release must still lose.
+    #[test]
+    fn dispute_resolves_correctly_on_mixed_attacked_release() {
+        use medshield_attacks::{Attack, MixedAttack, SubsetAlteration, SubsetDeletion};
+
+        let ds = dataset(1500);
+        let p = ProtectionPipeline::new(
+            ProtectionConfig::builder()
+                .k(4)
+                .eta(5)
+                .duplication(2)
+                .mark_from_statistic(true)
+                .build(),
+        );
+        let release = p.protect(&ds.table, &ds.trees).unwrap();
+        let proof = release.ownership.clone().expect("statistic-derived mark carries a proof");
+
+        // A mild mixed attack: delete 10% of the tuples, then alter 5%.
+        let attack = MixedAttack::new()
+            .then(SubsetDeletion::random(0.10, 7))
+            .then(SubsetAlteration::new(0.05, 8));
+        let attacked = attack.apply(&release.table);
+        assert!(attacked.len() < release.table.len());
+
+        let detection = p.detect(&attacked, &release.binning.columns, &ds.trees).unwrap();
+        let tau = proof.statistic.abs() * 0.05 + 1.0;
+        let verdict = p.resolve_ownership(&proof, &attacked, "ssn", &detection.mark, tau, 0.25);
+        assert!(verdict.statistic_consistent, "{verdict:?}");
+        assert!(verdict.accepted, "owner must prevail on a mildly attacked release: {verdict:?}");
+
+        // The thief's claim over the very same attacked table: wrong statistic
+        // (he cannot decrypt the identifiers to compute the real one).
+        let bogus = OwnershipProof { statistic: proof.statistic + 10_000_000.0, mark_len: 20 };
+        let thief_verdict =
+            p.resolve_ownership(&bogus, &attacked, "ssn", &detection.mark, tau, 0.25);
+        assert!(!thief_verdict.accepted, "{thief_verdict:?}");
     }
 
     #[test]

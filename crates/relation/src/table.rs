@@ -101,6 +101,20 @@ impl Table {
         self.rows.iter()
     }
 
+    /// All tuples as a slice, in insertion order. Row chunks handed to
+    /// parallel workers are sub-slices of this.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// All tuples as a mutable slice, in insertion order. The chunk-parallel
+    /// protection engine splits this with `chunks_mut` so each worker edits a
+    /// disjoint row range in place. Callers must preserve each tuple's arity
+    /// (as with [`Table::iter_mut`]).
+    pub fn tuples_mut(&mut self) -> &mut [Tuple] {
+        &mut self.rows
+    }
+
     /// Iterate mutably over all tuples.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Tuple> {
         self.rows.iter_mut()
@@ -285,6 +299,21 @@ mod tests {
         t.set_value(TupleId(0), "age", Value::int(99)).unwrap();
         assert_eq!(snap.value(TupleId(0), "age").unwrap(), &Value::int(34));
         assert_eq!(t.value(TupleId(0), "age").unwrap(), &Value::int(99));
+    }
+
+    #[test]
+    fn tuple_slices_expose_rows_in_order() {
+        let mut t = small_table();
+        let ids: Vec<TupleId> = t.tuples().iter().map(|tp| tp.id).collect();
+        assert_eq!(ids, t.ids());
+        // Mutating through a chunk of the slice edits the table in place.
+        let mid = t.len() / 2;
+        let (_, back) = t.tuples_mut().split_at_mut(mid);
+        for tuple in back {
+            tuple.values[1] = Value::int(0);
+        }
+        assert_eq!(t.value(TupleId(2), "age").unwrap(), &Value::int(0));
+        assert_eq!(t.value(TupleId(0), "age").unwrap(), &Value::int(34));
     }
 
     #[test]

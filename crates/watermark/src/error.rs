@@ -22,6 +22,9 @@ pub enum WatermarkError {
     /// The table exposes no identifying column and no virtual key columns
     /// were configured.
     NoIdentity,
+    /// A virtual-key column list names the same column twice; the duplicate
+    /// would silently weaken the tuple identity, so it is rejected.
+    DuplicateIdentityColumn(String),
 }
 
 impl std::fmt::Display for WatermarkError {
@@ -35,6 +38,9 @@ impl std::fmt::Display for WatermarkError {
             WatermarkError::InvalidEta => write!(f, "eta must be at least 1"),
             WatermarkError::NoIdentity => {
                 write!(f, "no identifying columns available and no virtual key configured")
+            }
+            WatermarkError::DuplicateIdentityColumn(c) => {
+                write!(f, "virtual key names column {c} more than once")
             }
         }
     }

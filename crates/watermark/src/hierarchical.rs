@@ -20,14 +20,16 @@
 
 use crate::error::WatermarkError;
 use crate::key::{Mark, WatermarkConfig};
-use crate::select::{set_parity, Selector, TupleIdentity};
+use crate::plan::{DetectPlan, EmbedPlan};
+use crate::select::{set_parity, Selector};
 use crate::voting::{level_weights, majority, weighted_majority, VoteAccumulator};
 use medshield_binning::{BinningOutcome, ColumnBinning};
 use medshield_dht::{DomainHierarchyTree, GeneralizationSet, NodeId};
-use medshield_relation::{Table, TupleId};
+use medshield_relation::{Table, Tuple};
 use std::collections::BTreeMap;
 
-/// Statistics of an embedding run.
+/// Statistics of an embedding run (or of one row chunk of a run; chunk
+/// reports combine with [`EmbeddingReport::merge`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EmbeddingReport {
     /// Number of tuples selected by Eq. (5).
@@ -43,7 +45,35 @@ pub struct EmbeddingReport {
     pub wmd_len: usize,
 }
 
+impl EmbeddingReport {
+    /// An all-zero report for a run with the given extended-mark length.
+    pub fn empty(wmd_len: usize) -> Self {
+        EmbeddingReport {
+            selected_tuples: 0,
+            embedded_cells: 0,
+            changed_cells: 0,
+            skipped_cells: 0,
+            wmd_len,
+        }
+    }
+
+    /// Fold another chunk's counters into this report. All counters are
+    /// plain sums, so merging chunk reports in any order yields exactly the
+    /// sequential run's report.
+    pub fn merge(&mut self, other: &EmbeddingReport) {
+        debug_assert_eq!(self.wmd_len, other.wmd_len, "reports from different runs");
+        self.selected_tuples += other.selected_tuples;
+        self.embedded_cells += other.embedded_cells;
+        self.changed_cells += other.changed_cells;
+        self.skipped_cells += other.skipped_cells;
+    }
+}
+
 /// Result of a detection run.
+///
+/// A finished report carries the *resolved* mark, which cannot be merged
+/// losslessly; the mergeable intermediate is [`DetectionTally`], which keeps
+/// the raw per-position votes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetectionReport {
     /// The recovered mark bits (length = the configured mark length).
@@ -60,6 +90,57 @@ impl DetectionReport {
     /// The recovered mark as a [`Mark`].
     pub fn as_mark(&self) -> Mark {
         Mark::from_bits(self.mark.clone())
+    }
+}
+
+/// The mergeable intermediate of a detection run: per-position vote totals
+/// plus the selected-tuple count of the rows scanned so far. One tally per
+/// row chunk, merged in any order, resolves to exactly the sequential
+/// [`DetectionReport`] (vote weights are small integral counts, so the
+/// floating-point sums are exact).
+#[derive(Debug, Clone)]
+pub struct DetectionTally {
+    votes: VoteAccumulator,
+    selected_tuples: usize,
+}
+
+impl DetectionTally {
+    /// An empty tally for an extended mark of `wmd_len` positions.
+    pub fn new(wmd_len: usize) -> Self {
+        DetectionTally { votes: VoteAccumulator::new(wmd_len), selected_tuples: 0 }
+    }
+
+    /// Fold another chunk's votes and counters into this tally.
+    pub fn merge(&mut self, other: &DetectionTally) {
+        self.votes.merge(&other.votes);
+        self.selected_tuples += other.selected_tuples;
+    }
+
+    /// Count one tuple as selected by Eq. (5).
+    pub fn note_selected(&mut self) {
+        self.selected_tuples += 1;
+    }
+
+    /// Record a vote of weight `weight` for extended-mark position `pos`.
+    pub fn vote(&mut self, pos: usize, bit: bool, weight: f64) {
+        self.votes.vote(pos, bit, weight);
+    }
+
+    /// Number of tuples selected by Eq. (5) in the scanned rows.
+    pub fn selected_tuples(&self) -> usize {
+        self.selected_tuples
+    }
+
+    /// Resolve the accumulated votes into a final report for a mark of
+    /// `mark_len` bits.
+    pub fn into_report(self, mark_len: usize) -> DetectionReport {
+        let wmd = self.votes.resolve();
+        DetectionReport {
+            mark: Mark::fold_majority(&wmd, mark_len),
+            covered_positions: self.votes.covered_positions(),
+            wmd_len: wmd.len(),
+            selected_tuples: self.selected_tuples,
+        }
     }
 }
 
@@ -80,12 +161,91 @@ impl HierarchicalWatermarker {
         &self.config
     }
 
-    /// Columns the agent will watermark, given the binning outcome.
-    fn target_columns<'a>(&self, columns: &'a [ColumnBinning]) -> Vec<&'a ColumnBinning> {
-        match &self.config.columns {
-            Some(wanted) => columns.iter().filter(|c| wanted.contains(&c.column)).collect(),
-            None => columns.iter().collect(),
+    /// Precompute the run-wide embedding state (selector, resolved identity,
+    /// extended mark, target columns) for `schema`. The plan is immutable and
+    /// can be shared by workers embedding disjoint row chunks.
+    pub fn plan_embed<'a>(
+        &self,
+        schema: &medshield_relation::Schema,
+        binning_columns: &'a [ColumnBinning],
+        trees: &'a BTreeMap<String, DomainHierarchyTree>,
+        mark: &Mark,
+    ) -> Result<EmbedPlan<'a>, WatermarkError> {
+        EmbedPlan::build(&self.config, schema, binning_columns, trees, mark)
+    }
+
+    /// Embed the planned mark into one chunk of rows, in place.
+    ///
+    /// `row_offset` is the absolute index of `rows[0]` in the full table. The
+    /// hierarchical scheme keys every per-tuple decision on the tuple's
+    /// *content* (Eq. 5), never on its position — which is exactly why
+    /// chunked runs reproduce the sequential output — so the offset does not
+    /// influence this kernel; it is part of the signature so position-keyed
+    /// schemes can slot in behind the same chunk interface.
+    pub fn embed_chunk(
+        &self,
+        plan: &EmbedPlan<'_>,
+        rows: &mut [Tuple],
+        row_offset: usize,
+    ) -> Result<EmbeddingReport, WatermarkError> {
+        let _ = row_offset;
+        let mut report = EmbeddingReport::empty(plan.wmd.len());
+        let Some(identity) = &plan.core.identity else {
+            // Embedding plans always resolve an identity (plan_embed rejects
+            // missing columns); guard anyway so a detect plan misused for
+            // embedding cannot panic.
+            return Ok(report);
+        };
+        for tuple in rows.iter_mut() {
+            let ident = identity.bytes(tuple);
+            if !plan.core.selector.selects(&ident) {
+                continue;
+            }
+            report.selected_tuples += 1;
+            for pc in &plan.core.columns {
+                let column = &pc.binning.column;
+                let value = &tuple.values[pc.index];
+                if value.is_null() {
+                    report.skipped_cells += 1;
+                    continue;
+                }
+                let target = match pc.binning.ultimate.node_for_value(pc.tree, value) {
+                    Ok(n) => n,
+                    Err(_) => {
+                        report.skipped_cells += 1;
+                        continue;
+                    }
+                };
+                let max_node = pc
+                    .binning
+                    .maximal
+                    .covering_node(pc.tree, target)
+                    .map_err(WatermarkError::Dht)?;
+                if pc.binning.ultimate.contains(max_node) {
+                    // No gap at this cell: permuting here would exceed the
+                    // usage metrics (§5.1 special case), so skip it.
+                    report.skipped_cells += 1;
+                    continue;
+                }
+                let bit = plan.wmd[plan.core.selector.bit_index(&ident, column, plan.wmd.len())];
+                let new_node = descend_with_bit(
+                    pc.tree,
+                    &pc.binning.ultimate,
+                    max_node,
+                    &plan.core.selector,
+                    &ident,
+                    column,
+                    bit,
+                )?;
+                let new_value = pc.tree.node_value(new_node).map_err(WatermarkError::Dht)?;
+                report.embedded_cells += 1;
+                if &new_value != value {
+                    report.changed_cells += 1;
+                }
+                tuple.values[pc.index] = new_value;
+            }
         }
+        Ok(report)
     }
 
     /// `Embedding(tbl, tr, maxgends, ultigends, k1, k2, η, wm)`: watermark the
@@ -111,82 +271,75 @@ impl HierarchicalWatermarker {
         trees: &BTreeMap<String, DomainHierarchyTree>,
         mark: &Mark,
     ) -> Result<(Table, EmbeddingReport), WatermarkError> {
-        if mark.is_empty() {
-            return Err(WatermarkError::EmptyMark);
-        }
-        let selector = Selector::new(&self.config.key)?;
-        let identity = TupleIdentity::from_virtual_columns(&self.config.virtual_key_columns);
-        let wmd = mark.duplicate(self.config.duplication);
-        let columns = self.target_columns(binning_columns);
-        for c in &columns {
-            if !trees.contains_key(&c.column) {
-                return Err(WatermarkError::MissingTree(c.column.clone()));
-            }
-        }
-
+        let plan = self.plan_embed(binned_table.schema(), binning_columns, trees, mark)?;
         let mut table = binned_table.snapshot();
-        let mut report = EmbeddingReport {
-            selected_tuples: 0,
-            embedded_cells: 0,
-            changed_cells: 0,
-            skipped_cells: 0,
-            wmd_len: wmd.len(),
-        };
+        let report = self.embed_chunk(&plan, table.tuples_mut(), 0)?;
+        Ok((table, report))
+    }
 
-        // Collect the edits first to avoid borrowing the table mutably while
-        // iterating it.
-        let mut edits: Vec<(TupleId, String, medshield_relation::Value)> = Vec::new();
-        for tuple in table.iter() {
-            let ident = identity.bytes(&table, tuple)?;
-            if !selector.selects(&ident) {
+    /// Precompute the run-wide detection state for `schema`. Columns the
+    /// (attacked) table no longer carries are tolerated: missing target
+    /// columns are skipped, and missing virtual-key columns yield a plan
+    /// whose runs collect zero votes — detection degrades to "no watermark
+    /// found" rather than failing. The plan is immutable and can be shared
+    /// by workers scanning disjoint row chunks.
+    pub fn plan_detect<'a>(
+        &self,
+        schema: &medshield_relation::Schema,
+        columns: &'a [ColumnBinning],
+        trees: &'a BTreeMap<String, DomainHierarchyTree>,
+        mark_len: usize,
+    ) -> Result<DetectPlan<'a>, WatermarkError> {
+        DetectPlan::build(&self.config, schema, columns, trees, mark_len)
+    }
+
+    /// Collect detection votes from one chunk of rows into a fresh
+    /// [`DetectionTally`]. See [`HierarchicalWatermarker::embed_chunk`] for
+    /// the `row_offset` contract.
+    pub fn detect_chunk(
+        &self,
+        plan: &DetectPlan<'_>,
+        rows: &[Tuple],
+        row_offset: usize,
+    ) -> Result<DetectionTally, WatermarkError> {
+        let _ = row_offset;
+        let mut tally = DetectionTally::new(plan.wmd_len);
+        let Some(identity) = &plan.core.identity else {
+            // The suspect table lost the virtual-key columns: no tuple can be
+            // re-identified, so the run legitimately collects zero votes.
+            return Ok(tally);
+        };
+        for tuple in rows {
+            let ident = identity.bytes(tuple);
+            if !plan.core.selector.selects(&ident) {
                 continue;
             }
-            report.selected_tuples += 1;
-            for cb in &columns {
-                let tree = &trees[&cb.column];
-                let col_idx = table.schema().index_of(&cb.column)?;
-                let value = &tuple.values[col_idx];
+            tally.selected_tuples += 1;
+            for pc in &plan.core.columns {
+                let value = &tuple.values[pc.index];
                 if value.is_null() {
-                    report.skipped_cells += 1;
                     continue;
                 }
-                let target = match cb.ultimate.node_for_value(tree, value) {
+                let node = match pc.tree.node_for_value(value) {
                     Ok(n) => n,
-                    Err(_) => {
-                        report.skipped_cells += 1;
-                        continue;
-                    }
+                    Err(_) => continue, // attacker garbage: no vote
                 };
-                let max_node =
-                    cb.maximal.covering_node(tree, target).map_err(WatermarkError::Dht)?;
-                if cb.ultimate.contains(max_node) {
-                    // No gap at this cell: permuting here would exceed the
-                    // usage metrics (§5.1 special case), so skip it.
-                    report.skipped_cells += 1;
+                let Some(level_bits) = climb_and_read(pc.tree, &pc.binning.maximal, node)? else {
+                    continue;
+                };
+                if level_bits.is_empty() {
                     continue;
                 }
-                let bit = wmd[selector.bit_index(&ident, &cb.column, wmd.len())];
-                let new_node = descend_with_bit(
-                    tree,
-                    &cb.ultimate,
-                    max_node,
-                    &selector,
-                    &ident,
-                    &cb.column,
-                    bit,
-                )?;
-                let new_value = tree.node_value(new_node).map_err(WatermarkError::Dht)?;
-                report.embedded_cells += 1;
-                if &new_value != value {
-                    report.changed_cells += 1;
-                }
-                edits.push((tuple.id, cb.column.clone(), new_value));
+                let bit = if self.config.weighted_voting {
+                    weighted_majority(&level_bits, &level_weights(level_bits.len()))
+                } else {
+                    majority(&level_bits)
+                };
+                let pos = plan.core.selector.bit_index(&ident, &pc.binning.column, plan.wmd_len);
+                tally.votes.vote(pos, bit, 1.0);
             }
         }
-        for (id, column, value) in edits {
-            table.set_value(id, &column, value)?;
-        }
-        Ok((table, report))
+        Ok(tally)
     }
 
     /// `Detection(tbl, tr, maxgends, ultigends, k1, k2, η)`: recover the mark
@@ -199,69 +352,9 @@ impl HierarchicalWatermarker {
         trees: &BTreeMap<String, DomainHierarchyTree>,
         mark_len: usize,
     ) -> Result<DetectionReport, WatermarkError> {
-        if mark_len == 0 {
-            return Err(WatermarkError::EmptyMark);
-        }
-        let selector = Selector::new(&self.config.key)?;
-        let identity = TupleIdentity::from_virtual_columns(&self.config.virtual_key_columns);
-        let wmd_len = mark_len * self.config.duplication.max(1);
-        let columns = self.target_columns(columns);
-        for c in &columns {
-            if !trees.contains_key(&c.column) {
-                return Err(WatermarkError::MissingTree(c.column.clone()));
-            }
-        }
-
-        let mut acc = VoteAccumulator::new(wmd_len);
-        let mut selected = 0usize;
-        for tuple in table.iter() {
-            let ident = match identity.bytes(table, tuple) {
-                Ok(b) => b,
-                Err(WatermarkError::NoIdentity) => return Err(WatermarkError::NoIdentity),
-                Err(_) => continue,
-            };
-            if !selector.selects(&ident) {
-                continue;
-            }
-            selected += 1;
-            for cb in &columns {
-                let tree = &trees[&cb.column];
-                let col_idx = match table.schema().index_of(&cb.column) {
-                    Ok(i) => i,
-                    Err(_) => continue,
-                };
-                let value = &tuple.values[col_idx];
-                if value.is_null() {
-                    continue;
-                }
-                let node = match tree.node_for_value(value) {
-                    Ok(n) => n,
-                    Err(_) => continue, // attacker garbage: no vote
-                };
-                let Some(level_bits) = climb_and_read(tree, &cb.maximal, node)? else {
-                    continue;
-                };
-                if level_bits.is_empty() {
-                    continue;
-                }
-                let bit = if self.config.weighted_voting {
-                    weighted_majority(&level_bits, &level_weights(level_bits.len()))
-                } else {
-                    majority(&level_bits)
-                };
-                let pos = selector.bit_index(&ident, &cb.column, wmd_len);
-                acc.vote(pos, bit, 1.0);
-            }
-        }
-
-        let wmd = acc.resolve();
-        let mark = Mark::fold_majority(&wmd, mark_len);
-        Ok(DetectionReport {
-            mark,
-            covered_positions: acc.covered_positions(),
-            wmd_len,
-            selected_tuples: selected,
-        })
+        let plan = self.plan_detect(table.schema(), columns, trees, mark_len)?;
+        let tally = self.detect_chunk(&plan, table.tuples(), 0)?;
+        Ok(tally.into_report(mark_len))
     }
 }
 
@@ -501,6 +594,45 @@ mod tests {
             bad.embed(&binned, &ds.trees, &Mark::from_bytes(b"m", 8)),
             Err(WatermarkError::InvalidEta)
         ));
+    }
+
+    /// An attacker who deletes the virtual-key columns destroys the tuple
+    /// identities; detection must degrade to a zero-vote "no watermark
+    /// found" report, not fail with a schema error.
+    #[test]
+    fn detection_survives_deleted_virtual_key_column() {
+        use medshield_relation::{Schema, Table};
+
+        let (ds, binned) = binned_dataset(400, 4);
+        let key = WatermarkKey::from_master(b"owner", 5);
+        let mut config = WatermarkConfig::new(key);
+        config.duplication = 2;
+        config.virtual_key_columns = vec!["age".into()];
+        let wm = HierarchicalWatermarker::new(config);
+        let mark = Mark::from_bytes(b"vk", 16);
+        let (marked, _) = wm.embed(&binned, &ds.trees, &mark).unwrap();
+
+        // The attacker drops the `age` column entirely.
+        let keep: Vec<usize> = marked
+            .schema()
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.name != "age")
+            .map(|(i, _)| i)
+            .collect();
+        let schema =
+            Schema::new(keep.iter().map(|&i| marked.schema().columns()[i].clone()).collect())
+                .unwrap();
+        let mut suspect = Table::new(schema);
+        for tuple in marked.iter() {
+            suspect.insert(keep.iter().map(|&i| tuple.values[i].clone()).collect()).unwrap();
+        }
+
+        let report = wm.detect(&suspect, &binned.columns, &ds.trees, mark.len()).unwrap();
+        assert_eq!(report.selected_tuples, 0);
+        assert_eq!(report.covered_positions, 0);
+        assert!(report.mark.iter().all(|&b| !b), "no votes must mean an all-false mark");
     }
 
     #[test]

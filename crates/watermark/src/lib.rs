@@ -22,6 +22,9 @@
 //!   attack.
 //! * [`single_level`] — the single-level scheme of §5.2, kept as the baseline
 //!   that the generalization attack defeats.
+//! * [`plan`] — precomputed per-run state ([`plan::EmbedPlan`] /
+//!   [`plan::DetectPlan`]) shared by workers processing disjoint row chunks;
+//!   the foundation of the chunk-parallel protection engine.
 //! * [`voting`] — plain and level-weighted majority voting used in detection.
 //! * [`ownership`] — the rightful-ownership protocol of §5.4: the mark is
 //!   `F(v)` for a statistic `v` of the clear-text identifying column, so the
@@ -48,13 +51,15 @@ pub mod error;
 pub mod hierarchical;
 pub mod key;
 pub mod ownership;
+pub mod plan;
 pub mod select;
 pub mod single_level;
 pub mod voting;
 
 pub use error::WatermarkError;
-pub use hierarchical::{DetectionReport, EmbeddingReport, HierarchicalWatermarker};
+pub use hierarchical::{DetectionReport, DetectionTally, EmbeddingReport, HierarchicalWatermarker};
 pub use key::{Mark, WatermarkConfig, WatermarkKey};
 pub use ownership::{OwnershipProof, OwnershipVerdict};
-pub use select::TupleIdentity;
+pub use plan::{DetectPlan, EmbedPlan};
+pub use select::{ResolvedIdentity, TupleIdentity};
 pub use single_level::SingleLevelWatermarker;

@@ -9,7 +9,8 @@
 use crate::error::WatermarkError;
 use crate::key::WatermarkKey;
 use medshield_crypto::KeyedPrf;
-use medshield_relation::{Table, Tuple};
+use medshield_relation::{Schema, Table, Tuple};
+use std::collections::BTreeSet;
 
 /// How a tuple's identity bytes are derived for the keyed hashes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,11 +33,18 @@ impl TupleIdentity {
         }
     }
 
-    /// The identity bytes of `tuple` within `table`.
-    pub fn bytes(&self, table: &Table, tuple: &Tuple) -> Result<Vec<u8>, WatermarkError> {
+    /// Resolve the identity source against a schema once, so the per-tuple
+    /// byte derivation needs no table access (the chunk-parallel engine hands
+    /// workers bare `&[Tuple]` slices).
+    ///
+    /// A [`TupleIdentity::VirtualKey`] naming the same column twice is
+    /// rejected: the duplicate adds no entropy but makes two keys over
+    /// different column sets (e.g. `[a, a]` and `[a]` extended ad hoc)
+    /// silently produce related identities.
+    pub fn resolve(&self, schema: &Schema) -> Result<ResolvedIdentity, WatermarkError> {
         let indices: Vec<usize> = match self {
             TupleIdentity::IdentifyingColumns => {
-                let idx = table.schema().identifying_indices();
+                let idx = schema.identifying_indices();
                 if idx.is_empty() {
                     return Err(WatermarkError::NoIdentity);
                 }
@@ -46,14 +54,50 @@ impl TupleIdentity {
                 if columns.is_empty() {
                     return Err(WatermarkError::NoIdentity);
                 }
-                columns.iter().map(|c| table.schema().index_of(c)).collect::<Result<Vec<_>, _>>()?
+                let mut seen = BTreeSet::new();
+                for c in columns {
+                    if !seen.insert(c.as_str()) {
+                        return Err(WatermarkError::DuplicateIdentityColumn(c.clone()));
+                    }
+                }
+                columns.iter().map(|c| schema.index_of(c)).collect::<Result<Vec<_>, _>>()?
             }
         };
+        Ok(ResolvedIdentity { indices })
+    }
+
+    /// The identity bytes of `tuple` within `table`.
+    pub fn bytes(&self, table: &Table, tuple: &Tuple) -> Result<Vec<u8>, WatermarkError> {
+        Ok(self.resolve(table.schema())?.bytes(tuple))
+    }
+}
+
+/// A [`TupleIdentity`] resolved against a schema: the column indices whose
+/// values form a tuple's identity, ready for per-tuple use without a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedIdentity {
+    indices: Vec<usize>,
+}
+
+impl ResolvedIdentity {
+    /// The identity bytes of one tuple: each identity field's canonical bytes
+    /// prefixed by its 64-bit big-endian length. The framing keeps the
+    /// concatenation injective regardless of the field encoding — two
+    /// distinct tuples cannot collide to one identity by shifting bytes
+    /// across a field boundary (e.g. `("ab", "c")` vs `("a", "bc")`).
+    pub fn bytes(&self, tuple: &Tuple) -> Vec<u8> {
         let mut out = Vec::new();
-        for i in indices {
-            out.extend_from_slice(&tuple.values[i].canonical_bytes());
+        for &i in &self.indices {
+            let field = tuple.values[i].canonical_bytes();
+            out.extend_from_slice(&(field.len() as u64).to_be_bytes());
+            out.extend_from_slice(&field);
         }
-        Ok(out)
+        out
+    }
+
+    /// The resolved column indices, in identity order.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
     }
 }
 
@@ -150,13 +194,21 @@ mod tests {
         t
     }
 
+    /// Length-prefix one field the way [`ResolvedIdentity::bytes`] does.
+    fn framed(value: &Value) -> Vec<u8> {
+        let field = value.canonical_bytes();
+        let mut out = (field.len() as u64).to_be_bytes().to_vec();
+        out.extend_from_slice(&field);
+        out
+    }
+
     #[test]
     fn identity_from_identifying_columns() {
         let t = table();
         let id = TupleIdentity::IdentifyingColumns;
         let first = t.iter().next().unwrap();
         let bytes = id.bytes(&t, first).unwrap();
-        assert_eq!(bytes, Value::text("ssn-0").canonical_bytes());
+        assert_eq!(bytes, framed(&Value::text("ssn-0")));
     }
 
     #[test]
@@ -165,8 +217,8 @@ mod tests {
         let id = TupleIdentity::VirtualKey(vec!["age".into(), "doctor".into()]);
         let first = t.iter().next().unwrap();
         let bytes = id.bytes(&t, first).unwrap();
-        let mut expected = Value::int(30).canonical_bytes();
-        expected.extend_from_slice(&Value::text("Surgeon").canonical_bytes());
+        let mut expected = framed(&Value::int(30));
+        expected.extend_from_slice(&framed(&Value::text("Surgeon")));
         assert_eq!(bytes, expected);
         // Unknown virtual column is an error.
         let bad = TupleIdentity::VirtualKey(vec!["nope".into()]);
@@ -174,6 +226,65 @@ mod tests {
         // Empty virtual key is rejected.
         let empty = TupleIdentity::VirtualKey(vec![]);
         assert!(matches!(empty.bytes(&t, first), Err(WatermarkError::NoIdentity)));
+    }
+
+    #[test]
+    fn duplicate_virtual_key_columns_are_rejected() {
+        let t = table();
+        let dup = TupleIdentity::VirtualKey(vec!["age".into(), "doctor".into(), "age".into()]);
+        assert!(matches!(
+            dup.resolve(t.schema()),
+            Err(WatermarkError::DuplicateIdentityColumn(c)) if c == "age"
+        ));
+        let first = t.iter().next().unwrap();
+        assert!(dup.bytes(&t, first).is_err());
+    }
+
+    #[test]
+    fn identity_bytes_are_injective_under_adversarial_values() {
+        // Adversarial pairs designed to collide if fields were concatenated
+        // without framing: content shifted across the field boundary, empty
+        // vs. missing content, and text that mimics another variant's bytes.
+        let schema = Schema::new(vec![
+            ColumnDef::new("a", ColumnRole::Identifying),
+            ColumnDef::new("b", ColumnRole::Identifying),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        let rows: Vec<(Value, Value)> = vec![
+            (Value::text("ab"), Value::text("c")),
+            (Value::text("a"), Value::text("bc")),
+            (Value::text("abc"), Value::text("")),
+            (Value::text(""), Value::text("abc")),
+            (Value::Null, Value::text("abc")),
+            (Value::int(0x6162), Value::text("c")),
+            (Value::interval(0, 1), Value::Null),
+            (Value::Null, Value::interval(0, 1)),
+        ];
+        for (a, b) in rows {
+            t.insert(vec![a, b]).unwrap();
+        }
+        let resolved = TupleIdentity::IdentifyingColumns.resolve(t.schema()).unwrap();
+        let identities: Vec<Vec<u8>> = t.iter().map(|tp| resolved.bytes(tp)).collect();
+        for i in 0..identities.len() {
+            for j in (i + 1)..identities.len() {
+                assert_ne!(
+                    identities[i], identities[j],
+                    "tuples {i} and {j} collided to one identity"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resolved_identity_matches_table_path() {
+        let t = table();
+        let id = TupleIdentity::VirtualKey(vec!["doctor".into(), "age".into()]);
+        let resolved = id.resolve(t.schema()).unwrap();
+        assert_eq!(resolved.indices(), &[2, 1]);
+        for tuple in t.iter() {
+            assert_eq!(resolved.bytes(tuple), id.bytes(&t, tuple).unwrap());
+        }
     }
 
     #[test]

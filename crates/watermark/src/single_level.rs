@@ -12,12 +12,13 @@
 //! ablation experiment.
 
 use crate::error::WatermarkError;
+use crate::hierarchical::DetectionTally;
 use crate::key::{Mark, WatermarkConfig};
-use crate::select::{set_parity, Selector, TupleIdentity};
-use crate::voting::VoteAccumulator;
+use crate::plan::{DetectPlan, EmbedPlan};
+use crate::select::{set_parity, Selector};
 use medshield_binning::{BinningOutcome, ColumnBinning};
 use medshield_dht::{DomainHierarchyTree, GeneralizationSet, NodeId};
-use medshield_relation::{Table, TupleId};
+use medshield_relation::{Table, Tuple};
 use std::collections::BTreeMap;
 
 /// The single-level watermarking agent (baseline).
@@ -32,11 +33,64 @@ impl SingleLevelWatermarker {
         SingleLevelWatermarker { config }
     }
 
-    fn target_columns<'a>(&self, columns: &'a [ColumnBinning]) -> Vec<&'a ColumnBinning> {
-        match &self.config.columns {
-            Some(wanted) => columns.iter().filter(|c| wanted.contains(&c.column)).collect(),
-            None => columns.iter().collect(),
+    /// Precompute the run-wide embedding state; see
+    /// [`HierarchicalWatermarker::plan_embed`](crate::HierarchicalWatermarker::plan_embed).
+    pub fn plan_embed<'a>(
+        &self,
+        schema: &medshield_relation::Schema,
+        binning_columns: &'a [ColumnBinning],
+        trees: &'a BTreeMap<String, DomainHierarchyTree>,
+        mark: &Mark,
+    ) -> Result<EmbedPlan<'a>, WatermarkError> {
+        EmbedPlan::build(&self.config, schema, binning_columns, trees, mark)
+    }
+
+    /// Embed the planned mark into one chunk of rows, in place. Per-tuple
+    /// decisions are content-keyed, so `row_offset` (the absolute index of
+    /// `rows[0]`) does not influence the result; see
+    /// [`HierarchicalWatermarker::embed_chunk`](crate::HierarchicalWatermarker::embed_chunk).
+    pub fn embed_chunk(
+        &self,
+        plan: &EmbedPlan<'_>,
+        rows: &mut [Tuple],
+        row_offset: usize,
+    ) -> Result<(), WatermarkError> {
+        let _ = row_offset;
+        let Some(identity) = &plan.core.identity else {
+            return Ok(());
+        };
+        for tuple in rows.iter_mut() {
+            let ident = identity.bytes(tuple);
+            if !plan.core.selector.selects(&ident) {
+                continue;
+            }
+            for pc in &plan.core.columns {
+                let column = &pc.binning.column;
+                let value = &tuple.values[pc.index];
+                if value.is_null() {
+                    continue;
+                }
+                let Ok(node) = pc.binning.ultimate.node_for_value(pc.tree, value) else {
+                    continue;
+                };
+                let bit = plan.wmd[plan.core.selector.bit_index(&ident, column, plan.wmd.len())];
+                let Some(new_node) = permute_at_level(
+                    pc.tree,
+                    &pc.binning.ultimate,
+                    node,
+                    &plan.core.selector,
+                    &ident,
+                    column,
+                    bit,
+                )?
+                else {
+                    continue;
+                };
+                tuple.values[pc.index] =
+                    pc.tree.node_value(new_node).map_err(WatermarkError::Dht)?;
+            }
         }
+        Ok(())
     }
 
     /// Embed the mark by permuting each selected value within the sibling set
@@ -47,50 +101,64 @@ impl SingleLevelWatermarker {
         trees: &BTreeMap<String, DomainHierarchyTree>,
         mark: &Mark,
     ) -> Result<Table, WatermarkError> {
-        if mark.is_empty() {
-            return Err(WatermarkError::EmptyMark);
-        }
-        let selector = Selector::new(&self.config.key)?;
-        let identity = TupleIdentity::from_virtual_columns(&self.config.virtual_key_columns);
-        let wmd = mark.duplicate(self.config.duplication);
-        let columns = self.target_columns(&binned.columns);
-        for c in &columns {
-            if !trees.contains_key(&c.column) {
-                return Err(WatermarkError::MissingTree(c.column.clone()));
-            }
-        }
-
+        let plan = self.plan_embed(binned.table.schema(), &binned.columns, trees, mark)?;
         let mut table = binned.table.snapshot();
-        let mut edits: Vec<(TupleId, String, medshield_relation::Value)> = Vec::new();
-        for tuple in table.iter() {
-            let ident = identity.bytes(&table, tuple)?;
-            if !selector.selects(&ident) {
+        self.embed_chunk(&plan, table.tuples_mut(), 0)?;
+        Ok(table)
+    }
+
+    /// Precompute the run-wide detection state; see
+    /// [`HierarchicalWatermarker::plan_detect`](crate::HierarchicalWatermarker::plan_detect).
+    pub fn plan_detect<'a>(
+        &self,
+        schema: &medshield_relation::Schema,
+        columns: &'a [ColumnBinning],
+        trees: &'a BTreeMap<String, DomainHierarchyTree>,
+        mark_len: usize,
+    ) -> Result<DetectPlan<'a>, WatermarkError> {
+        DetectPlan::build(&self.config, schema, columns, trees, mark_len)
+    }
+
+    /// Collect single-level detection votes from one chunk of rows.
+    pub fn detect_chunk(
+        &self,
+        plan: &DetectPlan<'_>,
+        rows: &[Tuple],
+        row_offset: usize,
+    ) -> Result<DetectionTally, WatermarkError> {
+        let _ = row_offset;
+        let mut tally = DetectionTally::new(plan.wmd_len());
+        let Some(identity) = &plan.core.identity else {
+            // No virtual-key columns in the suspect table: zero votes.
+            return Ok(tally);
+        };
+        for tuple in rows {
+            let ident = identity.bytes(tuple);
+            if !plan.core.selector.selects(&ident) {
                 continue;
             }
-            for cb in &columns {
-                let tree = &trees[&cb.column];
-                let col_idx = table.schema().index_of(&cb.column)?;
-                let value = &tuple.values[col_idx];
-                if value.is_null() {
+            tally.note_selected();
+            for pc in &plan.core.columns {
+                let value = &tuple.values[pc.index];
+                let Ok(node) = pc.tree.node_for_value(value) else { continue };
+                if !pc.binning.ultimate.contains(node) {
+                    // The value no longer sits at the ultimate level: the
+                    // single-level bit is gone.
                     continue;
                 }
-                let Ok(node) = cb.ultimate.node_for_value(tree, value) else {
+                let siblings = pc.tree.siblings(node).map_err(WatermarkError::Dht)?;
+                if siblings.len() <= 1 {
+                    // A singleton sibling set carries no information (the
+                    // embedder skipped it too).
                     continue;
-                };
-                let bit = wmd[selector.bit_index(&ident, &cb.column, wmd.len())];
-                let Some(new_node) =
-                    permute_at_level(tree, &cb.ultimate, node, &selector, &ident, &cb.column, bit)?
-                else {
-                    continue;
-                };
-                let new_value = tree.node_value(new_node).map_err(WatermarkError::Dht)?;
-                edits.push((tuple.id, cb.column.clone(), new_value));
+                }
+                let Some(idx) = DomainHierarchyTree::index_in(node, &siblings) else { continue };
+                let bit = idx % 2 == 1;
+                let pos = plan.core.selector.bit_index(&ident, &pc.binning.column, plan.wmd_len());
+                tally.vote(pos, bit, 1.0);
             }
         }
-        for (id, column, value) in edits {
-            table.set_value(id, &column, value)?;
-        }
-        Ok(table)
+        Ok(tally)
     }
 
     /// Detect the mark by reading the parity of each selected value's
@@ -104,43 +172,9 @@ impl SingleLevelWatermarker {
         trees: &BTreeMap<String, DomainHierarchyTree>,
         mark_len: usize,
     ) -> Result<Vec<bool>, WatermarkError> {
-        if mark_len == 0 {
-            return Err(WatermarkError::EmptyMark);
-        }
-        let selector = Selector::new(&self.config.key)?;
-        let identity = TupleIdentity::from_virtual_columns(&self.config.virtual_key_columns);
-        let wmd_len = mark_len * self.config.duplication.max(1);
-        let columns = self.target_columns(columns);
-
-        let mut acc = VoteAccumulator::new(wmd_len);
-        for tuple in table.iter() {
-            let Ok(ident) = identity.bytes(table, tuple) else { continue };
-            if !selector.selects(&ident) {
-                continue;
-            }
-            for cb in &columns {
-                let Some(tree) = trees.get(&cb.column) else { continue };
-                let Ok(col_idx) = table.schema().index_of(&cb.column) else { continue };
-                let value = &tuple.values[col_idx];
-                let Ok(node) = tree.node_for_value(value) else { continue };
-                if !cb.ultimate.contains(node) {
-                    // The value no longer sits at the ultimate level: the
-                    // single-level bit is gone.
-                    continue;
-                }
-                let siblings = tree.siblings(node).map_err(WatermarkError::Dht)?;
-                if siblings.len() <= 1 {
-                    // A singleton sibling set carries no information (the
-                    // embedder skipped it too).
-                    continue;
-                }
-                let Some(idx) = DomainHierarchyTree::index_in(node, &siblings) else { continue };
-                let bit = idx % 2 == 1;
-                let pos = selector.bit_index(&ident, &cb.column, wmd_len);
-                acc.vote(pos, bit, 1.0);
-            }
-        }
-        Ok(Mark::fold_majority(&acc.resolve(), mark_len))
+        let plan = self.plan_detect(table.schema(), columns, trees, mark_len)?;
+        let tally = self.detect_chunk(&plan, table.tuples(), 0)?;
+        Ok(tally.into_report(mark_len).mark)
     }
 }
 

@@ -50,6 +50,16 @@ impl VoteAccumulator {
         VoteAccumulator { ones: vec![0.0; len], totals: vec![0.0; len] }
     }
 
+    /// Number of bit positions the accumulator tracks.
+    pub fn len(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// True if the accumulator tracks no positions.
+    pub fn is_empty(&self) -> bool {
+        self.totals.is_empty()
+    }
+
     /// Record a vote of weight `weight` for position `index`.
     pub fn vote(&mut self, index: usize, bit: bool, weight: f64) {
         if index >= self.totals.len() || weight <= 0.0 {
@@ -58,6 +68,30 @@ impl VoteAccumulator {
         self.totals[index] += weight;
         if bit {
             self.ones[index] += weight;
+        }
+    }
+
+    /// Fold another accumulator's votes into this one, position by position.
+    /// Both accumulators must track the same number of positions (they come
+    /// from the same detection run, split over row chunks). Vote weights are
+    /// small integral counts in practice, so the floating-point sums are
+    /// exact and merging chunk tallies in any order reproduces the sequential
+    /// accumulation bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulators have different lengths.
+    pub fn merge(&mut self, other: &VoteAccumulator) {
+        assert_eq!(
+            self.totals.len(),
+            other.totals.len(),
+            "cannot merge vote accumulators of different lengths"
+        );
+        for (mine, theirs) in self.ones.iter_mut().zip(other.ones.iter()) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.totals.iter_mut().zip(other.totals.iter()) {
+            *mine += theirs;
         }
     }
 
@@ -108,6 +142,90 @@ mod tests {
         let w = level_weights(4);
         assert_eq!(w, vec![1.0, 2.0, 3.0, 4.0]);
         assert!(level_weights(0).is_empty());
+    }
+
+    /// The detection threshold τ for a position is a strict majority of its
+    /// votes. Exactly at the threshold (a tie) the bit must resolve to
+    /// `false`; one vote above must resolve to `true`; one below, `false`.
+    #[test]
+    fn majority_threshold_boundary() {
+        // Even vote counts: exactly τ = half the votes is NOT a majority.
+        assert!(!majority(&[true, false]));
+        assert!(!majority(&[true, true, false, false]));
+        // One above the boundary flips the bit...
+        assert!(majority(&[true, true, false]));
+        assert!(majority(&[true, true, true, false, false]));
+        // ...and one below keeps it off.
+        assert!(!majority(&[true, false, false]));
+        assert!(!majority(&[true, true, false, false, false]));
+    }
+
+    #[test]
+    fn weighted_majority_threshold_boundary() {
+        // Exactly at the weighted tie: 3.0 of 6.0 total → false.
+        assert!(!weighted_majority(&[true, false], &[3.0, 3.0]));
+        // An epsilon above the tie → true; an epsilon below → false.
+        assert!(weighted_majority(&[true, false], &[3.0 + 1e-9, 3.0]));
+        assert!(!weighted_majority(&[true, false], &[3.0 - 1e-9, 3.0]));
+    }
+
+    #[test]
+    fn accumulator_threshold_boundary() {
+        let mut acc = VoteAccumulator::new(1);
+        acc.vote(0, true, 2.0);
+        acc.vote(0, false, 2.0);
+        // Tied at the threshold → false.
+        assert_eq!(acc.resolve(), vec![Some(false)]);
+        acc.vote(0, true, 1.0);
+        // One vote above → true.
+        assert_eq!(acc.resolve(), vec![Some(true)]);
+        acc.vote(0, false, 2.0);
+        // One below → false again.
+        assert_eq!(acc.resolve(), vec![Some(false)]);
+    }
+
+    #[test]
+    fn merge_reproduces_sequential_accumulation() {
+        // Votes accumulated in one pass...
+        let mut sequential = VoteAccumulator::new(4);
+        let votes = [
+            (0usize, true, 1.0),
+            (1, false, 1.0),
+            (0, true, 1.0),
+            (2, true, 2.0),
+            (1, true, 1.0),
+            (2, false, 1.0),
+            (3, false, 1.0),
+        ];
+        for &(i, b, w) in &votes {
+            sequential.vote(i, b, w);
+        }
+        // ...must equal the merge of two per-chunk accumulators, in either
+        // merge order.
+        for split in 0..votes.len() {
+            let mut left = VoteAccumulator::new(4);
+            let mut right = VoteAccumulator::new(4);
+            for &(i, b, w) in &votes[..split] {
+                left.vote(i, b, w);
+            }
+            for &(i, b, w) in &votes[split..] {
+                right.vote(i, b, w);
+            }
+            let mut forward = left.clone();
+            forward.merge(&right);
+            assert_eq!(forward.resolve(), sequential.resolve(), "split {split}");
+            assert_eq!(forward.covered_positions(), sequential.covered_positions());
+            let mut backward = right;
+            backward.merge(&left);
+            assert_eq!(backward.resolve(), sequential.resolve(), "split {split} reversed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn merge_rejects_mismatched_lengths() {
+        let mut a = VoteAccumulator::new(2);
+        a.merge(&VoteAccumulator::new(3));
     }
 
     #[test]
