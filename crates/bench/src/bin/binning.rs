@@ -1,0 +1,169 @@
+//! Multi-attribute binning search throughput: rows/sec and candidates/sec of
+//! the sharded exhaustive `GenUltiNd` search at 1, 2, 4 and 8 worker
+//! threads, written to `BENCH_binning.json`.
+//!
+//! The workload pins the **exhaustive** search mode (the paper's `EnumGen` +
+//! `Selection`, the expensive stage the engine shards): a synthetic table at
+//! a k large enough that the per-column minimal→maximal gaps multiply to a
+//! few tens of thousands of candidate combinations, all of which every
+//! configuration scores. Before timing, every thread count is checked to
+//! produce a `BinningOutcome` byte-identical to the single-threaded run
+//! (binned-table CSV plus the maximal/minimal/ultimate node sets), so the
+//! numbers can never come from a divergent fast path.
+//!
+//! Environment:
+//!
+//! * `MEDSHIELD_BENCH_TUPLES` — table size (default 2000).
+//! * `MEDSHIELD_BENCH_K` — k-anonymity parameter (default 128; larger k
+//!   narrows the gap and shrinks the candidate space).
+//! * `MEDSHIELD_BENCH_ITERS` — timed iterations per thread count (default 1).
+//! * `MEDSHIELD_BENCH_OUT` — output path (default `BENCH_binning.json`).
+
+use medshield_core::binning::{BinningAgent, BinningConfig, BinningOutcome, SearchMode};
+use medshield_core::dht::GeneralizationSet;
+use medshield_core::relation::csv;
+use medshield_datagen::{DatasetConfig, MedicalDataset};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct ThreadResult {
+    threads: usize,
+    rows_per_sec: f64,
+    candidates_per_sec: f64,
+}
+
+/// One column's fingerprint: name plus the maximal/minimal/ultimate node ids.
+type ColumnPrint = (String, Vec<u32>, Vec<u32>, Vec<u32>);
+
+/// The comparable fingerprint of a binning outcome: the binned-table bytes
+/// plus every per-column node set.
+fn fingerprint(outcome: &BinningOutcome) -> (String, Vec<ColumnPrint>) {
+    let nodes = |g: &GeneralizationSet| g.nodes().iter().map(|n| n.0).collect::<Vec<u32>>();
+    (
+        csv::to_csv(&outcome.table),
+        outcome
+            .columns
+            .iter()
+            .map(|c| (c.column.clone(), nodes(&c.maximal), nodes(&c.minimal), nodes(&c.ultimate)))
+            .collect(),
+    )
+}
+
+fn main() {
+    let tuples = env_usize("MEDSHIELD_BENCH_TUPLES", 2000);
+    let k = env_usize("MEDSHIELD_BENCH_K", 128);
+    let iters = env_usize("MEDSHIELD_BENCH_ITERS", 1).max(1);
+    let out_path =
+        std::env::var("MEDSHIELD_BENCH_OUT").unwrap_or_else(|_| "BENCH_binning.json".into());
+
+    eprintln!("generating {tuples} tuples…");
+    let ds = MedicalDataset::generate(&DatasetConfig {
+        num_tuples: tuples,
+        seed: 0x1CDE_2005,
+        zipf_exponent: 0.8,
+    });
+    // Usage metrics allow the full trees; a large k keeps the minimal→maximal
+    // gap narrow enough for the exhaustive mode to engage.
+    let maximal: BTreeMap<String, GeneralizationSet> =
+        ds.trees.iter().map(|(n, t)| (n.clone(), GeneralizationSet::root_only(t))).collect();
+    let config = |threads: usize| {
+        let mut c = BinningConfig::with_k(k);
+        c.exhaustive_limit = 500_000;
+        c.threads = threads;
+        c
+    };
+
+    // Reference run + candidate-space size.
+    let reference_agent = BinningAgent::new(config(1));
+    let reference =
+        reference_agent.bin(&ds.table, &ds.trees, &maximal).expect("the synthetic table bins");
+    assert_eq!(
+        reference.mode,
+        SearchMode::Exhaustive,
+        "the bench workload must exercise the exhaustive search \
+         (raise MEDSHIELD_BENCH_K or the exhaustive limit)"
+    );
+    let reference_print = fingerprint(&reference);
+    let mut candidates: usize = 1;
+    for cb in &reference.columns {
+        let n = GeneralizationSet::count_between(&ds.trees[&cb.column], &cb.minimal, &cb.maximal)
+            .expect("count_between succeeds");
+        candidates = candidates.saturating_mul(n);
+    }
+    eprintln!(
+        "k={k}: {candidates} candidate combinations over {} columns",
+        reference.columns.len()
+    );
+
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut results = Vec::new();
+    for &threads in &thread_counts {
+        let agent = BinningAgent::new(config(threads));
+
+        // Equivalence gate: the timed path must reproduce the sequential
+        // outcome exactly — binned bytes and all three node sets per column.
+        let outcome = agent.bin(&ds.table, &ds.trees, &maximal).expect("binning succeeds");
+        assert_eq!(
+            fingerprint(&outcome),
+            reference_print,
+            "{threads}-thread binning diverged from the sequential outcome"
+        );
+
+        let mut secs = 0.0;
+        for _ in 0..iters {
+            let start = Instant::now();
+            let _ = agent.bin(&ds.table, &ds.trees, &maximal).expect("binning succeeds");
+            secs += start.elapsed().as_secs_f64();
+        }
+        let result = ThreadResult {
+            threads,
+            rows_per_sec: (tuples * iters) as f64 / secs,
+            candidates_per_sec: (candidates * iters) as f64 / secs,
+        };
+        eprintln!(
+            "{:>2} thread(s): {:>10.0} rows/s, {:>12.0} candidates/s",
+            threads, result.rows_per_sec, result.candidates_per_sec
+        );
+        results.push(result);
+    }
+
+    let speedup_4t = results
+        .iter()
+        .find(|r| r.threads == 4)
+        .map(|r| r.rows_per_sec / results[0].rows_per_sec)
+        .unwrap_or(f64::NAN);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"binning-search-throughput\",\n");
+    json.push_str(&format!("  \"rows\": {tuples},\n"));
+    json.push_str(&format!("  \"k\": {k},\n"));
+    json.push_str(&format!("  \"candidates\": {candidates},\n"));
+    json.push_str(&format!("  \"iterations\": {iters},\n"));
+    json.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    ));
+    json.push_str("  \"mode\": \"exhaustive\",\n");
+    json.push_str("  \"equivalence_checked\": true,\n");
+    json.push_str("  \"threads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"rows_per_sec\": {:.1}, \"candidates_per_sec\": {:.1}}}{}\n",
+            r.threads,
+            r.rows_per_sec,
+            r.candidates_per_sec,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_4t_vs_1t\": {speedup_4t:.2}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    eprintln!("4-thread speedup over 1 thread: {speedup_4t:.2}x");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,123 @@
+//! Bench-regression guard for CI: compare freshly generated `BENCH_*.json`
+//! files against the baselines committed under `crates/bench/baselines/` and
+//! fail when single-thread throughput drops by more than the tolerance.
+//!
+//! ```text
+//! check-regression [FRESH.json ...]
+//! ```
+//!
+//! With no arguments, every `BENCH_*.json` in the current directory that has
+//! a committed baseline of the same file name is checked (at least one must
+//! exist). The guard reads the 1-thread `rows_per_sec` entry — the sharding
+//! speedup depends on the host's core count, but single-thread throughput is
+//! the stable per-commit signal the trajectory is tracked by.
+//!
+//! Environment:
+//!
+//! * `MEDSHIELD_BASELINE_DIR` — baseline directory (default
+//!   `crates/bench/baselines`).
+//! * `MEDSHIELD_REGRESSION_TOLERANCE` — allowed fractional drop (default
+//!   `0.25`, i.e. fail below 75% of the baseline).
+
+use medshield_bench::benchjson;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn baseline_dir() -> PathBuf {
+    std::env::var("MEDSHIELD_BASELINE_DIR")
+        .unwrap_or_else(|_| "crates/bench/baselines".into())
+        .into()
+}
+
+fn tolerance() -> f64 {
+    std::env::var("MEDSHIELD_REGRESSION_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// Check one fresh bench file against its baseline; `Ok(line)` describes the
+/// comparison, `Err(line)` a regression or an unreadable file.
+fn check(fresh_path: &Path, baseline_path: &Path, tolerance: f64) -> Result<String, String> {
+    let fresh = std::fs::read_to_string(fresh_path)
+        .map_err(|e| format!("cannot read fresh bench file {}: {e}", fresh_path.display()))?;
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let name = benchjson::benchmark_name(&fresh).unwrap_or("unknown-benchmark").to_string();
+    // A throughput comparison is only meaningful over the same workload:
+    // different rows/k/candidate counts shift rows_per_sec for workload
+    // reasons and would silently mask (or fake) real regressions.
+    for field in ["rows", "k", "candidates"] {
+        let (f, b) =
+            (benchjson::top_metric(&fresh, field), benchjson::top_metric(&baseline, field));
+        if let (Some(f), Some(b)) = (f, b) {
+            if f != b {
+                return Err(format!(
+                    "{name}: workload mismatch — fresh {field}={f} vs baseline {field}={b}; \
+                     regenerate the baseline with the same bench parameters"
+                ));
+            }
+        }
+    }
+    let fresh_1t = benchjson::thread_metric(&fresh, 1, "rows_per_sec")
+        .ok_or_else(|| format!("{name}: fresh file has no 1-thread rows_per_sec entry"))?;
+    let base_1t = benchjson::thread_metric(&baseline, 1, "rows_per_sec")
+        .ok_or_else(|| format!("{name}: baseline has no 1-thread rows_per_sec entry"))?;
+    let floor = base_1t * (1.0 - tolerance);
+    let ratio = fresh_1t / base_1t;
+    let line = format!(
+        "{name}: 1-thread {fresh_1t:.0} rows/s vs baseline {base_1t:.0} rows/s \
+         ({:.0}% of baseline, floor {floor:.0})",
+        ratio * 100.0
+    );
+    if fresh_1t < floor {
+        Err(format!("REGRESSION — {line}"))
+    } else {
+        Ok(line)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fresh_files: Vec<PathBuf> = if args.is_empty() {
+        ["BENCH_binning.json", "BENCH_throughput.json"]
+            .iter()
+            .map(PathBuf::from)
+            .filter(|p| p.exists())
+            .collect()
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    if fresh_files.is_empty() {
+        eprintln!(
+            "error: no fresh BENCH_*.json found — run `bench --bin binning` or \
+             `bench --bin throughput` first, or pass the files explicitly"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let dir = baseline_dir();
+    let tolerance = tolerance();
+    let mut failed = false;
+    for fresh in &fresh_files {
+        let file_name = fresh.file_name().expect("bench paths name a file");
+        let baseline = dir.join(file_name);
+        match check(fresh, &baseline, tolerance) {
+            Ok(line) => println!("ok: {line}"),
+            Err(line) => {
+                eprintln!("error: {line}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "throughput fell more than {:.0}% below the committed baseline; \
+             refresh crates/bench/baselines/ if the drop is intended",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

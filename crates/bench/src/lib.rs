@@ -13,6 +13,9 @@
 //! | `fig14` | Fig. 14 — effect of watermarking on binning (bin statistics) |
 //! | `generalization_attack` | §5.2 ablation — single-level vs hierarchical under the generalization attack |
 //! | `all_experiments` | runs everything above in sequence |
+//! | `throughput` | engine throughput at 1/2/4/8 threads → `BENCH_throughput.json` |
+//! | `binning` | sharded `GenUltiNd` search throughput at 1/2/4/8 threads → `BENCH_binning.json` |
+//! | `check-regression` | CI guard: fresh `BENCH_*.json` vs `baselines/`, fails on >25% 1-thread drop |
 //!
 //! The experiments default to the paper's scale (20,000 tuples); set the
 //! environment variable `MEDSHIELD_TUPLES` to run them smaller or larger.
@@ -133,6 +136,58 @@ pub fn print_figure_header(figure: &str, caption: &str) {
     println!("==================================================================");
 }
 
+/// Minimal readers for the `BENCH_*.json` files the bench binaries emit.
+///
+/// The workspace is hermetic (no serde_json), and the files are produced by
+/// our own binaries in a fixed shape, so a small field scanner is all the
+/// regression guard (`bench --bin check-regression`) needs.
+pub mod benchjson {
+    /// The numeric value of `"field": <number>` inside `block`.
+    fn field_number(block: &str, field: &str) -> Option<f64> {
+        let needle = format!("\"{field}\":");
+        let at = block.find(&needle)? + needle.len();
+        let rest = block[at..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    /// The value of `field` in the object of the top-level `"threads": [...]`
+    /// array whose `"threads"` count equals `threads`.
+    pub fn thread_metric(json: &str, threads: usize, field: &str) -> Option<f64> {
+        let start = json.find("\"threads\": [")?;
+        let array = &json[start..];
+        let end = array.find(']')?;
+        let array = &array[..end];
+        let mut rest = array;
+        while let Some(open) = rest.find('{') {
+            let close = rest[open..].find('}')? + open;
+            let block = &rest[open..=close];
+            if field_number(block, "threads") == Some(threads as f64) {
+                return field_number(block, field);
+            }
+            rest = &rest[close + 1..];
+        }
+        None
+    }
+
+    /// A top-level numeric field (e.g. `"rows"`, `"k"`, `"candidates"`),
+    /// read from the prefix before the `"threads"` array so per-thread
+    /// fields can never shadow it.
+    pub fn top_metric(json: &str, field: &str) -> Option<f64> {
+        let end = json.find("\"threads\": [").unwrap_or(json.len());
+        field_number(&json[..end], field)
+    }
+
+    /// The benchmark name (`"benchmark": "..."`), for log messages.
+    pub fn benchmark_name(json: &str) -> Option<&str> {
+        let at = json.find("\"benchmark\":")? + "\"benchmark\":".len();
+        let rest = json[at..].trim_start().strip_prefix('"')?;
+        rest.split('"').next()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +216,30 @@ mod tests {
             ds.trees.iter().map(|(n, t)| (n.clone(), GeneralizationSet::root_only(t))).collect();
         let loss = info_loss_of(&ds, &columns);
         assert!(loss > 0.9);
+    }
+
+    #[test]
+    fn benchjson_reads_the_emitted_shape() {
+        let json = r#"{
+  "benchmark": "binning-search-throughput",
+  "rows": 2000,
+  "threads": [
+    {"threads": 1, "rows_per_sec": 700.5, "candidates_per_sec": 17000.0},
+    {"threads": 4, "rows_per_sec": 2800.0, "candidates_per_sec": 68000.0}
+  ],
+  "speedup_4t_vs_1t": 4.00
+}
+"#;
+        assert_eq!(benchjson::benchmark_name(json), Some("binning-search-throughput"));
+        // Top-level fields resolve from the prefix only: "rows" is found,
+        // while the per-thread "rows_per_sec" entries cannot shadow it.
+        assert_eq!(benchjson::top_metric(json, "rows"), Some(2000.0));
+        assert_eq!(benchjson::top_metric(json, "k"), None);
+        assert_eq!(benchjson::thread_metric(json, 1, "rows_per_sec"), Some(700.5));
+        assert_eq!(benchjson::thread_metric(json, 4, "candidates_per_sec"), Some(68000.0));
+        assert_eq!(benchjson::thread_metric(json, 2, "rows_per_sec"), None);
+        assert_eq!(benchjson::thread_metric(json, 1, "nope"), None);
+        assert_eq!(benchjson::thread_metric("not json", 1, "rows_per_sec"), None);
+        assert_eq!(benchjson::benchmark_name("{}"), None);
     }
 }

@@ -89,6 +89,9 @@ impl BinningAgent {
         trees: &BTreeMap<String, DomainHierarchyTree>,
         maximal: &BTreeMap<String, GeneralizationSet>,
     ) -> Result<BinningOutcome, BinningError> {
+        if self.config.threads == 0 {
+            return Err(BinningError::InvalidThreads);
+        }
         let quasi: Vec<String> =
             table.schema().quasi_names().into_iter().map(|s| s.to_string()).collect();
         let mut warnings = Vec::new();
@@ -129,6 +132,7 @@ impl BinningAgent {
             effective_k,
             self.config.selection_strategy,
             self.config.exhaustive_limit,
+            self.config.threads,
         )?;
         warnings.extend(multi.warnings);
 
@@ -192,6 +196,9 @@ impl BinningAgent {
         trees: &BTreeMap<String, DomainHierarchyTree>,
         maximal: &BTreeMap<String, GeneralizationSet>,
     ) -> Result<BinningOutcome, BinningError> {
+        if self.config.threads == 0 {
+            return Err(BinningError::InvalidThreads);
+        }
         let quasi: Vec<String> =
             table.schema().quasi_names().into_iter().map(|s| s.to_string()).collect();
         let mut warnings = Vec::new();

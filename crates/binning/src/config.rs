@@ -88,6 +88,12 @@ pub struct BinningConfig {
     /// greedy coarsening search (a scalability substitution documented in
     /// DESIGN.md — the paper enumerates exhaustively on its 20k-tuple set).
     pub exhaustive_limit: usize,
+    /// Worker threads for the multi-attribute binning search: the exhaustive
+    /// candidate space (and the greedy merge frontier) is sharded over this
+    /// many scoped threads. `1` is the strictly sequential search; every
+    /// thread count produces an identical outcome. `0` is rejected
+    /// ([`crate::BinningError::InvalidThreads`]).
+    pub threads: usize,
     /// Secret used to derive the AES-128 key that encrypts the identifying
     /// columns (the `E()` of Fig. 8).
     pub encryption_secret: Vec<u8>,
@@ -100,6 +106,7 @@ impl Default for BinningConfig {
             minimal_strategy: MinimalNodeStrategy::default(),
             selection_strategy: SelectionStrategy::default(),
             exhaustive_limit: 4_096,
+            threads: 1,
             encryption_secret: b"medshield-default-binning-secret".to_vec(),
         }
     }
@@ -109,6 +116,13 @@ impl BinningConfig {
     /// A configuration with the given k and defaults for everything else.
     pub fn with_k(k: usize) -> Self {
         BinningConfig { spec: KAnonymitySpec::new(k), ..Default::default() }
+    }
+
+    /// The same configuration with the search sharded over `threads` worker
+    /// threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -141,7 +155,9 @@ mod tests {
         assert_eq!(c.minimal_strategy, MinimalNodeStrategy::Conservative);
         assert_eq!(c.selection_strategy, SelectionStrategy::SpecificityLoss);
         assert!(c.exhaustive_limit > 0);
+        assert_eq!(c.threads, 1);
         let c5 = BinningConfig::with_k(5);
         assert_eq!(c5.spec.k, 5);
+        assert_eq!(BinningConfig::with_k(5).threads(8).threads, 8);
     }
 }

@@ -25,6 +25,10 @@ pub enum BinningError {
     },
     /// The k-anonymity specification is degenerate (k = 0).
     InvalidK,
+    /// The configured worker-thread count is degenerate (0). The search
+    /// treats `threads = 1` as strictly sequential; zero workers cannot make
+    /// progress.
+    InvalidThreads,
 }
 
 impl std::fmt::Display for BinningError {
@@ -40,6 +44,9 @@ impl std::fmt::Display for BinningError {
                 write!(f, "table cannot be binned to k={k}: {reason}")
             }
             BinningError::InvalidK => write!(f, "k must be at least 1"),
+            BinningError::InvalidThreads => {
+                write!(f, "the binning search needs at least 1 worker thread")
+            }
         }
     }
 }
@@ -73,5 +80,6 @@ mod tests {
         assert!(BinningError::MissingTree("age".into()).to_string().contains("age"));
         assert!(BinningError::NotBinnable { k: 7, reason: "x".into() }.to_string().contains("k=7"));
         assert!(BinningError::InvalidK.to_string().contains("at least 1"));
+        assert!(BinningError::InvalidThreads.to_string().contains("worker thread"));
     }
 }

@@ -23,7 +23,11 @@
 //!    combination, search the allowable generalizations between the minimal
 //!    and maximal nodes of every column for the combination with the least
 //!    specificity loss that satisfies k-anonymity — the *ultimate
-//!    generalization nodes*.
+//!    generalization nodes*. The search runs against a precomputed
+//!    `SearchPlan` (crate-internal, see `plan.rs`) and shards its candidate
+//!    space over [`BinningConfig::threads`] scoped worker threads with a
+//!    deterministic merge, so every thread count produces an identical
+//!    outcome.
 //! 4. [`binner`] — **Binning** (Fig. 8): encrypt the identifying columns with
 //!    `E()` (AES-128) and replace every quasi-identifying value by the value
 //!    of its covering ultimate generalization node.
@@ -55,7 +59,9 @@ pub mod error;
 pub mod maximal;
 pub mod mono;
 pub mod multi;
+pub(crate) mod plan;
 
 pub use binner::{BinningAgent, BinningOutcome, ColumnBinning};
 pub use config::{BinningConfig, KAnonymitySpec, MinimalNodeStrategy, SelectionStrategy};
 pub use error::BinningError;
+pub use multi::SearchMode;

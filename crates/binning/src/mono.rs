@@ -104,27 +104,15 @@ fn sub_gmn(
     Ok(())
 }
 
-/// Count, per leaf node, how many entries of `column` map to it.
+/// Count, per leaf node, how many entries of `column` map to it (via the
+/// shared memoized value→leaf resolution of [`crate::plan`]).
 fn count_leaves(
     table: &Table,
     column: &str,
     tree: &DomainHierarchyTree,
 ) -> Result<HashMap<NodeId, usize>, BinningError> {
-    let mut counts: HashMap<NodeId, usize> = HashMap::new();
-    // Distinct values are few compared to rows; memoize the value→leaf map.
-    let mut memo: HashMap<medshield_relation::Value, NodeId> = HashMap::new();
-    for v in table.column_values(column)? {
-        let leaf = match memo.get(v) {
-            Some(&l) => l,
-            None => {
-                let l = tree.leaf_for_value(v).map_err(BinningError::Dht)?;
-                memo.insert(v.clone(), l);
-                l
-            }
-        };
-        *counts.entry(leaf).or_insert(0) += 1;
-    }
-    Ok(counts)
+    let col = crate::plan::resolve_column_leaves(table, column, tree)?;
+    Ok(col.leaves.iter().zip(&col.entry_counts).map(|(&l, &n)| (l, n)).collect())
 }
 
 /// `NumTuple`: number of entries whose leaf lies under `node`.

@@ -19,15 +19,28 @@
 //!   parent, never above the maximal nodes), preferring merges that touch a
 //!   violating bin, until k-anonymity holds or no merge is left.
 //!
+//! Both searches run on `threads` scoped worker threads ([`std::thread::scope`],
+//! mirroring the chunk-parallel protection engine): candidates are scored
+//! against the same immutable `SearchPlan`/`TableLeaves` state, the
+//! exhaustive candidate space is sharded into contiguous linear-index ranges,
+//! the greedy frontier is sharded into candidate-merge chunks, and per-shard
+//! bests merge under a total order — lowest loss first, ties broken by the
+//! lowest candidate index in the deterministic enumeration order (a fixed
+//! lexicographic order on the per-column node vectors). The outcome is
+//! therefore byte-identical for every thread count, a property pinned by the
+//! repository-level `binning_equivalence` suite.
+//!
 //! The selection score is either specificity loss (the paper's preferred
 //! estimate) or the full information loss of Eq. (1)–(3), per
 //! [`SelectionStrategy`].
 
 use crate::config::SelectionStrategy;
 use crate::error::BinningError;
+use crate::plan::{SearchPlan, TableLeaves};
 use medshield_dht::{DhtKind, DomainHierarchyTree, GeneralizationSet, NodeId};
 use medshield_relation::Table;
 use std::collections::{BTreeMap, HashMap};
+use std::thread;
 
 /// Per-column input to multi-attribute binning.
 #[derive(Debug, Clone)]
@@ -71,16 +84,22 @@ pub struct MultiBinning {
 }
 
 /// `GenUltiNd(mingends[], maxgends[], tr[])`: choose the ultimate
-/// generalization nodes for all columns simultaneously.
+/// generalization nodes for all columns simultaneously, sharding the search
+/// over `threads` scoped worker threads (1 = sequential; every thread count
+/// produces an identical result).
 pub fn generate_ultimate_nodes(
     table: &Table,
     columns: &[ColumnContext<'_>],
     k: usize,
     selection: SelectionStrategy,
     exhaustive_limit: usize,
+    threads: usize,
 ) -> Result<MultiBinning, BinningError> {
     if k == 0 {
         return Err(BinningError::InvalidK);
+    }
+    if threads == 0 {
+        return Err(BinningError::InvalidThreads);
     }
     if columns.is_empty() {
         return Ok(MultiBinning {
@@ -91,20 +110,7 @@ pub fn generate_ultimate_nodes(
         });
     }
 
-    // Per column: the leaf node of every row (row order follows table.iter()).
-    let row_leaves: Vec<Vec<NodeId>> =
-        columns.iter().map(|c| leaves_per_row(table, c)).collect::<Result<_, _>>()?;
-    // Per column: entries per leaf (for scoring).
-    let leaf_counts: Vec<HashMap<NodeId, usize>> = row_leaves
-        .iter()
-        .map(|rows| {
-            let mut m = HashMap::new();
-            for &l in rows {
-                *m.entry(l).or_insert(0) += 1;
-            }
-            m
-        })
-        .collect();
+    let leaves = TableLeaves::build(table, columns)?;
 
     // Decide the search mode from the size of the combination space.
     let mut product: usize = 1;
@@ -115,194 +121,161 @@ pub fn generate_ultimate_nodes(
     }
 
     if product <= exhaustive_limit {
-        exhaustive_search(table, columns, &row_leaves, &leaf_counts, k, selection, exhaustive_limit)
+        let plan = SearchPlan::build(columns, &leaves, selection, exhaustive_limit)?;
+        exhaustive_search(&plan, &leaves, columns, k, threads)
     } else {
-        greedy_search(columns, &row_leaves, &leaf_counts, k, selection)
+        greedy_search(columns, &leaves, k, selection, threads)
     }
 }
 
-/// Map every row of the table to its leaf node in the column's tree.
-fn leaves_per_row(table: &Table, ctx: &ColumnContext<'_>) -> Result<Vec<NodeId>, BinningError> {
-    let mut memo: HashMap<medshield_relation::Value, NodeId> = HashMap::new();
-    let mut out = Vec::with_capacity(table.len());
-    for v in table.column_values(ctx.column)? {
-        let leaf = match memo.get(v) {
-            Some(&l) => l,
-            None => {
-                let l = ctx.tree.leaf_for_value(v).map_err(BinningError::Dht)?;
-                memo.insert(v.clone(), l);
-                l
-            }
-        };
-        out.push(leaf);
-    }
-    Ok(out)
+/// One row's bin key packed into a `u64` via the per-column strides.
+fn packed_key(leaves: &TableLeaves, covers: &[&[NodeId]], strides: &[u64], row: usize) -> u64 {
+    covers
+        .iter()
+        .enumerate()
+        .map(|(col, cover)| cover[leaves.row_leaf_ix[col][row] as usize].0 as u64 * strides[col])
+        .sum()
 }
 
-/// Build the leaf → covering-generalization-node map for the leaves that
-/// actually occur in the data.
-fn covering_map(
-    tree: &DomainHierarchyTree,
-    generalization: &GeneralizationSet,
-    leaves: &HashMap<NodeId, usize>,
-) -> Result<HashMap<NodeId, NodeId>, BinningError> {
-    let mut map = HashMap::with_capacity(leaves.len());
-    for &leaf in leaves.keys() {
-        let cover = generalization.covering_node(tree, leaf).map_err(BinningError::Dht)?;
-        map.insert(leaf, cover);
-    }
-    Ok(map)
+/// One row's bin key as the vector of covering nodes (the overflow fallback).
+fn vec_key(leaves: &TableLeaves, covers: &[&[NodeId]], row: usize) -> Vec<NodeId> {
+    covers
+        .iter()
+        .enumerate()
+        .map(|(col, cover)| cover[leaves.row_leaf_ix[col][row] as usize])
+        .collect()
 }
 
-/// Smallest bin size of the combination defined by the per-column covering
-/// maps, together with the rows belonging to under-k bins.
-fn evaluate_bins(
-    row_leaves: &[Vec<NodeId>],
-    covers: &[HashMap<NodeId, NodeId>],
+/// True if every bin over `keys` holds at least `k` rows (count-only fast
+/// path for the exhaustive scan).
+fn all_bins_at_least<K: Eq + std::hash::Hash>(keys: impl Iterator<Item = K>, k: usize) -> bool {
+    let mut bins: HashMap<K, usize> = HashMap::new();
+    for key in keys {
+        *bins.entry(key).or_insert(0) += 1;
+    }
+    bins.values().all(|&n| n >= k)
+}
+
+/// True if every bin of the candidate combination (given per-column dense
+/// covering maps) holds at least `k` rows.
+fn bins_satisfy_k(
+    leaves: &TableLeaves,
+    covers: &[&[NodeId]],
+    strides: Option<&[u64]>,
     k: usize,
-) -> (bool, Vec<usize>) {
-    let rows = row_leaves.first().map(|r| r.len()).unwrap_or(0);
-    let mut bins: HashMap<Vec<NodeId>, Vec<usize>> = HashMap::new();
-    for row in 0..rows {
-        let key: Vec<NodeId> = row_leaves
-            .iter()
-            .zip(covers.iter())
-            .map(|(leaves, cover)| cover[&leaves[row]])
-            .collect();
-        bins.entry(key).or_default().push(row);
+) -> bool {
+    let rows = leaves.rows();
+    if k <= 1 || rows == 0 {
+        return true;
     }
-    let mut violating = Vec::new();
-    for members in bins.values() {
-        if members.len() < k {
-            violating.extend_from_slice(members);
+    match strides {
+        Some(strides) => {
+            all_bins_at_least((0..rows).map(|row| packed_key(leaves, covers, strides, row)), k)
         }
-    }
-    (violating.is_empty(), violating)
-}
-
-/// Score of one column's generalization from its leaf counts (lower is
-/// better). Specificity loss ignores the data distribution; full information
-/// loss is Eq. (1)/(2) computed from the counts.
-fn column_score(
-    tree: &DomainHierarchyTree,
-    generalization: &GeneralizationSet,
-    leaf_counts: &HashMap<NodeId, usize>,
-    cover: &HashMap<NodeId, NodeId>,
-    selection: SelectionStrategy,
-) -> f64 {
-    match selection {
-        SelectionStrategy::SpecificityLoss => generalization.specificity_loss(tree),
-        SelectionStrategy::FullInfoLoss => {
-            let total: usize = leaf_counts.values().sum();
-            if total == 0 {
-                return 0.0;
-            }
-            // Aggregate entries per generalization node.
-            let mut per_node: HashMap<NodeId, usize> = HashMap::new();
-            for (leaf, count) in leaf_counts {
-                *per_node.entry(cover[leaf]).or_insert(0) += count;
-            }
-            let loss_sum: f64 = match tree.kind() {
-                DhtKind::Categorical => {
-                    let s = tree.leaf_count() as f64;
-                    per_node
-                        .iter()
-                        .map(|(&node, &n)| {
-                            let si = tree.leaf_count_under(node).unwrap_or(1) as f64;
-                            n as f64 * (si - 1.0) / s
-                        })
-                        .sum()
-                }
-                DhtKind::Numeric => {
-                    let (lo, hi) = tree
-                        .node(tree.root())
-                        .expect("root exists")
-                        .interval
-                        .expect("numeric root interval");
-                    let span = (hi - lo) as f64;
-                    per_node
-                        .iter()
-                        .map(|(&node, &n)| {
-                            let (l, h) = tree
-                                .node(node)
-                                .expect("node exists")
-                                .interval
-                                .expect("numeric node interval");
-                            n as f64 * ((h - l) as f64) / span
-                        })
-                        .sum()
-                }
-            };
-            loss_sum / total as f64
-        }
+        None => all_bins_at_least((0..rows).map(|row| vec_key(leaves, covers, row)), k),
     }
 }
 
-/// Exhaustive `EnumGen` + `Selection`.
-fn exhaustive_search(
-    _table: &Table,
-    columns: &[ColumnContext<'_>],
-    row_leaves: &[Vec<NodeId>],
-    leaf_counts: &[HashMap<NodeId, usize>],
+/// Rows belonging to under-`k` bins of the combination (sorted, so the result
+/// is independent of hash-map iteration order).
+fn undersized_bin_rows(
+    leaves: &TableLeaves,
+    covers: &[&[NodeId]],
+    strides: Option<&[u64]>,
     k: usize,
-    selection: SelectionStrategy,
-    exhaustive_limit: usize,
-) -> Result<MultiBinning, BinningError> {
-    // Per-column option lists.
-    let mut options: Vec<Vec<GeneralizationSet>> = Vec::with_capacity(columns.len());
-    for c in columns {
-        let opts =
-            GeneralizationSet::enumerate_between(c.tree, c.minimal, c.maximal, exhaustive_limit)
-                .map_err(BinningError::Dht)?;
-        options.push(opts);
-    }
-
-    // Iterate the cartesian product by mixed-radix counting.
-    let radices: Vec<usize> = options.iter().map(|o| o.len()).collect();
-    let total: usize = radices.iter().product();
-    let mut best: Option<(f64, Vec<usize>)> = None;
-    let mut warnings = Vec::new();
-
-    let mut indices = vec![0usize; columns.len()];
-    for _ in 0..total {
-        // Build covering maps for this combination.
-        let mut covers = Vec::with_capacity(columns.len());
-        for (i, c) in columns.iter().enumerate() {
-            covers.push(covering_map(c.tree, &options[i][indices[i]], &leaf_counts[i])?);
+) -> Vec<usize> {
+    let rows = leaves.rows();
+    match strides {
+        Some(strides) => medshield_metrics::undersized_rows(
+            (0..rows).map(|row| packed_key(leaves, covers, strides, row)),
+            k,
+        ),
+        None => {
+            medshield_metrics::undersized_rows((0..rows).map(|row| vec_key(leaves, covers, row)), k)
         }
-        let (ok, _violating) = evaluate_bins(row_leaves, &covers, k);
-        if ok {
-            let score: f64 = columns
-                .iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    column_score(
-                        c.tree,
-                        &options[i][indices[i]],
-                        &leaf_counts[i],
-                        &covers[i],
-                        selection,
-                    )
-                })
-                .sum();
+    }
+}
+
+/// Best candidate of one contiguous linear-index range: the valid candidate
+/// with the lowest score, ties broken by the lowest index.
+fn best_in_range(
+    plan: &SearchPlan,
+    leaves: &TableLeaves,
+    k: usize,
+    start: usize,
+    end: usize,
+) -> Option<(f64, usize)> {
+    let strides = plan.packed_keys.then_some(plan.key_strides.as_slice());
+    let mut digits = plan.decode(start);
+    let mut covers: Vec<&[NodeId]> = Vec::with_capacity(plan.columns.len());
+    let mut best: Option<(f64, usize)> = None;
+    for idx in start..end {
+        covers.clear();
+        covers.extend(plan.columns.iter().zip(&digits).map(|(c, &d)| c.covers[d].as_slice()));
+        if bins_satisfy_k(leaves, &covers, strides, k) {
+            let score = plan.candidate_score(&digits);
             if best.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
-                best = Some((score, indices.clone()));
+                best = Some((score, idx));
             }
         }
-        // Advance the mixed-radix counter.
-        for d in 0..indices.len() {
-            indices[d] += 1;
-            if indices[d] < radices[d] {
-                break;
+        plan.advance(&mut digits);
+    }
+    best
+}
+
+/// The merge rule for per-shard bests: lowest score wins, ties go to the
+/// lowest candidate index. Folding shards in ascending-range order therefore
+/// reproduces the sequential scan exactly.
+fn better_candidate(a: Option<(f64, usize)>, b: Option<(f64, usize)>) -> Option<(f64, usize)> {
+    match (a, b) {
+        (None, b) => b,
+        (a, None) => a,
+        (Some((sa, ia)), Some((sb, ib))) => {
+            if sb < sa || (sb == sa && ib < ia) {
+                Some((sb, ib))
+            } else {
+                Some((sa, ia))
             }
-            indices[d] = 0;
         }
     }
+}
 
+/// Exhaustive `EnumGen` + `Selection`, sharded over the candidate space.
+fn exhaustive_search(
+    plan: &SearchPlan,
+    leaves: &TableLeaves,
+    columns: &[ColumnContext<'_>],
+    k: usize,
+    threads: usize,
+) -> Result<MultiBinning, BinningError> {
+    let total = plan.total_candidates();
+    let workers = threads.min(total).max(1);
+    let best = if workers == 1 {
+        best_in_range(plan, leaves, k, 0, total)
+    } else {
+        let chunk = total.div_ceil(workers);
+        let shard_bests: Vec<Option<(f64, usize)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let start = w * chunk;
+                    let end = (start + chunk).min(total);
+                    scope.spawn(move || best_in_range(plan, leaves, k, start, end))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("search worker panicked")).collect()
+        });
+        shard_bests.into_iter().fold(None, better_candidate)
+    };
+
+    let mut warnings = Vec::new();
     match best {
         Some((_, idx)) => {
-            let ultimate: Vec<GeneralizationSet> =
-                idx.iter().enumerate().map(|(i, &j)| options[i][j].clone()).collect();
+            let ultimate: Vec<GeneralizationSet> = plan
+                .columns
+                .iter()
+                .zip(plan.decode(idx))
+                .map(|(c, d)| c.options[d].clone())
+                .collect();
             Ok(MultiBinning { ultimate, satisfied: true, mode: SearchMode::Exhaustive, warnings })
         }
         None => {
@@ -319,27 +292,50 @@ fn exhaustive_search(
     }
 }
 
-/// Greedy coarsening fallback for large combination spaces.
+/// One candidate merge of the greedy frontier: collapse `children` (all
+/// current generalization nodes) into `parent` on column `column`.
+#[derive(Debug, Clone)]
+struct MergeCandidate {
+    column: usize,
+    parent: NodeId,
+    children: Vec<NodeId>,
+}
+
+/// Greedy coarsening fallback for large combination spaces. The frontier of
+/// candidate merges is evaluated in parallel chunks; the pick is made by a
+/// total order (benefit ratio, then loss delta, then candidate index), so the
+/// result is identical for every thread count.
 fn greedy_search(
     columns: &[ColumnContext<'_>],
-    row_leaves: &[Vec<NodeId>],
-    leaf_counts: &[HashMap<NodeId, usize>],
+    leaves: &TableLeaves,
     k: usize,
     selection: SelectionStrategy,
+    threads: usize,
 ) -> Result<MultiBinning, BinningError> {
     let mut warnings = Vec::new();
-    // Current generalization per column, as a node set.
+    let strides_buf = crate::plan::key_strides_for(columns);
+    let strides = strides_buf.as_deref();
+    // Entries per occurring leaf, node-keyed (for the merge-score deltas).
+    let leaf_counts: Vec<HashMap<NodeId, usize>> =
+        (0..columns.len()).map(|i| leaves.leaf_count_map(i)).collect();
+    // Current generalization per column, as an ordered node set.
     let mut current: Vec<BTreeMap<NodeId, ()>> =
         columns.iter().map(|c| c.minimal.nodes().iter().map(|&n| (n, ())).collect()).collect();
-    // Covering maps for the present leaves.
-    let mut covers: Vec<HashMap<NodeId, NodeId>> = Vec::with_capacity(columns.len());
+    // Dense covering maps for the occurring leaves (indexed by compact leaf
+    // index, like the plan's per-option covers).
+    let mut covers: Vec<Vec<NodeId>> = Vec::with_capacity(columns.len());
     for (i, c) in columns.iter().enumerate() {
-        covers.push(covering_map(c.tree, c.minimal, &leaf_counts[i])?);
+        let mut cover = Vec::with_capacity(leaves.leaves[i].len());
+        for &leaf in &leaves.leaves[i] {
+            cover.push(c.minimal.covering_node(c.tree, leaf).map_err(BinningError::Dht)?);
+        }
+        covers.push(cover);
     }
 
     loop {
-        let (ok, violating_rows) = evaluate_bins(row_leaves, &covers, k);
-        if ok {
+        let cover_refs: Vec<&[NodeId]> = covers.iter().map(Vec::as_slice).collect();
+        let violating_rows = undersized_bin_rows(leaves, &cover_refs, strides, k);
+        if violating_rows.is_empty() {
             break;
         }
         // How many violating rows each covering node holds, per column: the
@@ -348,18 +344,18 @@ fn greedy_search(
             .map(|i| {
                 let mut m: HashMap<NodeId, usize> = HashMap::new();
                 for &row in &violating_rows {
-                    *m.entry(covers[i][&row_leaves[i][row]]).or_insert(0) += 1;
+                    *m.entry(covers[i][leaves.row_leaf_ix[i][row] as usize]).or_insert(0) += 1;
                 }
                 m
             })
             .collect();
 
-        // Enumerate candidate merges: (column, parent, children, loss delta,
-        // violating rows touched).
-        let mut candidates: Vec<(usize, NodeId, Vec<NodeId>, f64, usize)> = Vec::new();
+        // Enumerate candidate merges in a deterministic (column, parent)
+        // order.
+        let mut candidates: Vec<MergeCandidate> = Vec::new();
         for (i, c) in columns.iter().enumerate() {
             // Group current nodes by parent.
-            let mut by_parent: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+            let mut by_parent: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
             for &node in current[i].keys() {
                 if let Some(parent) = c.tree.parent(node).map_err(BinningError::Dht)? {
                     by_parent.entry(parent).or_default().push(node);
@@ -375,12 +371,7 @@ fn greedy_search(
                 if c.maximal.covering_node(c.tree, parent).is_err() {
                     continue;
                 }
-                let delta = merge_score_delta(c.tree, &leaf_counts[i], parent, children, selection);
-                let touched: usize = children
-                    .iter()
-                    .map(|ch| violating_counts[i].get(ch).copied().unwrap_or(0))
-                    .sum();
-                candidates.push((i, parent, children.to_vec(), delta, touched));
+                candidates.push(MergeCandidate { column: i, parent, children: children.to_vec() });
             }
         }
 
@@ -391,39 +382,66 @@ fn greedy_search(
             break;
         }
 
-        // Pick the merge with the best benefit-per-cost ratio (violating rows
-        // touched per unit of added loss); merges that touch nothing are only
-        // considered when no merge touches a violating bin, in which case the
-        // cheapest one is taken.
-        let any_touching = candidates.iter().any(|(_, _, _, _, touched)| *touched > 0);
-        let pick = if any_touching {
-            candidates
-                .iter()
-                .filter(|(_, _, _, _, touched)| *touched > 0)
-                .max_by(|a, b| {
-                    let score_a = a.4 as f64 / (a.3 + 1e-9);
-                    let score_b = b.4 as f64 / (b.3 + 1e-9);
-                    score_a
-                        .partial_cmp(&score_b)
-                        .expect("scores are finite")
-                        .then_with(|| b.3.partial_cmp(&a.3).expect("deltas are finite"))
-                })
-                .cloned()
-                .expect("a touching candidate exists")
+        // Score the frontier — (loss delta, violating rows touched) per
+        // candidate — in parallel chunks; results come back in candidate
+        // order, so the pick below is thread-count independent.
+        let workers = threads.min(candidates.len()).max(1);
+        let scored: Vec<(f64, usize)> = if workers == 1 {
+            score_merges(&candidates, columns, &leaf_counts, &violating_counts, selection)
         } else {
-            candidates
-                .iter()
-                .min_by(|a, b| a.3.partial_cmp(&b.3).expect("deltas are finite"))
-                .cloned()
-                .expect("candidates is non-empty")
+            let chunk = candidates.len().div_ceil(workers);
+            let leaf_counts = &leaf_counts;
+            let violating_counts = &violating_counts;
+            let chunks: Vec<Vec<(f64, usize)>> = thread::scope(|scope| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            score_merges(slice, columns, leaf_counts, violating_counts, selection)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("frontier worker panicked")).collect()
+            });
+            chunks.into_iter().flatten().collect()
         };
 
-        let (col, parent, children, _, _) = pick;
+        // Pick the merge with the best benefit-per-cost ratio (violating rows
+        // touched per unit of added loss), preferring smaller deltas and then
+        // lower candidate indices on ties; merges that touch nothing are only
+        // considered when no merge touches a violating bin, in which case the
+        // cheapest one is taken.
+        let any_touching = scored.iter().any(|(_, touched)| *touched > 0);
+        let mut pick = 0usize;
+        let mut have_pick = false;
+        for (idx, &(delta, touched)) in scored.iter().enumerate() {
+            if any_touching && touched == 0 {
+                continue;
+            }
+            if !have_pick {
+                pick = idx;
+                have_pick = true;
+                continue;
+            }
+            let (best_delta, best_touched) = scored[pick];
+            let better = if any_touching {
+                let ratio = touched as f64 / (delta + 1e-9);
+                let best_ratio = best_touched as f64 / (best_delta + 1e-9);
+                ratio > best_ratio || (ratio == best_ratio && delta < best_delta)
+            } else {
+                delta < best_delta
+            };
+            if better {
+                pick = idx;
+            }
+        }
+
+        let MergeCandidate { column: col, parent, children } = candidates[pick].clone();
         for ch in &children {
             current[col].remove(ch);
         }
         current[col].insert(parent, ());
-        for cover in covers[col].values_mut() {
+        for cover in covers[col].iter_mut() {
             if children.contains(cover) {
                 *cover = parent;
             }
@@ -436,9 +454,38 @@ fn greedy_search(
         let nodes: Vec<NodeId> = current[i].keys().copied().collect();
         ultimate.push(GeneralizationSet::new(c.tree, nodes).map_err(BinningError::Dht)?);
     }
-    let final_covers: Vec<HashMap<NodeId, NodeId>> = covers;
-    let (satisfied, _) = evaluate_bins(row_leaves, &final_covers, k);
+    let cover_refs: Vec<&[NodeId]> = covers.iter().map(Vec::as_slice).collect();
+    let satisfied = undersized_bin_rows(leaves, &cover_refs, strides, k).is_empty();
     Ok(MultiBinning { ultimate, satisfied, mode: SearchMode::Greedy, warnings })
+}
+
+/// Evaluate a slice of the greedy frontier: loss delta and violating rows
+/// touched for every candidate merge, in slice order.
+fn score_merges(
+    candidates: &[MergeCandidate],
+    columns: &[ColumnContext<'_>],
+    leaf_counts: &[HashMap<NodeId, usize>],
+    violating_counts: &[HashMap<NodeId, usize>],
+    selection: SelectionStrategy,
+) -> Vec<(f64, usize)> {
+    candidates
+        .iter()
+        .map(|m| {
+            let delta = merge_score_delta(
+                columns[m.column].tree,
+                &leaf_counts[m.column],
+                m.parent,
+                &m.children,
+                selection,
+            );
+            let touched: usize = m
+                .children
+                .iter()
+                .map(|ch| violating_counts[m.column].get(ch).copied().unwrap_or(0))
+                .sum();
+            (delta, touched)
+        })
+        .collect()
 }
 
 /// Increase in the column score caused by merging `children` into `parent`.
@@ -602,9 +649,15 @@ mod tests {
         let doc_max = GeneralizationSet::root_only(&doctor_tree);
         let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
 
-        let r =
-            generate_ultimate_nodes(&table, &ctxs, 2, SelectionStrategy::SpecificityLoss, 10_000)
-                .unwrap();
+        let r = generate_ultimate_nodes(
+            &table,
+            &ctxs,
+            2,
+            SelectionStrategy::SpecificityLoss,
+            10_000,
+            1,
+        )
+        .unwrap();
         assert_eq!(r.mode, SearchMode::Exhaustive);
         assert!(r.satisfied);
         assert!(satisfies(&table, &[("age", &age_tree), ("doctor", &doctor_tree)], &r.ultimate, 2));
@@ -612,6 +665,44 @@ mod tests {
         // the data allow something finer (e.g. age halves + doctor level 1).
         let total_nodes: usize = r.ultimate.iter().map(|g| g.len()).sum();
         assert!(total_nodes > 2, "should be finer than root-only on both columns");
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential_exactly() {
+        let (table, age_tree, doctor_tree) = two_column_table();
+        let age_min = GeneralizationSet::all_leaves(&age_tree);
+        let age_max = GeneralizationSet::root_only(&age_tree);
+        let doc_min = GeneralizationSet::all_leaves(&doctor_tree);
+        let doc_max = GeneralizationSet::root_only(&doctor_tree);
+        let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
+        // Both search modes (exhaustive via a large limit, greedy via limit 1)
+        // must be thread-count independent.
+        for limit in [10_000usize, 1] {
+            let reference = generate_ultimate_nodes(
+                &table,
+                &ctxs,
+                2,
+                SelectionStrategy::SpecificityLoss,
+                limit,
+                1,
+            )
+            .unwrap();
+            for threads in [2usize, 3, 4, 8, 64] {
+                let r = generate_ultimate_nodes(
+                    &table,
+                    &ctxs,
+                    2,
+                    SelectionStrategy::SpecificityLoss,
+                    limit,
+                    threads,
+                )
+                .unwrap();
+                assert_eq!(r.ultimate, reference.ultimate, "limit {limit}, threads {threads}");
+                assert_eq!(r.satisfied, reference.satisfied);
+                assert_eq!(r.mode, reference.mode);
+                assert_eq!(r.warnings, reference.warnings);
+            }
+        }
     }
 
     #[test]
@@ -624,7 +715,7 @@ mod tests {
         let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
 
         // Force the greedy path with a tiny exhaustive limit.
-        let r = generate_ultimate_nodes(&table, &ctxs, 2, SelectionStrategy::SpecificityLoss, 1)
+        let r = generate_ultimate_nodes(&table, &ctxs, 2, SelectionStrategy::SpecificityLoss, 1, 2)
             .unwrap();
         assert_eq!(r.mode, SearchMode::Greedy);
         assert!(r.satisfied);
@@ -644,16 +735,24 @@ mod tests {
         let doc_max = GeneralizationSet::root_only(&doctor_tree);
         let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
         for limit in [1usize, 10_000] {
-            let r =
-                generate_ultimate_nodes(&table, &ctxs, 2, SelectionStrategy::FullInfoLoss, limit)
-                    .unwrap();
-            assert!(r.satisfied, "limit {limit}");
-            assert!(satisfies(
-                &table,
-                &[("age", &age_tree), ("doctor", &doctor_tree)],
-                &r.ultimate,
-                2
-            ));
+            for threads in [1usize, 4] {
+                let r = generate_ultimate_nodes(
+                    &table,
+                    &ctxs,
+                    2,
+                    SelectionStrategy::FullInfoLoss,
+                    limit,
+                    threads,
+                )
+                .unwrap();
+                assert!(r.satisfied, "limit {limit}");
+                assert!(satisfies(
+                    &table,
+                    &[("age", &age_tree), ("doctor", &doctor_tree)],
+                    &r.ultimate,
+                    2
+                ));
+            }
         }
     }
 
@@ -673,6 +772,7 @@ mod tests {
                 2,
                 SelectionStrategy::SpecificityLoss,
                 limit,
+                2,
             )
             .unwrap();
             assert!(!r.satisfied, "limit {limit}");
@@ -688,9 +788,15 @@ mod tests {
         let doc_min = GeneralizationSet::all_leaves(&doctor_tree);
         let doc_max = GeneralizationSet::root_only(&doctor_tree);
         let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
-        let r =
-            generate_ultimate_nodes(&table, &ctxs, 1, SelectionStrategy::SpecificityLoss, 10_000)
-                .unwrap();
+        let r = generate_ultimate_nodes(
+            &table,
+            &ctxs,
+            1,
+            SelectionStrategy::SpecificityLoss,
+            10_000,
+            1,
+        )
+        .unwrap();
         assert!(r.satisfied);
         // With k=1 nothing needs generalizing, so the minimal (all-leaves)
         // generalization is optimal under both scores.
@@ -701,7 +807,7 @@ mod tests {
     #[test]
     fn empty_column_list_is_trivially_satisfied() {
         let (table, _, _) = two_column_table();
-        let r = generate_ultimate_nodes(&table, &[], 5, SelectionStrategy::SpecificityLoss, 10)
+        let r = generate_ultimate_nodes(&table, &[], 5, SelectionStrategy::SpecificityLoss, 10, 1)
             .unwrap();
         assert!(r.satisfied);
         assert!(r.ultimate.is_empty());
@@ -716,8 +822,22 @@ mod tests {
         let doc_max = GeneralizationSet::root_only(&doctor_tree);
         let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
         assert!(matches!(
-            generate_ultimate_nodes(&table, &ctxs, 0, SelectionStrategy::SpecificityLoss, 10),
+            generate_ultimate_nodes(&table, &ctxs, 0, SelectionStrategy::SpecificityLoss, 10, 1),
             Err(BinningError::InvalidK)
+        ));
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let (table, age_tree, doctor_tree) = two_column_table();
+        let age_min = GeneralizationSet::all_leaves(&age_tree);
+        let age_max = GeneralizationSet::root_only(&age_tree);
+        let doc_min = GeneralizationSet::all_leaves(&doctor_tree);
+        let doc_max = GeneralizationSet::root_only(&doctor_tree);
+        let ctxs = contexts(&age_tree, &doctor_tree, &age_min, &age_max, &doc_min, &doc_max);
+        assert!(matches!(
+            generate_ultimate_nodes(&table, &ctxs, 2, SelectionStrategy::SpecificityLoss, 10, 0),
+            Err(BinningError::InvalidThreads)
         ));
     }
 }

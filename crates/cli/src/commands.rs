@@ -28,8 +28,9 @@ USAGE:
 The CSV files use the schema R(ssn, age, zip_code, doctor, symptom, prescription)
 and the built-in domain ontologies. Detection re-derives the binning state from
 the original CSV and the same parameters, so no extra state file is needed.
---threads N shards watermark embedding/detection over N worker threads; the
-output is byte-identical for every N.";
+--threads N shards the multi-attribute binning search AND watermark
+embedding/detection over N worker threads; the output is byte-identical for
+every N.";
 
 /// Column roles of the medical schema, used when re-importing CSV files.
 const ROLES: [(&str, ColumnRole); 6] = [
@@ -241,28 +242,39 @@ mod tests {
         let par = dir.join("release-4t.csv");
         generate(&opts(&[("tuples", "300"), ("seed", "11"), ("out", data.to_str().unwrap())]))
             .unwrap();
-        let base = [("input", data.to_str().unwrap()), ("k", "4"), ("eta", "5")];
-        let mut one = base.to_vec();
-        one.push(("out", seq.to_str().unwrap()));
-        protect(&opts(&one)).unwrap();
-        let mut four = base.to_vec();
-        four.push(("out", par.to_str().unwrap()));
-        four.push(("threads", "4"));
-        protect(&opts(&four)).unwrap();
-        assert_eq!(
-            std::fs::read_to_string(&seq).unwrap(),
-            std::fs::read_to_string(&par).unwrap(),
-            "--threads must not change the release bytes"
-        );
-        // And multi-threaded detection accepts the release.
-        detect(&opts(&[
-            ("original", data.to_str().unwrap()),
-            ("suspect", par.to_str().unwrap()),
-            ("k", "4"),
-            ("eta", "5"),
-            ("threads", "4"),
-        ]))
-        .unwrap();
+        // Exercise both pipelines: per-attribute (mono only) and the full
+        // multi-attribute binning search, which --threads also shards now.
+        for per_attribute in ["true", "false"] {
+            let base = [
+                ("input", data.to_str().unwrap()),
+                ("k", "4"),
+                ("eta", "5"),
+                ("per-attribute", per_attribute),
+            ];
+            let mut one = base.to_vec();
+            one.push(("out", seq.to_str().unwrap()));
+            protect(&opts(&one)).unwrap();
+            let mut four = base.to_vec();
+            four.push(("out", par.to_str().unwrap()));
+            four.push(("threads", "4"));
+            protect(&opts(&four)).unwrap();
+            assert_eq!(
+                std::fs::read_to_string(&seq).unwrap(),
+                std::fs::read_to_string(&par).unwrap(),
+                "--threads must not change the release bytes (per-attribute {per_attribute})"
+            );
+            // And multi-threaded detection accepts the release of the same
+            // pipeline variant.
+            detect(&opts(&[
+                ("original", data.to_str().unwrap()),
+                ("suspect", par.to_str().unwrap()),
+                ("k", "4"),
+                ("eta", "5"),
+                ("threads", "4"),
+                ("per-attribute", per_attribute),
+            ]))
+            .unwrap();
+        }
     }
 
     #[test]

@@ -185,6 +185,9 @@ impl ProtectionConfigBuilder {
             minimal_strategy: self.minimal_strategy,
             selection_strategy: self.selection_strategy,
             exhaustive_limit: self.exhaustive_limit,
+            // The engine's `threads` knob overrides this so one setting
+            // drives both the binning search and the watermark stages.
+            threads: 1,
             encryption_secret: self.encryption_secret,
         };
         let key = WatermarkKey::from_master(&self.master_secret, self.eta);
@@ -218,6 +221,7 @@ mod tests {
         assert_eq!(c.mark_len, 20);
         assert!(!c.mark_from_statistic);
         assert_eq!(c.default_maximal_depth, 0);
+        assert_eq!(c.binning.threads, 1);
     }
 
     #[test]

@@ -22,9 +22,11 @@
 //! Because every per-tuple decision is content-keyed and chunk results merge
 //! by exact integer arithmetic, the parallel output is byte-identical to the
 //! sequential path for any thread count — a property pinned by the
-//! `engine_equivalence` test suite. Binning itself remains sequential: its
-//! bin-cardinality bookkeeping is a global computation and is not on the
-//! per-release hot path.
+//! `engine_equivalence` test suite. The multi-attribute binning search is
+//! sharded too (candidate combinations scored against an immutable
+//! `SearchPlan`, per-shard bests merged deterministically — see
+//! `medshield_binning::multi`); the engine's `threads` knob drives both
+//! stages, and the `binning_equivalence` suite pins the binning side.
 
 use crate::config::ProtectionConfig;
 use medshield_binning::{BinningAgent, BinningError, BinningOutcome, ColumnBinning};
@@ -104,15 +106,19 @@ pub struct ProtectionEngine {
 }
 
 impl ProtectionEngine {
-    /// Build an engine from a configuration. `threads` is the number of row
-    /// chunks the watermark hot paths are sharded into (clamped to at least
-    /// one); `1` reproduces the strictly sequential pipeline — though every
-    /// thread count produces byte-identical output, so the choice is purely
-    /// about hardware.
+    /// Build an engine from a configuration. `threads` drives **both**
+    /// sharded stages — the multi-attribute binning search and the watermark
+    /// embed/detect hot paths — and is clamped to at least one (overriding
+    /// `config.binning.threads`); `1` reproduces the strictly sequential
+    /// pipeline — though every thread count produces byte-identical output,
+    /// so the choice is purely about hardware.
     pub fn new(config: ProtectionConfig, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut config = config;
+        config.binning.threads = threads;
         let binning_agent = BinningAgent::new(config.binning.clone());
         let watermarker = HierarchicalWatermarker::new(config.watermark.clone());
-        ProtectionEngine { config, binning_agent, watermarker, threads: threads.max(1) }
+        ProtectionEngine { config, binning_agent, watermarker, threads }
     }
 
     /// A single-threaded engine (the sequential pipeline).
@@ -120,14 +126,18 @@ impl ProtectionEngine {
         Self::new(config, 1)
     }
 
-    /// Number of worker threads the watermark stages use.
+    /// Number of worker threads the binning search and the watermark stages
+    /// use.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Change the worker-thread count (clamped to at least one).
+    /// Change the worker-thread count (clamped to at least one) for both the
+    /// binning search and the watermark stages.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+        self.config.binning.threads = self.threads;
+        self.binning_agent = BinningAgent::new(self.config.binning.clone());
     }
 
     /// The engine's configuration.
