@@ -8,9 +8,11 @@
 //!
 //! With no arguments, every `BENCH_*.json` in the current directory that has
 //! a committed baseline of the same file name is checked (at least one must
-//! exist). The guard reads the 1-thread `rows_per_sec` entry — the sharding
-//! speedup depends on the host's core count, but single-thread throughput is
-//! the stable per-commit signal the trajectory is tracked by.
+//! exist). The guard reads the 1-thread/1-worker entry — `rows_per_sec` for
+//! the engine and binning benches, `requests_per_sec` for the serving-layer
+//! bench — because the sharding speedup depends on the host's core count,
+//! while single-thread throughput is the stable per-commit signal the
+//! trajectory is tracked by.
 //!
 //! Environment:
 //!
@@ -47,7 +49,7 @@ fn check(fresh_path: &Path, baseline_path: &Path, tolerance: f64) -> Result<Stri
     // A throughput comparison is only meaningful over the same workload:
     // different rows/k/candidate counts shift rows_per_sec for workload
     // reasons and would silently mask (or fake) real regressions.
-    for field in ["rows", "k", "candidates"] {
+    for field in ["rows", "k", "candidates", "tables", "detect_rounds"] {
         let (f, b) =
             (benchjson::top_metric(&fresh, field), benchjson::top_metric(&baseline, field));
         if let (Some(f), Some(b)) = (f, b) {
@@ -59,14 +61,23 @@ fn check(fresh_path: &Path, baseline_path: &Path, tolerance: f64) -> Result<Stri
             }
         }
     }
-    let fresh_1t = benchjson::thread_metric(&fresh, 1, "rows_per_sec")
-        .ok_or_else(|| format!("{name}: fresh file has no 1-thread rows_per_sec entry"))?;
-    let base_1t = benchjson::thread_metric(&baseline, 1, "rows_per_sec")
-        .ok_or_else(|| format!("{name}: baseline has no 1-thread rows_per_sec entry"))?;
+    // Engine/binning benches report rows_per_sec; the serving-layer bench
+    // reports requests_per_sec. Guard whichever the file carries.
+    let (metric, unit) = ["rows_per_sec", "requests_per_sec"]
+        .iter()
+        .find(|m| benchjson::thread_metric(&fresh, 1, m).is_some())
+        .map(|&m| (m, if m == "rows_per_sec" { "rows/s" } else { "req/s" }))
+        .ok_or_else(|| {
+            format!("{name}: fresh file has no 1-thread rows_per_sec or requests_per_sec entry")
+        })?;
+    let fresh_1t = benchjson::thread_metric(&fresh, 1, metric)
+        .ok_or_else(|| format!("{name}: fresh file has no 1-thread {metric} entry"))?;
+    let base_1t = benchjson::thread_metric(&baseline, 1, metric)
+        .ok_or_else(|| format!("{name}: baseline has no 1-thread {metric} entry"))?;
     let floor = base_1t * (1.0 - tolerance);
     let ratio = fresh_1t / base_1t;
     let line = format!(
-        "{name}: 1-thread {fresh_1t:.0} rows/s vs baseline {base_1t:.0} rows/s \
+        "{name}: 1-thread {fresh_1t:.0} {unit} vs baseline {base_1t:.0} {unit} \
          ({:.0}% of baseline, floor {floor:.0})",
         ratio * 100.0
     );
@@ -80,7 +91,7 @@ fn check(fresh_path: &Path, baseline_path: &Path, tolerance: f64) -> Result<Stri
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fresh_files: Vec<PathBuf> = if args.is_empty() {
-        ["BENCH_binning.json", "BENCH_throughput.json"]
+        ["BENCH_binning.json", "BENCH_serve.json", "BENCH_throughput.json"]
             .iter()
             .map(PathBuf::from)
             .filter(|p| p.exists())

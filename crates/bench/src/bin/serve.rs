@@ -1,0 +1,222 @@
+//! Serving-layer throughput: requests/sec through the loopback TCP stack at
+//! 1, 2, 4 and 8 pool workers, written to `BENCH_serve.json`.
+//!
+//! The workload is the paper's deployment model in miniature: many small
+//! hospital submissions (`protect`) followed by detection traffic
+//! (`detect`) against the stored releases. Before any timing, **every**
+//! served protect response is checked byte-for-byte against the in-process
+//! `ProtectionEngine` on the same table, and every served detect report
+//! against the in-process detection — the numbers can never come from a
+//! divergent fast path.
+//!
+//! Environment:
+//!
+//! * `MEDSHIELD_SERVE_TABLES` — number of submitted tables (default 12,
+//!   matching the committed baseline so the local `check-regression` flow
+//!   works without env vars).
+//! * `MEDSHIELD_SERVE_ROWS` — rows per table (default 120, same reason).
+//! * `MEDSHIELD_SERVE_DETECT_ROUNDS` — detect requests per release in the
+//!   timed phase (default 2).
+//! * `MEDSHIELD_BENCH_OUT` — output path (default `BENCH_serve.json`).
+
+use medshield_core::{ProtectionConfig, ProtectionEngine};
+use medshield_datagen::{DatasetConfig, MedicalDataset};
+use medshield_relation::csv;
+use medshield_serve::{serve, Client, ServeConfig};
+use std::time::Instant;
+
+/// One timed client request.
+type BenchJob = Box<dyn FnOnce(&mut Client) + Send>;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn engine_config() -> ProtectionConfig {
+    ProtectionConfig::builder()
+        .k(4)
+        .eta(5)
+        .duplication(2)
+        .mark_text("serve-benchmark-owner")
+        .build()
+}
+
+struct WorkerResult {
+    workers: usize,
+    protect_requests_per_sec: f64,
+    detect_requests_per_sec: f64,
+    requests_per_sec: f64,
+}
+
+/// Fan `jobs` out over `clients` connections, one thread per connection.
+/// Returns the wall-clock seconds for the whole fan-out.
+fn run_phase(addr: std::net::SocketAddr, clients: usize, jobs: Vec<BenchJob>) -> f64 {
+    let mut shards: Vec<Vec<BenchJob>> = (0..clients).map(|_| Vec::new()).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        shards[i % clients].push(job);
+    }
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for shard in shards {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect to the bench server");
+                for job in shard {
+                    job(&mut client);
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let tables = env_usize("MEDSHIELD_SERVE_TABLES", 12).max(1);
+    let rows = env_usize("MEDSHIELD_SERVE_ROWS", 120).max(1);
+    let detect_rounds = env_usize("MEDSHIELD_SERVE_DETECT_ROUNDS", 2).max(1);
+    let out_path =
+        std::env::var("MEDSHIELD_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+
+    eprintln!("generating {tables} tables of {rows} rows…");
+    let datasets: Vec<MedicalDataset> = (0..tables)
+        .map(|i| {
+            MedicalDataset::generate(&DatasetConfig {
+                num_tuples: rows,
+                seed: 0x5E12_7E00 + i as u64,
+                zipf_exponent: 0.8,
+            })
+        })
+        .collect();
+    let submissions: Vec<String> = datasets.iter().map(|ds| csv::to_csv(&ds.table)).collect();
+
+    // In-process expectations: the byte-equivalence gate compares every
+    // served response against these.
+    let engine = ProtectionEngine::new(engine_config(), 1).expect("1 thread is valid");
+    eprintln!("computing in-process reference releases…");
+    let expectations: Vec<(String, String)> = datasets
+        .iter()
+        .map(|ds| {
+            let release =
+                engine.protect_per_attribute(&ds.table, &ds.trees).expect("binnable table");
+            let detection = engine
+                .detect(&release.table, &release.binning.columns, &ds.trees)
+                .expect("detection succeeds");
+            (
+                csv::to_csv(&release.table),
+                medshield_core::watermark::Mark::from_bits(detection.mark).to_string(),
+            )
+        })
+        .collect();
+
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut results = Vec::new();
+    for &workers in &worker_counts {
+        let config = ServeConfig { engine: engine_config(), workers, ..ServeConfig::default() };
+        let handle = serve(config, "127.0.0.1:0").expect("bind the bench server");
+        let addr = handle.addr();
+
+        // Equivalence gate (untimed): served bytes must equal the
+        // in-process engine's for every table, and detection must recover
+        // the identical mark.
+        let mut gate = Client::connect(addr).expect("connect");
+        let mut release_ids = Vec::with_capacity(tables);
+        for (submission, (expected_csv, expected_mark)) in
+            submissions.iter().zip(expectations.iter())
+        {
+            let reply = gate.protect(submission).expect("protect reply");
+            assert!(reply.is_ok(), "served protect failed: {}", reply.json);
+            assert_eq!(
+                reply.body.as_deref(),
+                Some(expected_csv.as_str()),
+                "{workers}-worker served release diverged from the in-process bytes"
+            );
+            let release_id = reply.release_id().expect("release id");
+            let detect = gate.detect(&release_id, expected_csv).expect("detect reply");
+            assert!(detect.is_ok(), "served detect failed: {}", detect.json);
+            assert_eq!(
+                detect.str_field("mark").as_deref(),
+                Some(expected_mark.as_str()),
+                "{workers}-worker served detection diverged from the in-process mark"
+            );
+            release_ids.push(release_id);
+        }
+
+        // Timed phase 1: protect traffic (the releases land in the store
+        // alongside the gate's, which is fine — ids are never reused).
+        let clients = workers.max(1);
+        let protect_jobs: Vec<BenchJob> = submissions
+            .iter()
+            .map(|submission| {
+                let submission = submission.clone();
+                Box::new(move |client: &mut Client| {
+                    let reply = client.protect(&submission).expect("protect reply");
+                    assert!(reply.is_ok(), "timed protect failed: {}", reply.json);
+                }) as BenchJob
+            })
+            .collect();
+        let protect_secs = run_phase(addr, clients, protect_jobs);
+
+        // Timed phase 2: detect traffic against the gated releases.
+        let detect_jobs: Vec<BenchJob> = (0..detect_rounds)
+            .flat_map(|_| {
+                release_ids.iter().zip(expectations.iter()).map(|(id, (expected_csv, _))| {
+                    let id = id.clone();
+                    let suspect = expected_csv.clone();
+                    Box::new(move |client: &mut Client| {
+                        let reply = client.detect(&id, &suspect).expect("detect reply");
+                        assert!(reply.is_ok(), "timed detect failed: {}", reply.json);
+                    }) as BenchJob
+                })
+            })
+            .collect();
+        let detect_count = detect_jobs.len();
+        let detect_secs = run_phase(addr, clients, detect_jobs);
+
+        handle.shutdown();
+        let result = WorkerResult {
+            workers,
+            protect_requests_per_sec: tables as f64 / protect_secs,
+            detect_requests_per_sec: detect_count as f64 / detect_secs,
+            requests_per_sec: (tables + detect_count) as f64 / (protect_secs + detect_secs),
+        };
+        eprintln!(
+            "{:>2} worker(s): protect {:>8.1} req/s, detect {:>8.1} req/s",
+            workers, result.protect_requests_per_sec, result.detect_requests_per_sec
+        );
+        results.push(result);
+    }
+
+    let speedup_4w = results
+        .iter()
+        .find(|r| r.workers == 4)
+        .map(|r| r.requests_per_sec / results[0].requests_per_sec)
+        .unwrap_or(f64::NAN);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"serve-throughput\",\n");
+    json.push_str(&format!("  \"tables\": {tables},\n"));
+    json.push_str(&format!("  \"rows\": {rows},\n"));
+    json.push_str(&format!("  \"detect_rounds\": {detect_rounds},\n"));
+    json.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    ));
+    json.push_str("  \"equivalence_checked\": true,\n");
+    json.push_str("  \"threads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"requests_per_sec\": {:.1}, \"protect_requests_per_sec\": {:.1}, \"detect_requests_per_sec\": {:.1}}}{}\n",
+            r.workers,
+            r.requests_per_sec,
+            r.protect_requests_per_sec,
+            r.detect_requests_per_sec,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_4w_vs_1w\": {speedup_4w:.2}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    eprintln!("4-worker speedup over 1 worker: {speedup_4w:.2}x");
+    eprintln!("wrote {out_path}");
+}

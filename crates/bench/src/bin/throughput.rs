@@ -66,7 +66,8 @@ fn main() {
     let thread_counts = [1usize, 2, 4, 8];
     let mut results = Vec::new();
     for &threads in &thread_counts {
-        let engine = ProtectionEngine::new(config(), threads);
+        let engine =
+            ProtectionEngine::new(config(), threads).expect("a nonzero thread count is valid");
 
         // Equivalence gate: the timed path must reproduce the sequential
         // bytes and the sequential detection report exactly.

@@ -15,6 +15,7 @@
 //! | `all_experiments` | runs everything above in sequence |
 //! | `throughput` | engine throughput at 1/2/4/8 threads → `BENCH_throughput.json` |
 //! | `binning` | sharded `GenUltiNd` search throughput at 1/2/4/8 threads → `BENCH_binning.json` |
+//! | `serve` | loopback serving-layer requests/sec at 1/2/4/8 pool workers → `BENCH_serve.json` |
 //! | `check-regression` | CI guard: fresh `BENCH_*.json` vs `baselines/`, fails on >25% 1-thread drop |
 //!
 //! The experiments default to the paper's scale (20,000 tuples); set the

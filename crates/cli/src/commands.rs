@@ -7,7 +7,8 @@ use medshield_attacks::{
 use medshield_core::metrics::mark_loss;
 use medshield_core::{ProtectionConfig, ProtectionEngine};
 use medshield_datagen::{ontology, DatasetConfig, MedicalDataset};
-use medshield_relation::{csv, ColumnRole, Table};
+use medshield_relation::{csv, Table};
+use medshield_serve::{CARRIES_MARK_THRESHOLD, MEDICAL_ROLES};
 
 /// Usage text printed by `medshield help` and on argument errors.
 pub const USAGE: &str = "\
@@ -24,49 +25,56 @@ USAGE:
                      [--per-attribute true] [--threads N]
   medshield attack   --input RELEASE.csv --kind alteration|addition|deletion|generalization
                      [--fraction F] [--levels N] [--seed S] --out ATTACKED.csv
+  medshield serve    [--addr HOST:PORT] [--threads N] [--queue-depth D]
+                     [--engine-threads N] [--request-timeout-ms MS]
+                     [--batch-max N] [--per-attribute true|false]
+                     [--k K] [--eta ETA] [--enc-secret S1] [--wm-secret S2]
+                     [--mark-from-statistic true]
 
 The CSV files use the schema R(ssn, age, zip_code, doctor, symptom, prescription)
 and the built-in domain ontologies. Detection re-derives the binning state from
 the original CSV and the same parameters, so no extra state file is needed.
 --threads N shards the multi-attribute binning search AND watermark
 embedding/detection over N worker threads; the output is byte-identical for
-every N.";
-
-/// Column roles of the medical schema, used when re-importing CSV files.
-const ROLES: [(&str, ColumnRole); 6] = [
-    ("ssn", ColumnRole::Identifying),
-    ("age", ColumnRole::QuasiNumeric),
-    ("zip_code", ColumnRole::QuasiNumeric),
-    ("doctor", ColumnRole::QuasiCategorical),
-    ("symptom", ColumnRole::QuasiCategorical),
-    ("prescription", ColumnRole::QuasiCategorical),
-];
+every N. `serve` runs the long-lived data-owner service: protect/embed/detect/
+resolve-ownership over a length-framed TCP protocol, with --threads worker
+engines answering in parallel behind a bounded queue of depth --queue-depth.";
 
 fn read_table(path: &str) -> Result<Table, String> {
+    // The schema roles are the serving layer's: both front ends must import
+    // CSV files identically.
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    csv::from_csv(&text, &ROLES).map_err(|e| format!("cannot parse {path}: {e}"))
+    csv::from_csv(&text, &MEDICAL_ROLES).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
 fn write_table(path: &str, table: &Table) -> Result<(), String> {
     std::fs::write(path, csv::to_csv(table)).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
-fn engine_from(options: &Options) -> Result<ProtectionEngine, String> {
+/// Build the protection configuration shared by `protect`, `detect` and
+/// `serve` from the command-line options.
+pub(crate) fn config_from(options: &Options) -> Result<ProtectionConfig, String> {
     let k: usize = options.parse_or("k", 10)?;
     let eta: u64 = options.parse_or("eta", 50)?;
     let duplication: usize = options.parse_or("duplication", 4)?;
-    let threads: usize = options.parse_or("threads", 1)?;
-    let config = ProtectionConfig::builder()
+    Ok(ProtectionConfig::builder()
         .k(k)
         .epsilon(options.parse_or("epsilon", 2)?)
         .eta(eta)
         .duplication(duplication)
         .mark_len(options.parse_or("mark-len", 20)?)
         .mark_text(options.string_or("mark-text", "medshield-cli-owner"))
+        .mark_from_statistic(options.parse_or("mark-from-statistic", false)?)
         .encryption_secret(options.string_or("enc-secret", "medshield-enc").into_bytes())
         .watermark_secret(options.string_or("wm-secret", "medshield-wm").into_bytes())
-        .build();
-    Ok(ProtectionEngine::new(config, threads))
+        .build())
+}
+
+fn engine_from(options: &Options) -> Result<ProtectionEngine, String> {
+    let threads: usize = options.parse_or("threads", 1)?;
+    let config = config_from(options)?;
+    ProtectionEngine::new(config, threads)
+        .map_err(|e| format!("invalid engine configuration: {e} (got --threads {threads})"))
 }
 
 fn per_attribute(options: &Options) -> Result<bool, String> {
@@ -145,7 +153,7 @@ pub fn detect(options: &Options) -> Result<(), String> {
         detection.covered_positions,
         detection.wmd_len
     );
-    if loss <= 0.25 {
+    if loss <= CARRIES_MARK_THRESHOLD {
         println!("verdict: the suspect data carry the owner's watermark");
     } else {
         println!("verdict: the owner's watermark was NOT found");
@@ -179,6 +187,47 @@ pub fn attack(options: &Options) -> Result<(), String> {
         attacked.len(),
         attack.describe()
     );
+    Ok(())
+}
+
+/// Build the serving-layer configuration from the command-line options.
+/// Split from [`serve`] so tests can exercise the parsing without binding a
+/// socket.
+pub(crate) fn serve_config_from(
+    options: &Options,
+) -> Result<(medshield_serve::ServeConfig, String), String> {
+    let addr = options.string_or("addr", "127.0.0.1:7878");
+    let config = medshield_serve::ServeConfig {
+        engine: config_from(options)?,
+        engine_threads: options.parse_or("engine-threads", 1)?,
+        workers: options.parse_or("threads", 4)?,
+        queue_depth: options.parse_or("queue-depth", 64)?,
+        request_timeout: std::time::Duration::from_millis(
+            options.parse_or("request-timeout-ms", 30_000u64)?,
+        ),
+        batch_max: options.parse_or("batch-max", 8)?,
+        per_attribute_default: options.parse_or("per-attribute", true)?,
+        ..medshield_serve::ServeConfig::default()
+    };
+    Ok((config, addr))
+}
+
+/// `medshield serve`: run the long-lived data-owner service until killed.
+pub fn serve(options: &Options) -> Result<(), String> {
+    let (config, addr) = serve_config_from(options)?;
+    let workers = config.workers;
+    let queue_depth = config.queue_depth;
+    let handle =
+        medshield_serve::serve(config, addr.as_str()).map_err(|e| format!("cannot serve: {e}"))?;
+    println!(
+        "medshield serving on {} ({} worker{}, queue depth {}) — \
+         protect / embed / detect / resolve-ownership over length-framed TCP",
+        handle.addr(),
+        workers,
+        if workers == 1 { "" } else { "s" },
+        queue_depth,
+    );
+    handle.wait();
     Ok(())
 }
 
@@ -275,6 +324,60 @@ mod tests {
             ]))
             .unwrap();
         }
+    }
+
+    #[test]
+    fn serve_options_parse_and_drive_a_live_server() {
+        let (config, addr) = serve_config_from(&opts(&[
+            ("threads", "2"),
+            ("queue-depth", "8"),
+            ("k", "4"),
+            ("eta", "5"),
+            ("duplication", "2"),
+        ]))
+        .unwrap();
+        assert_eq!(addr, "127.0.0.1:7878");
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.queue_depth, 8);
+        assert_eq!(config.engine.binning.spec.k, 4);
+        // Drive the parsed configuration on an ephemeral port: a protect
+        // round-trip must serve the exact bytes the CLI's own protect logic
+        // would produce.
+        let handle = medshield_serve::serve(config, "127.0.0.1:0").unwrap();
+        let ds = medshield_datagen::MedicalDataset::generate(
+            &medshield_datagen::DatasetConfig::small(120),
+        );
+        let mut client = medshield_serve::Client::connect(handle.addr()).unwrap();
+        let reply = client.protect(&csv::to_csv(&ds.table)).unwrap();
+        assert!(reply.is_ok(), "{}", reply.json);
+        assert_eq!(reply.u64_field("rows"), Some(120));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn serve_rejects_zero_worker_and_engine_threads_cleanly() {
+        let (config, _) = serve_config_from(&opts(&[("threads", "0")])).unwrap();
+        assert!(medshield_serve::serve(config, "127.0.0.1:0").is_err());
+        let (config, _) = serve_config_from(&opts(&[("engine-threads", "0")])).unwrap();
+        match medshield_serve::serve(config, "127.0.0.1:0") {
+            Err(e) => assert!(e.to_string().contains("at least 1"), "{e}"),
+            Ok(_) => panic!("engine-threads 0 must be rejected"),
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_a_clean_cli_error() {
+        let dir = std::env::temp_dir().join("medshield-cli-zero-threads");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.csv");
+        generate(&opts(&[("tuples", "50"), ("out", data.to_str().unwrap())])).unwrap();
+        let err = protect(&opts(&[
+            ("input", data.to_str().unwrap()),
+            ("out", dir.join("r.csv").to_str().unwrap()),
+            ("threads", "0"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("thread count must be at least 1"), "{err}");
     }
 
     #[test]

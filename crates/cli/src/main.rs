@@ -14,6 +14,7 @@
 //! medshield detect   --original hospital.csv --suspect leaked.csv \
 //!                    --k 10 --eta 50 --enc-secret S1 --wm-secret S2
 //! medshield attack   --input release.csv --kind alteration --fraction 0.3 --out attacked.csv
+//! medshield serve    --addr 127.0.0.1:7878 --threads 4 --queue-depth 64
 //! ```
 
 #![forbid(unsafe_code)]
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
         "protect" => commands::protect(&options),
         "detect" => commands::detect(&options),
         "attack" => commands::attack(&options),
+        "serve" => commands::serve(&options),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

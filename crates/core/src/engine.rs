@@ -48,6 +48,11 @@ pub enum PipelineError {
     /// The table has no identifying column to derive the ownership statistic
     /// from.
     NoIdentifyingColumn,
+    /// The requested worker-thread count is zero. The engine used to clamp
+    /// this silently to one while the binning agent rejected it
+    /// ([`BinningError::InvalidThreads`]); the contract is now uniform —
+    /// every entry point rejects zero.
+    InvalidThreads,
 }
 
 impl std::fmt::Display for PipelineError {
@@ -57,6 +62,9 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Watermark(e) => write!(f, "watermarking failed: {e}"),
             PipelineError::NoIdentifyingColumn => {
                 write!(f, "the schema declares no identifying column")
+            }
+            PipelineError::InvalidThreads => {
+                write!(f, "the worker thread count must be at least 1")
             }
         }
     }
@@ -108,22 +116,26 @@ pub struct ProtectionEngine {
 impl ProtectionEngine {
     /// Build an engine from a configuration. `threads` drives **both**
     /// sharded stages — the multi-attribute binning search and the watermark
-    /// embed/detect hot paths — and is clamped to at least one (overriding
-    /// `config.binning.threads`); `1` reproduces the strictly sequential
-    /// pipeline — though every thread count produces byte-identical output,
-    /// so the choice is purely about hardware.
-    pub fn new(config: ProtectionConfig, threads: usize) -> Self {
-        let threads = threads.max(1);
+    /// embed/detect hot paths — and overrides `config.binning.threads` so one
+    /// knob rules both; `1` reproduces the strictly sequential pipeline —
+    /// though every thread count produces byte-identical output, so the
+    /// choice is purely about hardware. `0` is rejected
+    /// ([`PipelineError::InvalidThreads`]), matching the binning agent's
+    /// contract instead of silently clamping.
+    pub fn new(config: ProtectionConfig, threads: usize) -> Result<Self, PipelineError> {
+        if threads == 0 {
+            return Err(PipelineError::InvalidThreads);
+        }
         let mut config = config;
         config.binning.threads = threads;
         let binning_agent = BinningAgent::new(config.binning.clone());
         let watermarker = HierarchicalWatermarker::new(config.watermark.clone());
-        ProtectionEngine { config, binning_agent, watermarker, threads }
+        Ok(ProtectionEngine { config, binning_agent, watermarker, threads })
     }
 
     /// A single-threaded engine (the sequential pipeline).
     pub fn sequential(config: ProtectionConfig) -> Self {
-        Self::new(config, 1)
+        Self::new(config, 1).expect("one worker thread is always a valid count")
     }
 
     /// Number of worker threads the binning search and the watermark stages
@@ -132,12 +144,16 @@ impl ProtectionEngine {
         self.threads
     }
 
-    /// Change the worker-thread count (clamped to at least one) for both the
-    /// binning search and the watermark stages.
-    pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
-        self.config.binning.threads = self.threads;
+    /// Change the worker-thread count for both the binning search and the
+    /// watermark stages. Like [`ProtectionEngine::new`], zero is rejected.
+    pub fn set_threads(&mut self, threads: usize) -> Result<(), PipelineError> {
+        if threads == 0 {
+            return Err(PipelineError::InvalidThreads);
+        }
+        self.threads = threads;
+        self.config.binning.threads = threads;
         self.binning_agent = BinningAgent::new(self.config.binning.clone());
+        Ok(())
     }
 
     /// The engine's configuration.
@@ -244,6 +260,13 @@ impl ProtectionEngine {
             .map_err(PipelineError::Watermark)?;
         let mut table = binned_table.snapshot();
         let rows = table.tuples_mut();
+        // A 0-row table embeds nothing: return the empty report instead of
+        // letting the chunking arithmetic below see a zero length (a served
+        // endpoint must never panic on an empty submission).
+        if rows.is_empty() {
+            let report = EmbeddingReport::empty(plan.wmd_len());
+            return Ok((table, report));
+        }
         let threads = self.threads.min(rows.len()).max(1);
         if threads == 1 {
             let report =
@@ -286,6 +309,10 @@ impl ProtectionEngine {
             .plan_detect(table.schema(), columns, trees, mark_len)
             .map_err(PipelineError::Watermark)?;
         let rows = table.tuples();
+        // A 0-row table carries no votes: an empty report, never a panic.
+        if rows.is_empty() {
+            return Ok(DetectionTally::new(plan.wmd_len()).into_report(mark_len));
+        }
         let threads = self.threads.min(rows.len()).max(1);
         if threads == 1 {
             let tally =
@@ -357,7 +384,7 @@ mod tests {
         let reference = sequential.protect(&ds.table, &ds.trees).unwrap();
         let reference_csv = csv::to_csv(&reference.table);
         for threads in [2usize, 3, 4, 8] {
-            let engine = ProtectionEngine::new(config(4, 5), threads);
+            let engine = ProtectionEngine::new(config(4, 5), threads).unwrap();
             let release = engine.protect(&ds.table, &ds.trees).unwrap();
             assert_eq!(
                 csv::to_csv(&release.table),
@@ -378,7 +405,7 @@ mod tests {
             sequential.detect(&release.table, &release.binning.columns, &ds.trees).unwrap();
         assert_eq!(reference.mark, release.mark.bits());
         for threads in [2usize, 4, 8] {
-            let engine = ProtectionEngine::new(config(4, 5), threads);
+            let engine = ProtectionEngine::new(config(4, 5), threads).unwrap();
             let report =
                 engine.detect(&release.table, &release.binning.columns, &ds.trees).unwrap();
             assert_eq!(report, reference, "{threads}-thread detection report");
@@ -395,7 +422,7 @@ mod tests {
         let reference = sequential.protect(&ds.table, &ds.trees).unwrap();
         let reference_report =
             sequential.detect(&reference.table, &reference.binning.columns, &ds.trees).unwrap();
-        let engine = ProtectionEngine::new(config(2, 2), 64);
+        let engine = ProtectionEngine::new(config(2, 2), 64).unwrap();
         let release = engine.protect(&ds.table, &ds.trees).unwrap();
         assert_eq!(csv::to_csv(&release.table), csv::to_csv(&reference.table));
         let report = engine.detect(&release.table, &release.binning.columns, &ds.trees).unwrap();
@@ -403,27 +430,54 @@ mod tests {
     }
 
     #[test]
-    fn zero_threads_clamps_to_one() {
-        let engine = ProtectionEngine::new(config(2, 2), 0);
-        assert_eq!(engine.threads(), 1);
-        let mut engine = engine;
-        engine.set_threads(0);
-        assert_eq!(engine.threads(), 1);
-        engine.set_threads(4);
+    fn zero_threads_is_rejected_consistently() {
+        // The engine used to clamp 0 to 1 while the binning agent rejected
+        // it; both entry points now agree on a structured error.
+        assert_eq!(
+            ProtectionEngine::new(config(2, 2), 0).unwrap_err(),
+            PipelineError::InvalidThreads
+        );
+        let mut engine = ProtectionEngine::new(config(2, 2), 2).unwrap();
+        assert_eq!(engine.set_threads(0), Err(PipelineError::InvalidThreads));
+        // A failed set_threads must leave the engine untouched and usable.
+        assert_eq!(engine.threads(), 2);
+        engine.set_threads(4).unwrap();
         assert_eq!(engine.threads(), 4);
+        // The binning agent's own entry point keeps rejecting zero too.
+        let agent = BinningAgent::new(medshield_binning::BinningConfig {
+            threads: 0,
+            ..Default::default()
+        });
+        let ds = dataset(40);
+        let maximal = ProtectionEngine::sequential(config(2, 2)).default_maximal(&ds.trees);
+        assert_eq!(
+            agent.bin(&ds.table, &ds.trees, &maximal).unwrap_err(),
+            BinningError::InvalidThreads
+        );
     }
 
     #[test]
-    fn empty_table_is_handled() {
+    fn empty_table_never_panics_and_yields_empty_reports() {
         let ds = dataset(10);
         let empty = Table::new(ds.table.schema().clone());
-        let engine = ProtectionEngine::new(config(2, 2), 4);
-        // Binning an empty table succeeds trivially; embedding selects
-        // nothing; detection sees no votes.
-        let release = engine.protect(&empty, &ds.trees);
-        if let Ok(release) = release {
+        for threads in [1usize, 4] {
+            let engine = ProtectionEngine::new(config(2, 2), threads).unwrap();
+            // Binning an empty table succeeds trivially; embedding selects
+            // nothing; detection sees no votes — and none of it may panic.
+            let release = engine.protect(&empty, &ds.trees).unwrap();
             assert_eq!(release.table.len(), 0);
             assert_eq!(release.embedding.selected_tuples, 0);
+            assert_eq!(release.embedding.embedded_cells, 0);
+            assert_eq!(release.embedding.changed_cells, 0);
+            let report =
+                engine.detect(&release.table, &release.binning.columns, &ds.trees).unwrap();
+            assert_eq!(report.selected_tuples, 0);
+            assert_eq!(report.covered_positions, 0);
+            // Detecting an empty (possibly fully-deleted) suspect against a
+            // real release's binning state must not panic either.
+            let real = engine.protect(&ds.table, &ds.trees).unwrap();
+            let report = engine.detect(&empty, &real.binning.columns, &ds.trees).unwrap();
+            assert_eq!(report.selected_tuples, 0);
         }
     }
 }

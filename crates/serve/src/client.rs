@@ -1,0 +1,162 @@
+//! A minimal blocking client for the serving layer.
+//!
+//! One [`Client`] wraps one TCP connection; requests are answered in order,
+//! so a client is also the simplest way to script the server from tests,
+//! benches or other processes.
+
+use crate::json;
+use crate::protocol::{read_frame, write_frame, Command, FrameError, Request, Response};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors from a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, writing or reading failed.
+    Io(io::Error),
+    /// The response frame was unreadable.
+    Frame(String),
+    /// The server closed the connection before replying.
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(m) => write!(f, "bad response frame: {m}"),
+            ClientError::ConnectionClosed => write!(f, "the server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            other => ClientError::Frame(other.to_string()),
+        }
+    }
+}
+
+/// A blocking connection to a serving-layer endpoint.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame_len: usize,
+}
+
+impl Client {
+    /// Connect to the server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, max_frame_len: crate::protocol::DEFAULT_MAX_FRAME_LEN })
+    }
+
+    /// Raise or lower the largest response frame this client accepts.
+    pub fn max_frame_len(mut self, max: usize) -> Client {
+        self.max_frame_len = max;
+        self
+    }
+
+    /// Send a raw frame payload and read one response frame. This is the
+    /// escape hatch tests use to send deliberately malformed requests.
+    pub fn request_raw(&mut self, payload: &[u8]) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        let reply = read_frame(&mut self.stream, self.max_frame_len)?
+            .ok_or(ClientError::ConnectionClosed)?;
+        Response::decode(&reply).map_err(|e| ClientError::Frame(e.to_string()))
+    }
+
+    /// Send a request and read its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.request_raw(&request.encode())
+    }
+
+    /// `protect` a CSV table. On success the response carries the release id
+    /// in `release` and the protected CSV as its body.
+    pub fn protect(&mut self, table_csv: &str) -> Result<Response, ClientError> {
+        self.call(&Request::new(Command::Protect).body(table_csv))
+    }
+
+    /// `protect` with an explicit binning mode.
+    pub fn protect_mode(
+        &mut self,
+        table_csv: &str,
+        per_attribute: bool,
+    ) -> Result<Response, ClientError> {
+        self.call(
+            &Request::new(Command::Protect)
+                .param("per-attribute", per_attribute.to_string())
+                .body(table_csv),
+        )
+    }
+
+    /// `detect` the mark of `release` in a suspect CSV table.
+    pub fn detect(&mut self, release: &str, suspect_csv: &str) -> Result<Response, ClientError> {
+        self.call(&Request::new(Command::Detect).param("release", release).body(suspect_csv))
+    }
+
+    /// `embed` the retained mark of `release` into an already-binned CSV.
+    pub fn embed(&mut self, release: &str, binned_csv: &str) -> Result<Response, ClientError> {
+        self.call(&Request::new(Command::Embed).param("release", release).body(binned_csv))
+    }
+
+    /// Run the ownership-dispute protocol over a disputed CSV table.
+    pub fn resolve_ownership(
+        &mut self,
+        release: &str,
+        disputed_csv: &str,
+    ) -> Result<Response, ClientError> {
+        self.call(
+            &Request::new(Command::ResolveOwnership).param("release", release).body(disputed_csv),
+        )
+    }
+
+    /// Liveness probe; the reply carries server statistics.
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        self.call(&Request::new(Command::Ping))
+    }
+}
+
+/// Convenience accessors shared by tests and benches.
+impl Response {
+    /// The release id of a `protect` reply.
+    pub fn release_id(&self) -> Option<String> {
+        json::get_str(&self.json, "release")
+    }
+
+    /// A numeric field of the JSON report.
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        json::get_f64(&self.json, key)
+    }
+
+    /// An integer field of the JSON report.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        json::get_u64(&self.json, key)
+    }
+
+    /// A boolean field of the JSON report.
+    pub fn bool_field(&self, key: &str) -> Option<bool> {
+        json::get_bool(&self.json, key)
+    }
+
+    /// A string field of the JSON report.
+    pub fn str_field(&self, key: &str) -> Option<String> {
+        json::get_str(&self.json, key)
+    }
+
+    /// The error message of an error reply.
+    pub fn message(&self) -> Option<String> {
+        json::get_str(&self.json, "message")
+    }
+}

@@ -1,0 +1,47 @@
+//! # MedShield serving layer
+//!
+//! A std-only, multi-threaded TCP front end for the protection engine: the
+//! paper's Fig. 2 deployment model as a long-lived *data-owner service*.
+//! Hospitals submit relations over a length-framed protocol, the binning and
+//! watermarking agents protect them, and detection / ownership disputes are
+//! resolved on demand against the server's release store — with per-request
+//! setup (engines, key schedules, domain hierarchy trees, detection plans)
+//! amortized across many small submissions.
+//!
+//! * [`protocol`] — the length-framed wire format: 4-byte big-endian length
+//!   prefix, a one-line command header, a CSV body; responses carry a
+//!   hand-rolled JSON report line ([`json`]) plus an optional CSV body.
+//! * [`server`] — acceptor, bounded request queue, worker pool (one
+//!   [`ProtectionEngine`](medshield_core::ProtectionEngine) per worker),
+//!   micro-batching of small `detect` requests, per-request queue deadlines,
+//!   structured error replies and graceful shutdown.
+//! * [`client`] — a small blocking client used by the CLI, the loopback
+//!   integration tests and the serve benchmark.
+//!
+//! Served responses are **byte-identical** to calling the engine in-process
+//! (the `serve` benchmark gates on it), so moving from library use to the
+//! service changes the deployment model, never the data.
+//!
+//! ```no_run
+//! use medshield_serve::{serve, Client, ServeConfig};
+//!
+//! let handle = serve(ServeConfig::default(), "127.0.0.1:0").unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let reply = client.protect("ssn,age,zip_code,doctor,symptom,prescription\n").unwrap();
+//! assert!(reply.is_ok());
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{Command, ErrorCode, Request, Response};
+pub use server::{
+    serve, ServeConfig, ServeError, ServeHandle, CARRIES_MARK_THRESHOLD, MEDICAL_ROLES,
+};

@@ -1,0 +1,522 @@
+//! The length-framed wire protocol of the serving layer.
+//!
+//! Every message — request or response — travels as one **frame**: a 4-byte
+//! big-endian payload length followed by that many payload bytes. Frames
+//! keep the stream self-synchronizing (a reader always knows where the next
+//! message starts) and let the server reject oversized submissions *before*
+//! buffering them.
+//!
+//! A request payload is UTF-8 text: one header line, then the body.
+//!
+//! ```text
+//! protect per-attribute=true\n
+//! ssn,age,zip_code,doctor,symptom,prescription\n
+//! 000-00-0001,34,10301,...\n
+//! ```
+//!
+//! The header names the command (`protect`, `embed`, `detect`,
+//! `resolve-ownership`, `ping`) plus space-separated `key=value` parameters;
+//! the body — everything after the first newline — is a CSV table in the
+//! exact format the rest of the framework reads and writes.
+//!
+//! A response payload mirrors the shape: one line of JSON (the report — see
+//! [`crate::json`]), then an optional CSV body (the protected release for
+//! `protect`/`embed`). The JSON always carries `"status":"ok"` or
+//! `"status":"error"` with a machine-readable `"code"` from [`ErrorCode`] —
+//! malformed input yields a structured reply, never a dropped connection.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+/// Upper bound accepted for a frame payload unless the server configures its
+/// own (16 MiB — roughly a 100k-row CSV submission).
+pub const DEFAULT_MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// The commands a request header can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Bin + watermark the CSV body; the server retains the release state
+    /// and replies with a release id, the embedding report and the release
+    /// CSV.
+    Protect,
+    /// Re-embed the retained mark of `release=<id>` into the (already
+    /// binned) CSV body; replies with the embedding report and the marked
+    /// CSV.
+    Embed,
+    /// Detect the mark of `release=<id>` in the (possibly attacked) CSV
+    /// body; replies with the detection report and the mark loss.
+    Detect,
+    /// Run the §5.4 dispute protocol for `release=<id>` over the CSV body;
+    /// replies with the court's verdict.
+    ResolveOwnership,
+    /// Liveness probe; replies with server statistics.
+    Ping,
+    /// Hold a worker for `ms=<n>` milliseconds. Only honored when the server
+    /// was built with `debug_sleep` (integration tests use it to fill the
+    /// queue deterministically); otherwise an unknown command.
+    Sleep,
+}
+
+impl Command {
+    /// The header spelling of the command.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Protect => "protect",
+            Command::Embed => "embed",
+            Command::Detect => "detect",
+            Command::ResolveOwnership => "resolve-ownership",
+            Command::Ping => "ping",
+            Command::Sleep => "sleep",
+        }
+    }
+
+    fn parse(name: &str) -> Option<Command> {
+        Some(match name {
+            "protect" => Command::Protect,
+            "embed" => Command::Embed,
+            "detect" => Command::Detect,
+            "resolve-ownership" => Command::ResolveOwnership,
+            "ping" => Command::Ping,
+            "sleep" => Command::Sleep,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed request: command, `key=value` parameters, CSV body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The command named by the header line.
+    pub command: Command,
+    /// The header's `key=value` parameters.
+    pub params: BTreeMap<String, String>,
+    /// The body (a CSV table for the data-carrying commands; may be empty).
+    pub body: String,
+}
+
+impl Request {
+    /// A request with no parameters and no body.
+    pub fn new(command: Command) -> Request {
+        Request { command, params: BTreeMap::new(), body: String::new() }
+    }
+
+    /// Add a `key=value` parameter. Keys and values must not contain spaces
+    /// or newlines (they live on the header line).
+    pub fn param(mut self, key: &str, value: impl Into<String>) -> Request {
+        self.params.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Attach a CSV body.
+    pub fn body(mut self, body: impl Into<String>) -> Request {
+        self.body = body.into();
+        self
+    }
+
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut header = self.command.name().to_string();
+        for (k, v) in &self.params {
+            header.push(' ');
+            header.push_str(k);
+            header.push('=');
+            header.push_str(v);
+        }
+        header.push('\n');
+        let mut out = header.into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+
+    /// Parse a frame payload into a request.
+    pub fn parse(payload: &[u8]) -> Result<Request, RequestError> {
+        let text = std::str::from_utf8(payload).map_err(|_| RequestError::NotUtf8)?;
+        let (header, body) = match text.split_once('\n') {
+            Some((h, b)) => (h, b),
+            None => (text, ""),
+        };
+        let mut words = header.split_whitespace();
+        let name = words.next().ok_or(RequestError::EmptyHeader)?;
+        let command =
+            Command::parse(name).ok_or_else(|| RequestError::UnknownCommand(name.to_string()))?;
+        let mut params = BTreeMap::new();
+        for word in words {
+            let (k, v) = word
+                .split_once('=')
+                .ok_or_else(|| RequestError::MalformedParameter(word.to_string()))?;
+            params.insert(k.to_string(), v.to_string());
+        }
+        Ok(Request { command, params, body: body.to_string() })
+    }
+}
+
+/// Why a request payload could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The payload is not UTF-8.
+    NotUtf8,
+    /// The header line is empty.
+    EmptyHeader,
+    /// The header names no known command.
+    UnknownCommand(String),
+    /// A header word is not `key=value`.
+    MalformedParameter(String),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::NotUtf8 => write!(f, "request payload is not UTF-8"),
+            RequestError::EmptyHeader => write!(f, "request header line is empty"),
+            RequestError::UnknownCommand(c) => write!(f, "unknown command: {c}"),
+            RequestError::MalformedParameter(w) => {
+                write!(f, "header word is not key=value: {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Machine-readable error codes carried in `"code"` of an error reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request payload could not be parsed (not UTF-8, empty header,
+    /// malformed parameter).
+    BadRequest,
+    /// The header named no known command.
+    UnknownCommand,
+    /// The frame announced a payload larger than the server accepts.
+    OversizedFrame,
+    /// The CSV body could not be parsed.
+    MalformedCsv,
+    /// The bounded request queue is full; retry later.
+    QueueFull,
+    /// The request waited in the queue past its deadline.
+    Timeout,
+    /// A required parameter is missing or unparsable.
+    MissingParameter,
+    /// The named release id is not in the server's store.
+    UnknownRelease,
+    /// The protection engine rejected the submission.
+    Engine,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownCommand => "unknown-command",
+            ErrorCode::OversizedFrame => "oversized-frame",
+            ErrorCode::MalformedCsv => "malformed-csv",
+            ErrorCode::QueueFull => "queue-full",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::MissingParameter => "missing-parameter",
+            ErrorCode::UnknownRelease => "unknown-release",
+            ErrorCode::Engine => "engine",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+/// A decoded response: the JSON report line plus the optional CSV body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The JSON report (first line of the payload).
+    pub json: String,
+    /// The CSV body, when the command returns a table.
+    pub body: Option<String>,
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.json.clone().into_bytes();
+        out.push(b'\n');
+        if let Some(body) = &self.body {
+            out.extend_from_slice(body.as_bytes());
+        }
+        out
+    }
+
+    /// Decode a frame payload (header line = JSON, rest = body).
+    pub fn decode(payload: &[u8]) -> Result<Response, RequestError> {
+        let text = std::str::from_utf8(payload).map_err(|_| RequestError::NotUtf8)?;
+        let (json, body) = match text.split_once('\n') {
+            Some((j, b)) => (j.to_string(), (!b.is_empty()).then(|| b.to_string())),
+            None => (text.to_string(), None),
+        };
+        Ok(Response { json, body })
+    }
+
+    /// True when the report carries `"status":"ok"`.
+    pub fn is_ok(&self) -> bool {
+        crate::json::get_str(&self.json, "status").as_deref() == Some("ok")
+    }
+
+    /// The error code of an error reply.
+    pub fn code(&self) -> Option<String> {
+        crate::json::get_str(&self.json, "code")
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer announced a payload longer than `max_len`.
+    Oversized {
+        /// The announced payload length.
+        len: usize,
+        /// The reader's limit.
+        max: usize,
+    },
+    /// The stream ended mid-frame.
+    Truncated,
+    /// An I/O error other than a read timeout.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Truncated => write!(f, "stream ended in the middle of a frame"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload exceeds u32 length"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// One step of the incremental frame reader.
+#[derive(Debug)]
+pub enum ReadStep {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the stream cleanly (EOF between frames).
+    Eof,
+    /// A read timeout fired with the frame still incomplete; the partial
+    /// state is kept — call `step` again.
+    Idle,
+}
+
+/// An incremental frame reader that survives read timeouts.
+///
+/// The server polls its sockets with a short read timeout so connection
+/// threads can notice a shutdown; a timeout can fire after *part* of a frame
+/// arrived. The reader keeps the partial header/payload across calls so no
+/// bytes are lost and the stream never desynchronizes.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    header: [u8; 4],
+    header_read: usize,
+    payload: Vec<u8>,
+    payload_read: usize,
+    in_payload: bool,
+}
+
+impl FrameReader {
+    /// A reader with no partial state.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// True when no frame is partially read (safe to stop reading).
+    pub fn is_clean(&self) -> bool {
+        self.header_read == 0 && !self.in_payload
+    }
+
+    /// Read until a frame completes, EOF, or a read timeout.
+    pub fn step(&mut self, r: &mut impl Read, max_len: usize) -> Result<ReadStep, FrameError> {
+        loop {
+            if !self.in_payload {
+                debug_assert!(self.header_read < 4);
+                match r.read(&mut self.header[self.header_read..]) {
+                    Ok(0) => {
+                        return if self.header_read == 0 {
+                            Ok(ReadStep::Eof)
+                        } else {
+                            Err(FrameError::Truncated)
+                        };
+                    }
+                    Ok(n) => {
+                        self.header_read += n;
+                        if self.header_read == 4 {
+                            let len = u32::from_be_bytes(self.header) as usize;
+                            if len > max_len {
+                                return Err(FrameError::Oversized { len, max: max_len });
+                            }
+                            self.in_payload = true;
+                            self.payload = vec![0; len];
+                            self.payload_read = 0;
+                        }
+                    }
+                    Err(e) if is_timeout(&e) => return Ok(ReadStep::Idle),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(FrameError::Io(e)),
+                }
+            } else if self.payload_read == self.payload.len() {
+                let payload = std::mem::take(&mut self.payload);
+                *self = FrameReader::new();
+                return Ok(ReadStep::Frame(payload));
+            } else {
+                match r.read(&mut self.payload[self.payload_read..]) {
+                    Ok(0) => return Err(FrameError::Truncated),
+                    Ok(n) => self.payload_read += n,
+                    Err(e) if is_timeout(&e) => return Ok(ReadStep::Idle),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(FrameError::Io(e)),
+                }
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Read one frame from a blocking stream (no timeout installed).
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.step(r, max_len)? {
+            ReadStep::Frame(payload) => return Ok(Some(payload)),
+            ReadStep::Eof => return Ok(None),
+            // Without a read timeout installed `Idle` cannot occur, but a
+            // caller that installed one anyway just keeps waiting.
+            ReadStep::Idle => continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::new(Command::Detect).param("release", "r3").body("ssn,age\n1,2\n");
+        let parsed = Request::parse(&req.encode()).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.params["release"], "r3");
+        assert_eq!(parsed.body, "ssn,age\n1,2\n");
+    }
+
+    #[test]
+    fn request_parse_rejects_garbage() {
+        assert_eq!(Request::parse(&[0xff, 0xfe]), Err(RequestError::NotUtf8));
+        assert_eq!(Request::parse(b""), Err(RequestError::EmptyHeader));
+        assert_eq!(Request::parse(b"  \nbody"), Err(RequestError::EmptyHeader));
+        assert_eq!(
+            Request::parse(b"nuke everything\n"),
+            Err(RequestError::UnknownCommand("nuke".to_string()))
+        );
+        assert_eq!(
+            Request::parse(b"detect releaser3\n"),
+            Err(RequestError::MalformedParameter("releaser3".to_string()))
+        );
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response { json: "{\"status\":\"ok\"}".into(), body: Some("a,b\n1,2\n".into()) };
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+        assert!(decoded.is_ok());
+        let bare =
+            Response { json: "{\"status\":\"error\",\"code\":\"timeout\"}".into(), body: None };
+        let decoded = Response::decode(&bare.encode()).unwrap();
+        assert_eq!(decoded.body, None);
+        assert_eq!(decoded.code().as_deref(), Some("timeout"));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_enforce_the_limit() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor, 1024).unwrap().is_none());
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[7u8; 100]).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        match read_frame(&mut cursor, 64) {
+            Err(FrameError::Oversized { len: 100, max: 64 }) => {}
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_streams_are_errors_not_hangs() {
+        // Header cut short.
+        let mut cursor = std::io::Cursor::new(vec![0u8, 0]);
+        assert!(matches!(read_frame(&mut cursor, 1024), Err(FrameError::Truncated)));
+        // Payload cut short.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor, 1024), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn frame_reader_survives_split_reads() {
+        // Feed the frame one byte at a time through a reader that returns
+        // WouldBlock between bytes, as a timeout-polled socket would.
+        struct Trickle {
+            data: Vec<u8>,
+            at: usize,
+            ready: bool,
+        }
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.at >= self.data.len() {
+                    return Ok(0);
+                }
+                if !self.ready {
+                    self.ready = true;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "not yet"));
+                }
+                self.ready = false;
+                buf[0] = self.data[self.at];
+                self.at += 1;
+                Ok(1)
+            }
+        }
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"split me").unwrap();
+        let mut trickle = Trickle { data: framed, at: 0, ready: false };
+        let mut reader = FrameReader::new();
+        let mut idles = 0;
+        loop {
+            match reader.step(&mut trickle, 1024).unwrap() {
+                ReadStep::Frame(p) => {
+                    assert_eq!(p, b"split me");
+                    break;
+                }
+                ReadStep::Idle => idles += 1,
+                ReadStep::Eof => panic!("hit EOF before the frame completed"),
+            }
+        }
+        assert!(idles > 0, "the trickle reader must have reported idle steps");
+        assert!(reader.is_clean());
+    }
+}

@@ -1,0 +1,966 @@
+//! The multi-threaded serving layer: acceptor, bounded request queue,
+//! worker pool, release store.
+//!
+//! Architecture (the paper's Fig. 2 deployment model as a long-lived
+//! service):
+//!
+//! ```text
+//! clients ──TCP──▶ acceptor ──▶ connection threads ──▶ bounded queue
+//!                                                          │
+//!                                     workers (one ProtectionEngine each) ◀┘
+//!                                         │
+//!                                  release store (columns, mark, proof)
+//! ```
+//!
+//! * The **acceptor** hands each connection to a thread that reads
+//!   length-framed requests ([`crate::protocol`]); header parse errors,
+//!   oversized frames, `ping` and queue-full conditions are answered
+//!   inline so a sick request can never poison the pool.
+//! * The **bounded queue** ([`ServeConfig::queue_depth`]) applies
+//!   back-pressure: when it is full the client gets a structured
+//!   `queue-full` reply immediately instead of an ever-growing buffer.
+//! * Each **worker** owns one [`ProtectionEngine`] built at startup — the
+//!   binning agent (with its AES key schedule), the watermarker and the
+//!   domain hierarchy trees are reused across every request the worker
+//!   serves, which is what amortizes per-request setup. Small `detect`
+//!   requests are **micro-batched**: a worker drains up to
+//!   [`ServeConfig::batch_max`] consecutive small detects in one queue
+//!   wake-up and shares one detection plan per release across the batch.
+//! * The **release store** retains what the data holder keeps after
+//!   `protect` (per-column binning state, the mark, the ownership proof) so
+//!   later `detect` / `resolve-ownership` calls need only name the release.
+//!
+//! Every worker computes with the same chunk-parallel engine the in-process
+//! API exposes, so a served response is byte-identical to calling the engine
+//! directly — the serve benchmark gates on exactly that.
+
+use crate::json::{obj, str_arr, Json};
+use crate::protocol::{
+    write_frame, Command, ErrorCode, FrameError, FrameReader, ReadStep, Request, RequestError,
+    Response, DEFAULT_MAX_FRAME_LEN,
+};
+use medshield_binning::ColumnBinning;
+use medshield_core::{PipelineError, ProtectionConfig, ProtectionEngine};
+use medshield_datagen::ontology;
+use medshield_dht::DomainHierarchyTree;
+use medshield_metrics::mark_loss;
+use medshield_relation::{csv, ColumnRole, Table};
+use medshield_watermark::{DetectionReport, Mark, OwnershipProof};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Column roles of the medical schema `R(ssn, age, zip_code, doctor,
+/// symptom, prescription)` used to import CSV submissions.
+pub const MEDICAL_ROLES: [(&str, ColumnRole); 6] = [
+    ("ssn", ColumnRole::Identifying),
+    ("age", ColumnRole::QuasiNumeric),
+    ("zip_code", ColumnRole::QuasiNumeric),
+    ("doctor", ColumnRole::QuasiCategorical),
+    ("symptom", ColumnRole::QuasiCategorical),
+    ("prescription", ColumnRole::QuasiCategorical),
+];
+
+/// Mark-loss threshold under which a detect reply claims `carries_mark`
+/// (the CLI's verdict uses the same bound).
+pub const CARRIES_MARK_THRESHOLD: f64 = 0.25;
+
+/// Configuration of the serving layer.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The protection-engine configuration every worker is built from.
+    pub engine: ProtectionConfig,
+    /// Worker threads *inside* each engine (the chunk-parallel `--threads`
+    /// knob). Defaults to 1: the pool parallelizes across requests, so
+    /// intra-request sharding only pays off for very large submissions.
+    pub engine_threads: usize,
+    /// Number of pool workers (parallel requests). Zero is rejected.
+    pub workers: usize,
+    /// Capacity of the bounded request queue; a full queue answers
+    /// `queue-full` instead of buffering without bound. Zero is rejected.
+    pub queue_depth: usize,
+    /// Largest accepted frame payload.
+    pub max_frame_len: usize,
+    /// How long a request may wait in the queue before it is answered with
+    /// a `timeout` error instead of being processed. (Processing itself is
+    /// not preempted; the deadline bounds queue wait.)
+    pub request_timeout: Duration,
+    /// Upper bound on how many small `detect` requests one worker drains
+    /// per queue wake-up (micro-batching). 1 disables batching.
+    pub batch_max: usize,
+    /// Body-size bound (bytes) under which a `detect` request counts as
+    /// "small" and may join a micro-batch.
+    pub batch_small_bytes: usize,
+    /// Default binning mode when a `protect` request does not say
+    /// (`per-attribute=true|false`): per-attribute matches the CLI default.
+    pub per_attribute_default: bool,
+    /// Honor the test-only `sleep` command (integration tests use it to
+    /// fill the queue deterministically). Never enable in production.
+    pub debug_sleep: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            engine: ProtectionConfig::default(),
+            engine_threads: 1,
+            workers: 4,
+            queue_depth: 64,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            request_timeout: Duration::from_secs(30),
+            batch_max: 8,
+            batch_small_bytes: 64 * 1024,
+            per_attribute_default: true,
+            debug_sleep: false,
+        }
+    }
+}
+
+/// Errors from starting the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The configuration is unusable (zero workers, zero queue depth, or an
+    /// engine configuration the engine rejects).
+    InvalidConfig(String),
+    /// Binding or configuring the listener failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidConfig(m) => write!(f, "invalid serve configuration: {m}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// What the data holder keeps per protected release: everything detection
+/// and dispute resolution need later.
+struct StoredRelease {
+    columns: Vec<ColumnBinning>,
+    mark: Mark,
+    ownership: Option<OwnershipProof>,
+}
+
+/// Counters exposed by `ping` (and useful to tests).
+#[derive(Debug, Default)]
+struct Counters {
+    served: AtomicU64,
+    batched_detects: AtomicU64,
+}
+
+/// State shared by the acceptor, connections and workers.
+struct Shared {
+    config: ServeConfig,
+    trees: BTreeMap<String, DomainHierarchyTree>,
+    releases: Mutex<HashMap<u64, Arc<StoredRelease>>>,
+    next_release: AtomicU64,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+impl Shared {
+    fn store_release(&self, release: StoredRelease) -> u64 {
+        let id = self.next_release.fetch_add(1, Ordering::Relaxed);
+        self.releases.lock().expect("release store poisoned").insert(id, Arc::new(release));
+        id
+    }
+
+    fn release(&self, id: u64) -> Option<Arc<StoredRelease>> {
+        self.releases.lock().expect("release store poisoned").get(&id).cloned()
+    }
+
+    fn release_count(&self) -> usize {
+        self.releases.lock().expect("release store poisoned").len()
+    }
+}
+
+/// One queued request: the parsed request plus the channel its reply goes
+/// back through.
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A bounded MPMC queue: `try_push` fails fast when full (back-pressure),
+/// `pop_batch` blocks until work arrives and opportunistically drains a
+/// micro-batch of consecutive jobs matching a predicate.
+struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+enum TryPushError<T> {
+    Full(T),
+    Closed(T),
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Block (up to `timeout`) for at least one item; when the first item
+    /// matches `batch`, keep draining immediately-available matching items
+    /// up to `max`. Returns `None` once the queue is closed **and** drained
+    /// (workers exit), `Some(vec![])` on a timeout tick.
+    fn pop_batch(
+        &self,
+        max: usize,
+        timeout: Duration,
+        batch: impl Fn(&T) -> bool,
+    ) -> Option<Vec<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        while inner.items.is_empty() {
+            if inner.closed {
+                return None;
+            }
+            let (guard, wait) =
+                self.not_empty.wait_timeout(inner, timeout).expect("queue poisoned");
+            inner = guard;
+            if wait.timed_out() && inner.items.is_empty() {
+                return if inner.closed { None } else { Some(Vec::new()) };
+            }
+        }
+        let first = inner.items.pop_front().expect("non-empty queue");
+        let batchable = batch(&first);
+        let mut out = vec![first];
+        while batchable && out.len() < max {
+            match inner.items.front() {
+                Some(next) if batch(next) => {
+                    let next = inner.items.pop_front().expect("peeked item");
+                    out.push(next);
+                }
+                _ => break,
+            }
+        }
+        Some(out)
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// A running server. Dropping the handle (or calling
+/// [`ServeHandle::shutdown`]) shuts the server down gracefully: the
+/// listener stops accepting, queued requests are drained and answered, and
+/// every thread is joined.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    queue: Arc<BoundedQueue<Job>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The address the listener is actually bound to (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shut the server down gracefully and join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Block the current thread until the server stops (i.e. until another
+    /// thread triggers shutdown or the acceptor dies). The CLI `serve`
+    /// command parks here.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Connections are joined by the acceptor; only now is it safe to
+        // close the queue — nothing can push anymore, and the workers drain
+        // what is left before exiting.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Bind and start a server. Returns once the listener is accepting.
+pub fn serve(config: ServeConfig, addr: impl ToSocketAddrs) -> Result<ServeHandle, ServeError> {
+    if config.workers == 0 {
+        return Err(ServeError::InvalidConfig("workers must be at least 1".into()));
+    }
+    if config.queue_depth == 0 {
+        return Err(ServeError::InvalidConfig("queue depth must be at least 1".into()));
+    }
+    if config.batch_max == 0 {
+        return Err(ServeError::InvalidConfig("batch max must be at least 1".into()));
+    }
+    // Fail fast on an engine configuration the workers could not build
+    // (e.g. engine_threads = 0 — the unified thread-count contract).
+    let engine = ProtectionEngine::new(config.engine.clone(), config.engine_threads)
+        .map_err(|e| ServeError::InvalidConfig(e.to_string()))?;
+
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        trees: ontology::all_trees(),
+        releases: Mutex::new(HashMap::new()),
+        next_release: AtomicU64::new(1),
+        shutdown: AtomicBool::new(false),
+        counters: Counters::default(),
+        config,
+    });
+    let queue = Arc::new(BoundedQueue::new(shared.config.queue_depth));
+
+    let workers: Vec<JoinHandle<()>> = (0..shared.config.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&queue);
+            let engine = engine.clone();
+            thread::Builder::new()
+                .name(format!("medshield-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &queue, &engine))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let queue = Arc::clone(&queue);
+        thread::Builder::new()
+            .name("medshield-acceptor".into())
+            .spawn(move || acceptor_loop(listener, &shared, &queue))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServeHandle { addr, shared, queue, acceptor: Some(acceptor), workers })
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>, queue: &Arc<BoundedQueue<Job>>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let queue = Arc::clone(queue);
+                if let Ok(handle) = thread::Builder::new()
+                    .name("medshield-conn".into())
+                    .spawn(move || connection_loop(stream, &shared, &queue))
+                {
+                    connections.push(handle);
+                }
+                // Opportunistically reap finished connection threads so a
+                // long-lived server does not accumulate handles.
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>, queue: &Arc<BoundedQueue<Job>>) {
+    // A short read timeout lets the thread poll the shutdown flag between
+    // frames; FrameReader keeps partial frames across timeouts.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    // How long a mid-frame client may keep stalling once shutdown begins.
+    // Without the deadline, one peer that sent half a frame and then went
+    // silent (without closing its socket) would wedge shutdown forever.
+    const SHUTDOWN_GRACE: Duration = Duration::from_millis(500);
+    let mut reader = FrameReader::new();
+    let mut shutdown_seen: Option<Instant> = None;
+    loop {
+        match reader.step(&mut stream, shared.config.max_frame_len) {
+            Ok(ReadStep::Frame(payload)) => {
+                let response = dispatch(&payload, shared, queue);
+                if write_frame(&mut stream, &response.encode()).is_err() {
+                    break;
+                }
+            }
+            Ok(ReadStep::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    if reader.is_clean() {
+                        break;
+                    }
+                    let since = shutdown_seen.get_or_insert_with(Instant::now);
+                    if since.elapsed() > SHUTDOWN_GRACE {
+                        break; // abandon the stalled partial frame
+                    }
+                }
+            }
+            Ok(ReadStep::Eof) => break,
+            Err(FrameError::Oversized { len, max }) => {
+                // A structured reply, not a dropped connection — then close:
+                // the announced payload was never read, so the stream cannot
+                // be resynchronized.
+                let response = error_response(
+                    ErrorCode::OversizedFrame,
+                    &format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                );
+                let _ = write_frame(&mut stream, &response.encode());
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parse a frame and either answer it inline (parse errors, ping,
+/// back-pressure) or queue it for the worker pool and await the reply.
+fn dispatch(payload: &[u8], shared: &Arc<Shared>, queue: &Arc<BoundedQueue<Job>>) -> Response {
+    let request = match Request::parse(payload) {
+        Ok(request) => request,
+        Err(RequestError::UnknownCommand(name)) => {
+            return error_response(ErrorCode::UnknownCommand, &format!("unknown command: {name}"));
+        }
+        Err(e) => return error_response(ErrorCode::BadRequest, &e.to_string()),
+    };
+    if request.command == Command::Ping {
+        // Answered inline so health checks work even when the queue is full.
+        return ok_response(
+            vec![
+                ("pong", true.into()),
+                ("workers", shared.config.workers.into()),
+                ("queue_depth", shared.config.queue_depth.into()),
+                ("releases", shared.release_count().into()),
+                ("served", Json::Int(shared.counters.served.load(Ordering::Relaxed) as i64)),
+                (
+                    "batched_detects",
+                    Json::Int(shared.counters.batched_detects.load(Ordering::Relaxed) as i64),
+                ),
+            ],
+            None,
+        );
+    }
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return error_response(ErrorCode::ShuttingDown, "the server is shutting down");
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job { request, enqueued: Instant::now(), reply: reply_tx };
+    match queue.try_push(job) {
+        Ok(()) => {}
+        Err(TryPushError::Full(_)) => {
+            return error_response(
+                ErrorCode::QueueFull,
+                &format!(
+                    "the request queue is full ({} pending); retry later",
+                    shared.config.queue_depth
+                ),
+            );
+        }
+        Err(TryPushError::Closed(_)) => {
+            return error_response(ErrorCode::ShuttingDown, "the server is shutting down");
+        }
+    }
+    match reply_rx.recv() {
+        Ok(response) => response,
+        // The worker disappeared without replying (it cannot panic out of a
+        // job — handlers are unwind-caught — so this means the pool died).
+        Err(_) => error_response(ErrorCode::Engine, "the worker pool dropped the request"),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, queue: &Arc<BoundedQueue<Job>>, engine: &ProtectionEngine) {
+    let small = shared.config.batch_small_bytes;
+    let is_small_detect =
+        |job: &Job| job.request.command == Command::Detect && job.request.body.len() <= small;
+    loop {
+        let Some(batch) =
+            queue.pop_batch(shared.config.batch_max, Duration::from_millis(100), is_small_detect)
+        else {
+            break; // closed and drained
+        };
+        if batch.is_empty() {
+            continue; // timeout tick; loop re-checks for closure
+        }
+        process_batch(shared, engine, batch);
+    }
+}
+
+/// Answer every job of a drained batch. Detect jobs that share a release
+/// also share one detection plan (the batching win); everything else is
+/// handled one by one in pop order.
+fn process_batch(shared: &Arc<Shared>, engine: &ProtectionEngine, batch: Vec<Job>) {
+    let detect_batch =
+        batch.len() > 1 && batch.iter().all(|j| j.request.command == Command::Detect);
+    if detect_batch {
+        shared.counters.batched_detects.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+    // Group consecutive same-release detects so one plan serves the group.
+    let mut pending: Vec<Job> = Vec::new();
+    let mut pending_release: Option<String> = None;
+    let flush = |jobs: &mut Vec<Job>| {
+        if jobs.is_empty() {
+            return;
+        }
+        let group = std::mem::take(jobs);
+        handle_detect_group(shared, engine, group);
+    };
+    for job in batch {
+        if expired(shared, &job) {
+            continue;
+        }
+        if job.request.command == Command::Detect {
+            let release = job.request.params.get("release").cloned().unwrap_or_default();
+            if pending_release.as_deref() != Some(release.as_str()) {
+                flush(&mut pending);
+                pending_release = Some(release);
+            }
+            pending.push(job);
+        } else {
+            flush(&mut pending);
+            pending_release = None;
+            let response = guarded(shared, engine, &job);
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(response);
+        }
+    }
+    flush(&mut pending);
+}
+
+/// Reply `timeout` (and consume the job) when it overstayed its queue
+/// deadline.
+fn expired(shared: &Arc<Shared>, job: &Job) -> bool {
+    let waited = job.enqueued.elapsed();
+    if waited <= shared.config.request_timeout {
+        return false;
+    }
+    let _ = job.reply.send(error_response(
+        ErrorCode::Timeout,
+        &format!(
+            "request waited {}ms in the queue (limit {}ms)",
+            waited.as_millis(),
+            shared.config.request_timeout.as_millis()
+        ),
+    ));
+    true
+}
+
+/// Run one non-detect job with a panic guard: a served endpoint must never
+/// take the worker down, whatever the submission.
+fn guarded(shared: &Arc<Shared>, engine: &ProtectionEngine, job: &Job) -> Response {
+    catch_unwind(AssertUnwindSafe(|| handle_request(shared, engine, &job.request))).unwrap_or_else(
+        |_| error_response(ErrorCode::Engine, "internal error: the request handler panicked"),
+    )
+}
+
+/// Handle a group of consecutive `detect` jobs naming the same release:
+/// resolve the release once, build one detection plan, run every suspect
+/// table against it.
+fn handle_detect_group(shared: &Arc<Shared>, engine: &ProtectionEngine, group: Vec<Job>) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| detect_group_responses(shared, engine, &group)));
+    let responses = outcome.unwrap_or_else(|_| {
+        group
+            .iter()
+            .map(|_| {
+                error_response(ErrorCode::Engine, "internal error: the detect handler panicked")
+            })
+            .collect()
+    });
+    debug_assert_eq!(responses.len(), group.len());
+    for (job, response) in group.iter().zip(responses) {
+        shared.counters.served.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(response);
+    }
+}
+
+fn detect_group_responses(
+    shared: &Arc<Shared>,
+    engine: &ProtectionEngine,
+    group: &[Job],
+) -> Vec<Response> {
+    // Resolve the release once for the whole group.
+    let stored = match release_param(shared, &group[0].request) {
+        Ok(stored) => stored,
+        Err(response) => return group.iter().map(|_| response.clone()).collect(),
+    };
+    let mark_len = engine.config().mark_len;
+    let mut plan_schema: Option<medshield_relation::Schema> = None;
+    let mut responses = Vec::with_capacity(group.len());
+    // Parse all bodies first so the plan can be built from the first valid
+    // schema and shared across every suspect that matches it.
+    let tables: Vec<Result<Table, Response>> = group
+        .iter()
+        .map(|job| {
+            csv::from_csv(&job.request.body, &MEDICAL_ROLES).map_err(|e| {
+                error_response(ErrorCode::MalformedCsv, &format!("cannot parse the CSV body: {e}"))
+            })
+        })
+        .collect();
+    let first_valid = tables.iter().find_map(|t| t.as_ref().ok());
+    let plan = first_valid.and_then(|table| {
+        let plan = engine
+            .watermarker()
+            .plan_detect(table.schema(), &stored.columns, &shared.trees, mark_len)
+            .ok()?;
+        plan_schema = Some(table.schema().clone());
+        Some(plan)
+    });
+    for table in &tables {
+        let table = match table {
+            Ok(table) => table,
+            Err(response) => {
+                responses.push(response.clone());
+                continue;
+            }
+        };
+        // The shared plan applies when the suspect's schema matches the one
+        // it was built from; otherwise fall back to the engine's own path.
+        let report: Result<DetectionReport, PipelineError> = match (&plan, &plan_schema) {
+            (Some(plan), Some(schema)) if table.schema() == schema && !table.is_empty() => engine
+                .watermarker()
+                .detect_chunk(plan, table.tuples(), 0)
+                .map(|tally| tally.into_report(mark_len))
+                .map_err(PipelineError::Watermark),
+            _ => engine.detect(table, &stored.columns, &shared.trees),
+        };
+        responses.push(match report {
+            Ok(report) => detect_response(&stored, table.len(), &report),
+            Err(e) => error_response(ErrorCode::Engine, &e.to_string()),
+        });
+    }
+    responses
+}
+
+fn detect_response(stored: &StoredRelease, rows: usize, report: &DetectionReport) -> Response {
+    let loss = mark_loss(stored.mark.bits(), &report.mark);
+    ok_response(
+        vec![
+            ("rows", rows.into()),
+            ("selected_tuples", report.selected_tuples.into()),
+            ("covered_positions", report.covered_positions.into()),
+            ("wmd_len", report.wmd_len.into()),
+            ("mark", Mark::from_bits(report.mark.clone()).to_string().into()),
+            ("mark_loss", loss.into()),
+            ("carries_mark", (loss <= CARRIES_MARK_THRESHOLD).into()),
+        ],
+        None,
+    )
+}
+
+/// Handle one non-detect request on a worker.
+fn handle_request(shared: &Arc<Shared>, engine: &ProtectionEngine, request: &Request) -> Response {
+    match request.command {
+        Command::Protect => handle_protect(shared, engine, request),
+        Command::Embed => handle_embed(shared, engine, request),
+        Command::Detect => {
+            // A detect that arrives here was not batched; run it as its own
+            // group of one.
+            let stored = match release_param(shared, request) {
+                Ok(stored) => stored,
+                Err(response) => return response,
+            };
+            let table = match parse_body(request) {
+                Ok(table) => table,
+                Err(response) => return response,
+            };
+            match engine.detect(&table, &stored.columns, &shared.trees) {
+                Ok(report) => detect_response(&stored, table.len(), &report),
+                Err(e) => error_response(ErrorCode::Engine, &e.to_string()),
+            }
+        }
+        Command::ResolveOwnership => handle_resolve(shared, engine, request),
+        Command::Sleep if shared.config.debug_sleep => {
+            let ms: u64 = match param(request, "ms", 100) {
+                Ok(ms) => ms,
+                Err(response) => return response,
+            };
+            thread::sleep(Duration::from_millis(ms));
+            ok_response(vec![("slept_ms", Json::Int(ms as i64))], None)
+        }
+        Command::Sleep => {
+            error_response(ErrorCode::UnknownCommand, "the sleep command is not enabled")
+        }
+        // Ping is answered inline by the connection thread.
+        Command::Ping => ok_response(vec![("pong", true.into())], None),
+    }
+}
+
+fn handle_protect(shared: &Arc<Shared>, engine: &ProtectionEngine, request: &Request) -> Response {
+    let table = match parse_body(request) {
+        Ok(table) => table,
+        Err(response) => return response,
+    };
+    let per_attribute = match param(request, "per-attribute", shared.config.per_attribute_default) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let result = if per_attribute {
+        engine.protect_per_attribute(&table, &shared.trees)
+    } else {
+        engine.protect(&table, &shared.trees)
+    };
+    let release = match result {
+        Ok(release) => release,
+        Err(e) => return error_response(ErrorCode::Engine, &e.to_string()),
+    };
+    let id = shared.store_release(StoredRelease {
+        columns: release.binning.columns.clone(),
+        mark: release.mark.clone(),
+        ownership: release.ownership.clone(),
+    });
+    let body = csv::to_csv(&release.table);
+    ok_response(
+        vec![
+            ("release", format!("r{id}").into()),
+            ("rows", release.table.len().into()),
+            ("selected_tuples", release.embedding.selected_tuples.into()),
+            ("embedded_cells", release.embedding.embedded_cells.into()),
+            ("changed_cells", release.embedding.changed_cells.into()),
+            ("skipped_cells", release.embedding.skipped_cells.into()),
+            ("wmd_len", release.embedding.wmd_len.into()),
+            ("satisfied", release.binning.satisfied.into()),
+            ("mark", release.mark.to_string().into()),
+            ("has_ownership_proof", release.ownership.is_some().into()),
+            ("warnings", str_arr(&release.binning.warnings)),
+        ],
+        Some(body),
+    )
+}
+
+fn handle_embed(shared: &Arc<Shared>, engine: &ProtectionEngine, request: &Request) -> Response {
+    let stored = match release_param(shared, request) {
+        Ok(stored) => stored,
+        Err(response) => return response,
+    };
+    let table = match parse_body(request) {
+        Ok(table) => table,
+        Err(response) => return response,
+    };
+    match engine.embed(&table, &stored.columns, &shared.trees, &stored.mark) {
+        Ok((marked, report)) => ok_response(
+            vec![
+                ("rows", marked.len().into()),
+                ("selected_tuples", report.selected_tuples.into()),
+                ("embedded_cells", report.embedded_cells.into()),
+                ("changed_cells", report.changed_cells.into()),
+                ("skipped_cells", report.skipped_cells.into()),
+                ("wmd_len", report.wmd_len.into()),
+            ],
+            Some(csv::to_csv(&marked)),
+        ),
+        Err(e) => error_response(ErrorCode::Engine, &e.to_string()),
+    }
+}
+
+fn handle_resolve(shared: &Arc<Shared>, engine: &ProtectionEngine, request: &Request) -> Response {
+    let stored = match release_param(shared, request) {
+        Ok(stored) => stored,
+        Err(response) => return response,
+    };
+    let Some(proof) = &stored.ownership else {
+        return error_response(
+            ErrorCode::BadRequest,
+            "the release has no ownership proof (protect with mark-from-statistic enabled)",
+        );
+    };
+    let table = match parse_body(request) {
+        Ok(table) => table,
+        Err(response) => return response,
+    };
+    // A claimant may present their own statistic (a thief presents a wrong
+    // one); the default is the retained proof.
+    let claimed = match param(request, "statistic", proof.statistic) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let claim = OwnershipProof { statistic: claimed, mark_len: proof.mark_len };
+    let tau = match param(request, "tau", proof.statistic.abs() * 0.05 + 1.0) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let max_loss = match param(request, "max-mark-loss", CARRIES_MARK_THRESHOLD) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let identifier = table
+        .schema()
+        .identifying_indices()
+        .first()
+        .and_then(|&i| table.schema().column(i))
+        .map(|c| c.name.clone());
+    let Some(identifier) = identifier else {
+        return error_response(
+            ErrorCode::Engine,
+            "the disputed table exposes no identifying column",
+        );
+    };
+    let extracted = match engine.detect(&table, &stored.columns, &shared.trees) {
+        Ok(report) => report.mark,
+        Err(e) => return error_response(ErrorCode::Engine, &e.to_string()),
+    };
+    let verdict = engine.resolve_ownership(&claim, &table, &identifier, &extracted, tau, max_loss);
+    ok_response(
+        vec![
+            ("rows", table.len().into()),
+            ("claimed_statistic", verdict.claimed_statistic.into()),
+            ("recomputed_statistic", verdict.recomputed_statistic.into()),
+            ("statistic_consistent", verdict.statistic_consistent.into()),
+            ("mark_loss", verdict.mark_loss.into()),
+            ("accepted", verdict.accepted.into()),
+        ],
+        None,
+    )
+}
+
+fn parse_body(request: &Request) -> Result<Table, Response> {
+    csv::from_csv(&request.body, &MEDICAL_ROLES).map_err(|e| {
+        error_response(ErrorCode::MalformedCsv, &format!("cannot parse the CSV body: {e}"))
+    })
+}
+
+fn release_param(shared: &Arc<Shared>, request: &Request) -> Result<Arc<StoredRelease>, Response> {
+    let raw = request.params.get("release").ok_or_else(|| {
+        error_response(ErrorCode::MissingParameter, "the release parameter is required")
+    })?;
+    let id: u64 = raw.strip_prefix('r').unwrap_or(raw).parse().map_err(|_| {
+        error_response(ErrorCode::MissingParameter, &format!("invalid release id: {raw}"))
+    })?;
+    shared.release(id).ok_or_else(|| {
+        error_response(ErrorCode::UnknownRelease, &format!("no release named {raw} is stored"))
+    })
+}
+
+fn param<T: std::str::FromStr>(request: &Request, name: &str, default: T) -> Result<T, Response> {
+    match request.params.get(name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| {
+            error_response(
+                ErrorCode::MissingParameter,
+                &format!("parameter {name} has an invalid value: {raw}"),
+            )
+        }),
+    }
+}
+
+fn ok_response(fields: Vec<(&str, Json)>, body: Option<String>) -> Response {
+    let mut pairs = vec![("status", Json::from("ok"))];
+    pairs.extend(fields);
+    Response { json: obj(pairs).to_string(), body }
+}
+
+fn error_response(code: ErrorCode, message: &str) -> Response {
+    Response {
+        json: obj(vec![
+            ("status", "error".into()),
+            ("code", code.as_str().into()),
+            ("message", message.into()),
+        ])
+        .to_string(),
+        body: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_applies_backpressure_and_batches() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        q.try_push(1).ok().unwrap();
+        q.try_push(2).ok().unwrap();
+        assert!(matches!(q.try_push(3), Err(TryPushError::Full(3))));
+        // Batch drain of matching items.
+        let batch = q.pop_batch(8, Duration::from_millis(10), |_| true).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        // Timeout tick on an empty open queue.
+        assert_eq!(q.pop_batch(8, Duration::from_millis(10), |_| true), Some(vec![]));
+        q.close();
+        assert!(matches!(q.try_push(4), Err(TryPushError::Closed(4))));
+        assert_eq!(q.pop_batch(8, Duration::from_millis(10), |_| true), None);
+    }
+
+    #[test]
+    fn bounded_queue_batches_only_consecutive_matches() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(8);
+        for item in [2, 4, 5, 6] {
+            q.try_push(item).ok().unwrap();
+        }
+        // First item even → drain even prefix only.
+        let batch = q.pop_batch(8, Duration::from_millis(10), |n| n % 2 == 0).unwrap();
+        assert_eq!(batch, vec![2, 4]);
+        // Odd head is popped alone even though an even item follows.
+        let batch = q.pop_batch(8, Duration::from_millis(10), |n| n % 2 == 0).unwrap();
+        assert_eq!(batch, vec![5]);
+        let batch = q.pop_batch(8, Duration::from_millis(10), |n| n % 2 == 0).unwrap();
+        assert_eq!(batch, vec![6]);
+    }
+
+    #[test]
+    fn serve_rejects_degenerate_configs() {
+        let bad = ServeConfig { workers: 0, ..ServeConfig::default() };
+        assert!(matches!(serve(bad, "127.0.0.1:0"), Err(ServeError::InvalidConfig(_))));
+        let bad = ServeConfig { queue_depth: 0, ..ServeConfig::default() };
+        assert!(matches!(serve(bad, "127.0.0.1:0"), Err(ServeError::InvalidConfig(_))));
+        // The unified thread-count contract reaches the serving layer too.
+        let bad = ServeConfig { engine_threads: 0, ..ServeConfig::default() };
+        match serve(bad, "127.0.0.1:0") {
+            Err(ServeError::InvalidConfig(m)) => assert!(m.contains("at least 1"), "{m}"),
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|h| h.addr())),
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Loopback integration suite for the serving layer.
+//!
+//! Every test starts a real server on an ephemeral loopback port, talks to
+//! it over TCP with the crate's own client, and asserts two things above
+//! all: served results are **byte-identical** to calling the engine
+//! in-process, and no malformed, oversized, empty or ill-timed submission
+//! ever gets anything other than a structured error reply.
+
+use medshield_core::{ProtectionConfig, ProtectionEngine};
+use medshield_datagen::{ontology, DatasetConfig, MedicalDataset};
+use medshield_relation::csv;
+use medshield_serve::{serve, Client, Command, Request, ServeConfig};
+use std::time::Duration;
+
+fn engine_config() -> ProtectionConfig {
+    ProtectionConfig::builder().k(4).eta(5).duplication(2).mark_from_statistic(true).build()
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig { engine: engine_config(), workers: 2, ..ServeConfig::default() }
+}
+
+fn dataset(n: usize) -> MedicalDataset {
+    MedicalDataset::generate(&DatasetConfig::small(n))
+}
+
+/// Drop the last `n` data rows of a CSV (a crude subset-deletion attack).
+fn drop_tail_rows(table_csv: &str, n: usize) -> String {
+    let mut lines: Vec<&str> = table_csv.lines().collect();
+    let keep = lines.len().saturating_sub(n).max(1);
+    lines.truncate(keep);
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[test]
+fn served_protect_detect_resolve_match_in_process() {
+    let handle = serve(serve_config(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let ds = dataset(400);
+    let table_csv = csv::to_csv(&ds.table);
+    let trees = ontology::all_trees();
+    let engine = ProtectionEngine::new(engine_config(), 1).unwrap();
+
+    for per_attribute in [true, false] {
+        // protect: the served release must be the in-process bytes.
+        let reply = client.protect_mode(&table_csv, per_attribute).unwrap();
+        assert!(reply.is_ok(), "{}", reply.json);
+        let expected = if per_attribute {
+            engine.protect_per_attribute(&ds.table, &ds.trees).unwrap()
+        } else {
+            engine.protect(&ds.table, &ds.trees).unwrap()
+        };
+        assert_eq!(
+            reply.body.as_deref(),
+            Some(csv::to_csv(&expected.table).as_str()),
+            "served release must be byte-identical to the in-process engine"
+        );
+        assert_eq!(reply.u64_field("rows"), Some(expected.table.len() as u64));
+        assert_eq!(
+            reply.u64_field("selected_tuples"),
+            Some(expected.embedding.selected_tuples as u64)
+        );
+        assert_eq!(reply.str_field("mark").as_deref(), Some(expected.mark.to_string().as_str()));
+        assert_eq!(reply.bool_field("has_ownership_proof"), Some(true));
+        let release_id = reply.release_id().unwrap();
+
+        // detect on the clean release: full mark, zero loss.
+        let detect = client.detect(&release_id, reply.body.as_deref().unwrap()).unwrap();
+        assert!(detect.is_ok(), "{}", detect.json);
+        let expected_detection =
+            engine.detect(&expected.table, &expected.binning.columns, &trees).unwrap();
+        assert_eq!(
+            detect.str_field("mark").as_deref(),
+            Some(
+                medshield_core::watermark::Mark::from_bits(expected_detection.mark.clone())
+                    .to_string()
+                    .as_str()
+            )
+        );
+        assert_eq!(detect.f64_field("mark_loss"), Some(0.0));
+        assert_eq!(detect.bool_field("carries_mark"), Some(true));
+
+        // detect on an attacked (tail-deleted) suspect still matches the
+        // in-process report.
+        let attacked_csv = drop_tail_rows(reply.body.as_deref().unwrap(), 40);
+        let attacked = csv::from_csv(&attacked_csv, &medshield_serve::MEDICAL_ROLES).unwrap();
+        let served = client.detect(&release_id, &attacked_csv).unwrap();
+        assert!(served.is_ok(), "{}", served.json);
+        let expected_attacked =
+            engine.detect(&attacked, &expected.binning.columns, &trees).unwrap();
+        assert_eq!(
+            served.u64_field("selected_tuples"),
+            Some(expected_attacked.selected_tuples as u64)
+        );
+        assert_eq!(
+            served.str_field("mark").as_deref(),
+            Some(
+                medshield_core::watermark::Mark::from_bits(expected_attacked.mark.clone())
+                    .to_string()
+                    .as_str()
+            )
+        );
+
+        // embed: re-marking the retained binning state is byte-identical.
+        let binned_csv = csv::to_csv(&expected.binning.table);
+        let embed = client.embed(&release_id, &binned_csv).unwrap();
+        assert!(embed.is_ok(), "{}", embed.json);
+        let (expected_marked, _) = engine
+            .embed(&expected.binning.table, &expected.binning.columns, &trees, &expected.mark)
+            .unwrap();
+        assert_eq!(embed.body.as_deref(), Some(csv::to_csv(&expected_marked).as_str()));
+
+        // resolve-ownership: the rightful owner wins the dispute over the
+        // leaked release (tail-deletion shifts the identifying-column mean,
+        // so the statistic test is run over the full leaked copy — exactly
+        // the table a court would be shown)...
+        let verdict =
+            client.resolve_ownership(&release_id, reply.body.as_deref().unwrap()).unwrap();
+        assert!(verdict.is_ok(), "{}", verdict.json);
+        assert_eq!(verdict.bool_field("statistic_consistent"), Some(true), "{}", verdict.json);
+        assert_eq!(verdict.bool_field("accepted"), Some(true), "{}", verdict.json);
+        // ...and a thief presenting a fabricated statistic loses.
+        let thief = client
+            .call(
+                &Request::new(Command::ResolveOwnership)
+                    .param("release", release_id.as_str())
+                    .param("statistic", "99999999.0")
+                    .body(reply.body.as_deref().unwrap()),
+            )
+            .unwrap();
+        assert!(thief.is_ok(), "{}", thief.json);
+        assert_eq!(thief.bool_field("accepted"), Some(false), "{}", thief.json);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn empty_submissions_get_clean_replies_never_panics() {
+    // mark_text mode: a 0-row protect legitimately yields an empty release.
+    let config = ServeConfig {
+        engine: ProtectionConfig::builder().k(3).eta(4).duplication(2).mark_text("owner").build(),
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let handle = serve(config, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let header = "ssn,age,zip_code,doctor,symptom,prescription\n";
+    let reply = client.protect(header).unwrap();
+    assert!(reply.is_ok(), "{}", reply.json);
+    assert_eq!(reply.u64_field("rows"), Some(0));
+    assert_eq!(reply.u64_field("selected_tuples"), Some(0));
+    let release_id = reply.release_id().unwrap();
+    // A fully-deleted (0-row) suspect detects cleanly with zero votes.
+    let detect = client.detect(&release_id, header).unwrap();
+    assert!(detect.is_ok(), "{}", detect.json);
+    assert_eq!(detect.u64_field("selected_tuples"), Some(0));
+    assert_eq!(detect.u64_field("covered_positions"), Some(0));
+    // embed into the empty binned table: empty report, no panic.
+    let embed = client.embed(&release_id, header).unwrap();
+    assert!(embed.is_ok(), "{}", embed.json);
+    assert_eq!(embed.u64_field("selected_tuples"), Some(0));
+    handle.shutdown();
+
+    // mark-from-statistic mode: a 0-row protect cannot derive the statistic
+    // and must fail with a structured engine error, not a panic.
+    let handle = serve(serve_config(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let reply = client.protect(header).unwrap();
+    assert!(!reply.is_ok(), "{}", reply.json);
+    assert_eq!(reply.code().as_deref(), Some("engine"));
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_inputs_get_structured_errors() {
+    let handle = serve(serve_config(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Malformed CSV body (unterminated quote).
+    let reply = client.protect("ssn,age\n\"oops,1\n").unwrap();
+    assert_eq!(reply.code().as_deref(), Some("malformed-csv"), "{}", reply.json);
+
+    // Unknown command.
+    let reply = client.request_raw(b"nuke --all\n").unwrap();
+    assert_eq!(reply.code().as_deref(), Some("unknown-command"), "{}", reply.json);
+
+    // Empty header line.
+    let reply = client.request_raw(b"\n").unwrap();
+    assert_eq!(reply.code().as_deref(), Some("bad-request"), "{}", reply.json);
+
+    // Non-UTF-8 payload.
+    let reply = client.request_raw(&[0xff, 0xfe, 0x00]).unwrap();
+    assert_eq!(reply.code().as_deref(), Some("bad-request"), "{}", reply.json);
+
+    // Malformed header parameter.
+    let reply = client.request_raw(b"detect release\n").unwrap();
+    assert_eq!(reply.code().as_deref(), Some("bad-request"), "{}", reply.json);
+
+    // Missing release parameter.
+    let reply = client.call(&Request::new(Command::Detect).body("ssn,age\n")).unwrap();
+    assert_eq!(reply.code().as_deref(), Some("missing-parameter"), "{}", reply.json);
+
+    // Unknown release id.
+    let reply = client.detect("r999", "ssn,age\n1,2\n").unwrap();
+    assert_eq!(reply.code().as_deref(), Some("unknown-release"), "{}", reply.json);
+
+    // The connection stays alive and useful through all of the above.
+    let pong = client.ping().unwrap();
+    assert!(pong.is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frames_get_a_structured_reply() {
+    let config = ServeConfig { max_frame_len: 1024, ..serve_config() };
+    let handle = serve(config, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let huge = Request::new(Command::Protect).body("x".repeat(10_000));
+    let reply = client.call(&huge).unwrap();
+    assert_eq!(reply.code().as_deref(), Some("oversized-frame"), "{}", reply.json);
+    assert!(reply.message().unwrap().contains("1024"), "{}", reply.json);
+    handle.shutdown();
+}
+
+#[test]
+fn queue_full_and_timeout_are_structured_errors() {
+    // One worker, a queue of one, and the debug sleep command to hold the
+    // worker deterministically.
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        request_timeout: Duration::from_millis(150),
+        debug_sleep: true,
+        ..serve_config()
+    };
+    let handle = serve(config, "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    // Occupy the worker...
+    let sleeper = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.call(&Request::new(Command::Sleep).param("ms", "600")).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // ...fill the queue with a request that will overstay its deadline...
+    let waiter = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.call(&Request::new(Command::Ping).body("")).unwrap(); // warm up
+        c.call(&Request::new(Command::Sleep).param("ms", "1")).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // ...and the next request bounces off the full queue immediately.
+    let mut c = Client::connect(addr).unwrap();
+    let reply = c.call(&Request::new(Command::Sleep).param("ms", "1")).unwrap();
+    assert_eq!(reply.code().as_deref(), Some("queue-full"), "{}", reply.json);
+    // Ping still answers inline while the pool is saturated.
+    let pong = c.ping().unwrap();
+    assert!(pong.is_ok(), "{}", pong.json);
+
+    let slept = sleeper.join().unwrap();
+    assert!(slept.is_ok(), "{}", slept.json);
+    // The queued request waited ~600ms against a 150ms deadline: timeout.
+    let timed_out = waiter.join().unwrap();
+    assert_eq!(timed_out.code().as_deref(), Some("timeout"), "{}", timed_out.json);
+    handle.shutdown();
+}
+
+#[test]
+fn small_detects_are_micro_batched_with_identical_results() {
+    let config = ServeConfig { workers: 1, debug_sleep: true, ..serve_config() };
+    let handle = serve(config, "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    let ds = dataset(240);
+    let reply = client.protect(&csv::to_csv(&ds.table)).unwrap();
+    assert!(reply.is_ok(), "{}", reply.json);
+    let release_id = reply.release_id().unwrap();
+    let release_csv = reply.body.clone().unwrap();
+
+    // Expected report, in-process.
+    let engine = ProtectionEngine::new(engine_config(), 1).unwrap();
+    let expected_release = engine.protect_per_attribute(&ds.table, &ds.trees).unwrap();
+    let trees = ontology::all_trees();
+    let expected =
+        engine.detect(&expected_release.table, &expected_release.binning.columns, &trees).unwrap();
+
+    // Hold the single worker so concurrent detects pile up in the queue and
+    // get drained as one micro-batch.
+    let sleeper = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.call(&Request::new(Command::Sleep).param("ms", "400")).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let detectors: Vec<_> = (0..4)
+        .map(|_| {
+            let release_id = release_id.clone();
+            let release_csv = release_csv.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.detect(&release_id, &release_csv).unwrap()
+            })
+        })
+        .collect();
+    for d in detectors {
+        let served = d.join().unwrap();
+        assert!(served.is_ok(), "{}", served.json);
+        assert_eq!(served.u64_field("selected_tuples"), Some(expected.selected_tuples as u64));
+        assert_eq!(
+            served.str_field("mark").as_deref(),
+            Some(
+                medshield_core::watermark::Mark::from_bits(expected.mark.clone())
+                    .to_string()
+                    .as_str()
+            )
+        );
+        assert_eq!(served.f64_field("mark_loss"), Some(0.0));
+    }
+    sleeper.join().unwrap();
+    let pong = client.ping().unwrap();
+    assert!(
+        pong.u64_field("batched_detects").unwrap_or(0) >= 2,
+        "expected a micro-batch of detects, got {}",
+        pong.json
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_not_wedged_by_a_stalled_partial_frame() {
+    use std::io::Write;
+    let handle = serve(serve_config(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+    // A misbehaving client: send half a length prefix, then go silent
+    // without closing the socket.
+    let mut stalled = std::net::TcpStream::connect(addr).unwrap();
+    stalled.write_all(&[0u8, 0]).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    // Shutdown must still complete within the connection grace period.
+    let start = std::time::Instant::now();
+    handle.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?} — wedged on the stalled connection",
+        start.elapsed()
+    );
+    drop(stalled);
+}
+
+#[test]
+fn graceful_shutdown_drains_and_stops_accepting() {
+    let handle = serve(serve_config(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    let ds = dataset(150);
+    let reply = client.protect(&csv::to_csv(&ds.table)).unwrap();
+    assert!(reply.is_ok(), "{}", reply.json);
+    handle.shutdown();
+    // After shutdown the port no longer serves: either the connection is
+    // refused outright or the request fails.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => assert!(c.ping().is_err(), "the server must be gone after shutdown"),
+    }
+}

@@ -1,0 +1,63 @@
+//! Property test: a `protect` round-trip over loopback TCP is byte-identical
+//! to the in-process engine, whatever the table size (including 0 rows) or
+//! generator seed.
+
+use medshield_core::{ProtectionConfig, ProtectionEngine};
+use medshield_datagen::{DatasetConfig, MedicalDataset};
+use medshield_relation::csv;
+use medshield_serve::{serve, Client, ServeConfig};
+use proptest::prelude::*;
+
+fn engine_config() -> ProtectionConfig {
+    ProtectionConfig::builder().k(3).eta(4).duplication(2).mark_text("prop-owner").build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn served_protect_is_byte_identical_to_in_process(
+        rows in 0usize..160,
+        seed in 0u64..1_000,
+    ) {
+        let handle = serve(
+            ServeConfig { engine: engine_config(), workers: 2, ..ServeConfig::default() },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let ds = MedicalDataset::generate(&DatasetConfig {
+            num_tuples: rows,
+            seed,
+            zipf_exponent: 0.8,
+        });
+        let table_csv = csv::to_csv(&ds.table);
+
+        let reply = client.protect(&table_csv).unwrap();
+        prop_assert!(reply.is_ok(), "{}", reply.json);
+
+        let engine = ProtectionEngine::new(engine_config(), 1).unwrap();
+        let expected = engine.protect_per_attribute(&ds.table, &ds.trees).unwrap();
+        let expected_csv = csv::to_csv(&expected.table);
+        let expected_mark = expected.mark.to_string();
+        let served_mark = reply.str_field("mark");
+        prop_assert_eq!(reply.body.as_deref(), Some(expected_csv.as_str()));
+        prop_assert_eq!(reply.u64_field("rows"), Some(expected.table.len() as u64));
+        prop_assert_eq!(served_mark.as_deref(), Some(expected_mark.as_str()));
+
+        // And the release detects its own mark through the same channel.
+        if rows > 0 {
+            let release_id = reply.release_id().unwrap();
+            let detect = client.detect(&release_id, reply.body.as_deref().unwrap()).unwrap();
+            prop_assert!(detect.is_ok(), "{}", detect.json);
+            let expected_detection = engine
+                .detect(&expected.table, &expected.binning.columns, &ds.trees)
+                .unwrap();
+            prop_assert_eq!(
+                detect.u64_field("selected_tuples"),
+                Some(expected_detection.selected_tuples as u64)
+            );
+        }
+        handle.shutdown();
+    }
+}

@@ -1,5 +1,6 @@
 //! Error type for the watermarking agent.
 
+use crate::voting::VotingError;
 use medshield_dht::DhtError;
 use medshield_relation::RelationError;
 
@@ -25,6 +26,9 @@ pub enum WatermarkError {
     /// A virtual-key column list names the same column twice; the duplicate
     /// would silently weaken the tuple identity, so it is rejected.
     DuplicateIdentityColumn(String),
+    /// A detection vote violated the voting contract (length mismatch,
+    /// out-of-range position, unusable weight).
+    Voting(VotingError),
 }
 
 impl std::fmt::Display for WatermarkError {
@@ -42,6 +46,7 @@ impl std::fmt::Display for WatermarkError {
             WatermarkError::DuplicateIdentityColumn(c) => {
                 write!(f, "virtual key names column {c} more than once")
             }
+            WatermarkError::Voting(e) => write!(f, "voting contract violated: {e}"),
         }
     }
 }
@@ -60,6 +65,12 @@ impl From<DhtError> for WatermarkError {
     }
 }
 
+impl From<VotingError> for WatermarkError {
+    fn from(e: VotingError) -> Self {
+        WatermarkError::Voting(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +81,7 @@ mod tests {
         assert!(WatermarkError::EmptyMark.to_string().contains("at least one bit"));
         assert!(WatermarkError::InvalidEta.to_string().contains("eta"));
         assert!(WatermarkError::NoIdentity.to_string().contains("identifying"));
+        let e = WatermarkError::Voting(VotingError::IndexOutOfRange { index: 9, len: 3 });
+        assert!(e.to_string().contains("voting contract"));
     }
 }

@@ -122,8 +122,10 @@ impl DetectionTally {
     }
 
     /// Record a vote of weight `weight` for extended-mark position `pos`.
-    pub fn vote(&mut self, pos: usize, bit: bool, weight: f64) {
-        self.votes.vote(pos, bit, weight);
+    /// Out-of-range positions and unusable weights are contract violations
+    /// (see [`VoteAccumulator::vote`]), not silently dropped votes.
+    pub fn vote(&mut self, pos: usize, bit: bool, weight: f64) -> Result<(), WatermarkError> {
+        self.votes.vote(pos, bit, weight).map_err(WatermarkError::from)
     }
 
     /// Number of tuples selected by Eq. (5) in the scanned rows.
@@ -331,12 +333,12 @@ impl HierarchicalWatermarker {
                     continue;
                 }
                 let bit = if self.config.weighted_voting {
-                    weighted_majority(&level_bits, &level_weights(level_bits.len()))
+                    weighted_majority(&level_bits, &level_weights(level_bits.len()))?
                 } else {
                     majority(&level_bits)
                 };
                 let pos = plan.core.selector.bit_index(&ident, &pc.binning.column, plan.wmd_len);
-                tally.votes.vote(pos, bit, 1.0);
+                tally.votes.vote(pos, bit, 1.0)?;
             }
         }
         Ok(tally)

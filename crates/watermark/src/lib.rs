@@ -63,3 +63,4 @@ pub use ownership::{OwnershipProof, OwnershipVerdict};
 pub use plan::{DetectPlan, EmbedPlan};
 pub use select::{ResolvedIdentity, TupleIdentity};
 pub use single_level::SingleLevelWatermarker;
+pub use voting::VotingError;

@@ -155,7 +155,7 @@ impl SingleLevelWatermarker {
                 let Some(idx) = DomainHierarchyTree::index_in(node, &siblings) else { continue };
                 let bit = idx % 2 == 1;
                 let pos = plan.core.selector.bit_index(&ident, &pc.binning.column, plan.wmd_len());
-                tally.vote(pos, bit, 1.0);
+                tally.vote(pos, bit, 1.0)?;
             }
         }
         Ok(tally)

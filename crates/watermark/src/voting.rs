@@ -8,6 +8,49 @@
 //! policy that the copy from a higher level is more reliable than that from a
 //! lower level".
 
+/// A violated voting contract. Detection feeds votes from untrusted
+/// (possibly attacked) tables, so contract violations surface as errors
+/// rather than silently dropped or miscounted votes — a dropped vote could
+/// flip a recovered mark bit without any trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VotingError {
+    /// `weighted_majority` was called with a weight slice whose length does
+    /// not match the bit slice; zip-truncating would silently discard votes.
+    WeightLengthMismatch {
+        /// Number of bits voted on.
+        bits: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
+    /// A vote targeted a position outside the accumulator.
+    IndexOutOfRange {
+        /// The offending position.
+        index: usize,
+        /// Number of positions the accumulator tracks.
+        len: usize,
+    },
+    /// A vote carried a weight that cannot count (non-positive or non-finite).
+    InvalidWeight(f64),
+}
+
+impl std::fmt::Display for VotingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VotingError::WeightLengthMismatch { bits, weights } => {
+                write!(f, "{bits} bits voted on with {weights} weights; lengths must match")
+            }
+            VotingError::IndexOutOfRange { index, len } => {
+                write!(f, "vote for position {index} is outside the {len}-position accumulator")
+            }
+            VotingError::InvalidWeight(w) => {
+                write!(f, "vote weight {w} is not a positive finite number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VotingError {}
+
 /// `MajorVot`: unweighted majority of a slice of bits. Ties and empty input
 /// resolve to `false`.
 pub fn majority(bits: &[bool]) -> bool {
@@ -15,19 +58,31 @@ pub fn majority(bits: &[bool]) -> bool {
     ones * 2 > bits.len()
 }
 
-/// Weighted majority. `bits[i]` carries `weights[i]` votes; missing weights
-/// default to 1. Ties and empty input resolve to `false`.
-pub fn weighted_majority(bits: &[bool], weights: &[f64]) -> bool {
+/// Weighted majority: `bits[i]` carries `weights[i]` votes. Ties and empty
+/// input resolve to `false`.
+///
+/// The slices must have the same length — a shorter weight slice used to be
+/// padded with 1s and a longer one silently zip-truncated, either of which
+/// miscounts votes without a trace; both are now
+/// [`VotingError::WeightLengthMismatch`]. Negative or non-finite weights
+/// (formerly clamped to zero) are [`VotingError::InvalidWeight`]; an explicit
+/// zero weight is allowed and contributes nothing.
+pub fn weighted_majority(bits: &[bool], weights: &[f64]) -> Result<bool, VotingError> {
+    if bits.len() != weights.len() {
+        return Err(VotingError::WeightLengthMismatch { bits: bits.len(), weights: weights.len() });
+    }
     let mut ones = 0.0;
     let mut total = 0.0;
-    for (i, &b) in bits.iter().enumerate() {
-        let w = weights.get(i).copied().unwrap_or(1.0).max(0.0);
+    for (&b, &w) in bits.iter().zip(weights.iter()) {
+        if !w.is_finite() || w < 0.0 {
+            return Err(VotingError::InvalidWeight(w));
+        }
         total += w;
         if b {
             ones += w;
         }
     }
-    ones * 2.0 > total
+    Ok(ones * 2.0 > total)
 }
 
 /// Weights for `level_count` copies collected bottom-up (index 0 is the level
@@ -61,14 +116,23 @@ impl VoteAccumulator {
     }
 
     /// Record a vote of weight `weight` for position `index`.
-    pub fn vote(&mut self, index: usize, bit: bool, weight: f64) {
-        if index >= self.totals.len() || weight <= 0.0 {
-            return;
+    ///
+    /// An out-of-range `index` or a non-positive / non-finite `weight` is a
+    /// caller bug, not a vote: both used to be silently dropped, which could
+    /// flip a recovered mark bit without any trace, and are now rejected as
+    /// [`VotingError`]s.
+    pub fn vote(&mut self, index: usize, bit: bool, weight: f64) -> Result<(), VotingError> {
+        if index >= self.totals.len() {
+            return Err(VotingError::IndexOutOfRange { index, len: self.totals.len() });
+        }
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(VotingError::InvalidWeight(weight));
         }
         self.totals[index] += weight;
         if bit {
             self.ones[index] += weight;
         }
+        Ok(())
     }
 
     /// Fold another accumulator's votes into this one, position by position.
@@ -128,13 +192,43 @@ mod tests {
     #[test]
     fn weighted_majority_respects_weights() {
         // One heavy true vote beats two light false votes.
-        assert!(weighted_majority(&[true, false, false], &[5.0, 1.0, 1.0]));
-        assert!(!weighted_majority(&[true, false, false], &[1.0, 1.0, 1.0]));
-        // Missing weights default to 1.
-        assert!(weighted_majority(&[true, true, false], &[]));
-        // Negative weights are clamped to zero.
-        assert!(!weighted_majority(&[true, false], &[-3.0, 1.0]));
-        assert!(!weighted_majority(&[], &[]));
+        assert!(weighted_majority(&[true, false, false], &[5.0, 1.0, 1.0]).unwrap());
+        assert!(!weighted_majority(&[true, false, false], &[1.0, 1.0, 1.0]).unwrap());
+        assert!(!weighted_majority(&[], &[]).unwrap());
+        // A zero weight is a vote that contributes nothing, not an error.
+        assert!(weighted_majority(&[true, false], &[1.0, 0.0]).unwrap());
+    }
+
+    #[test]
+    fn weighted_majority_rejects_length_mismatch() {
+        // Too few weights: padding with 1s would invent votes.
+        assert_eq!(
+            weighted_majority(&[true, true, false], &[2.0]),
+            Err(VotingError::WeightLengthMismatch { bits: 3, weights: 1 })
+        );
+        // Too many weights: zip-truncating would silently discard them.
+        assert_eq!(
+            weighted_majority(&[true], &[1.0, 9.0]),
+            Err(VotingError::WeightLengthMismatch { bits: 1, weights: 2 })
+        );
+        // Exact lengths at the boundary are fine.
+        assert!(weighted_majority(&[true], &[1.0]).unwrap());
+    }
+
+    #[test]
+    fn weighted_majority_rejects_bad_weights() {
+        assert_eq!(
+            weighted_majority(&[true, false], &[-3.0, 1.0]),
+            Err(VotingError::InvalidWeight(-3.0))
+        );
+        assert!(matches!(
+            weighted_majority(&[true], &[f64::NAN]),
+            Err(VotingError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            weighted_majority(&[true], &[f64::INFINITY]),
+            Err(VotingError::InvalidWeight(_))
+        ));
     }
 
     #[test]
@@ -163,23 +257,23 @@ mod tests {
     #[test]
     fn weighted_majority_threshold_boundary() {
         // Exactly at the weighted tie: 3.0 of 6.0 total → false.
-        assert!(!weighted_majority(&[true, false], &[3.0, 3.0]));
+        assert!(!weighted_majority(&[true, false], &[3.0, 3.0]).unwrap());
         // An epsilon above the tie → true; an epsilon below → false.
-        assert!(weighted_majority(&[true, false], &[3.0 + 1e-9, 3.0]));
-        assert!(!weighted_majority(&[true, false], &[3.0 - 1e-9, 3.0]));
+        assert!(weighted_majority(&[true, false], &[3.0 + 1e-9, 3.0]).unwrap());
+        assert!(!weighted_majority(&[true, false], &[3.0 - 1e-9, 3.0]).unwrap());
     }
 
     #[test]
     fn accumulator_threshold_boundary() {
         let mut acc = VoteAccumulator::new(1);
-        acc.vote(0, true, 2.0);
-        acc.vote(0, false, 2.0);
+        acc.vote(0, true, 2.0).unwrap();
+        acc.vote(0, false, 2.0).unwrap();
         // Tied at the threshold → false.
         assert_eq!(acc.resolve(), vec![Some(false)]);
-        acc.vote(0, true, 1.0);
+        acc.vote(0, true, 1.0).unwrap();
         // One vote above → true.
         assert_eq!(acc.resolve(), vec![Some(true)]);
-        acc.vote(0, false, 2.0);
+        acc.vote(0, false, 2.0).unwrap();
         // One below → false again.
         assert_eq!(acc.resolve(), vec![Some(false)]);
     }
@@ -198,7 +292,7 @@ mod tests {
             (3, false, 1.0),
         ];
         for &(i, b, w) in &votes {
-            sequential.vote(i, b, w);
+            sequential.vote(i, b, w).unwrap();
         }
         // ...must equal the merge of two per-chunk accumulators, in either
         // merge order.
@@ -206,10 +300,10 @@ mod tests {
             let mut left = VoteAccumulator::new(4);
             let mut right = VoteAccumulator::new(4);
             for &(i, b, w) in &votes[..split] {
-                left.vote(i, b, w);
+                left.vote(i, b, w).unwrap();
             }
             for &(i, b, w) in &votes[split..] {
-                right.vote(i, b, w);
+                right.vote(i, b, w).unwrap();
             }
             let mut forward = left.clone();
             forward.merge(&right);
@@ -231,15 +325,45 @@ mod tests {
     #[test]
     fn accumulator_resolves_votes() {
         let mut acc = VoteAccumulator::new(3);
-        acc.vote(0, true, 1.0);
-        acc.vote(0, true, 1.0);
-        acc.vote(0, false, 1.0);
-        acc.vote(1, false, 2.0);
-        acc.vote(1, true, 1.0);
-        // Position 2 gets nothing; out-of-range and zero-weight votes ignored.
-        acc.vote(9, true, 1.0);
-        acc.vote(2, true, 0.0);
+        acc.vote(0, true, 1.0).unwrap();
+        acc.vote(0, true, 1.0).unwrap();
+        acc.vote(0, false, 1.0).unwrap();
+        acc.vote(1, false, 2.0).unwrap();
+        acc.vote(1, true, 1.0).unwrap();
+        // Position 2 receives no vote and resolves to None.
         assert_eq!(acc.resolve(), vec![Some(true), Some(false), None]);
         assert_eq!(acc.covered_positions(), 2);
+    }
+
+    #[test]
+    fn accumulator_rejects_invalid_votes() {
+        let mut acc = VoteAccumulator::new(3);
+        // The last valid index is len-1; one past it is an error.
+        acc.vote(2, true, 1.0).unwrap();
+        assert_eq!(acc.vote(3, true, 1.0), Err(VotingError::IndexOutOfRange { index: 3, len: 3 }));
+        assert_eq!(acc.vote(9, true, 1.0), Err(VotingError::IndexOutOfRange { index: 9, len: 3 }));
+        // Zero, negative and non-finite weights cannot count as votes.
+        assert_eq!(acc.vote(0, true, 0.0), Err(VotingError::InvalidWeight(0.0)));
+        assert_eq!(acc.vote(0, true, -1.0), Err(VotingError::InvalidWeight(-1.0)));
+        assert!(matches!(acc.vote(0, true, f64::NAN), Err(VotingError::InvalidWeight(_))));
+        // A rejected vote must leave the tallies untouched.
+        assert_eq!(acc.resolve(), vec![None, None, Some(true)]);
+        assert_eq!(acc.covered_positions(), 1);
+        // An empty accumulator rejects every index.
+        let mut empty = VoteAccumulator::new(0);
+        assert_eq!(
+            empty.vote(0, true, 1.0),
+            Err(VotingError::IndexOutOfRange { index: 0, len: 0 })
+        );
+    }
+
+    #[test]
+    fn voting_error_display_is_informative() {
+        let e = VotingError::WeightLengthMismatch { bits: 3, weights: 1 };
+        assert!(e.to_string().contains("3 bits"));
+        assert!(e.to_string().contains("1 weights"));
+        let e = VotingError::IndexOutOfRange { index: 9, len: 3 };
+        assert!(e.to_string().contains("position 9"));
+        assert!(VotingError::InvalidWeight(-1.0).to_string().contains("-1"));
     }
 }

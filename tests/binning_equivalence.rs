@@ -135,10 +135,11 @@ fn more_threads_than_candidates_degrades_gracefully() {
     assert_eq!(fingerprint(&wide), fingerprint(&reference));
 }
 
-/// Boundary: zero worker threads is rejected, for both pipelines, while the
-/// engine front door clamps instead (one knob drives both stages).
+/// Boundary: zero worker threads is rejected uniformly — by both binning
+/// pipelines and by the engine front door (one knob drives both stages, and
+/// both entry points agree on the contract).
 #[test]
-fn zero_threads_rejected_and_engine_clamps() {
+fn zero_threads_rejected_by_binning_and_engine() {
     let ds = dataset(120, 2);
     let maximal = root_maximal(&ds);
     let agent = BinningAgent::new(config(4, 1000, 0));
@@ -147,12 +148,17 @@ fn zero_threads_rejected_and_engine_clamps() {
         agent.bin_per_attribute(&ds.table, &ds.trees, &maximal),
         Err(BinningError::InvalidThreads)
     ));
-    // The engine clamps to 1 and pushes the knob into the binning config.
-    let engine = ProtectionEngine::new(ProtectionConfig::builder().k(4).build(), 0);
+    // The engine rejects zero too (it used to clamp silently) and pushes the
+    // knob into the binning config on every valid change.
+    assert!(matches!(
+        ProtectionEngine::new(ProtectionConfig::builder().k(4).build(), 0),
+        Err(medshield_core::PipelineError::InvalidThreads)
+    ));
+    let mut engine = ProtectionEngine::new(ProtectionConfig::builder().k(4).build(), 1).unwrap();
+    assert!(matches!(engine.set_threads(0), Err(medshield_core::PipelineError::InvalidThreads)));
     assert_eq!(engine.threads(), 1);
     assert_eq!(engine.config().binning.threads, 1);
-    let mut engine = engine;
-    engine.set_threads(8);
+    engine.set_threads(8).unwrap();
     assert_eq!(engine.config().binning.threads, 8);
 }
 

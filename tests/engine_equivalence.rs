@@ -42,7 +42,7 @@ proptest! {
             .unwrap();
 
         for threads in THREAD_COUNTS {
-            let engine = ProtectionEngine::new(config(4, eta, 2), threads);
+            let engine = ProtectionEngine::new(config(4, eta, 2), threads).unwrap();
             let release = engine.protect_per_attribute(&ds.table, &ds.trees).unwrap();
             prop_assert_eq!(&csv::to_csv(&release.table), &reference_csv);
             prop_assert_eq!(&release.embedding, &reference.embedding);
@@ -78,7 +78,7 @@ proptest! {
             .detect(&attacked, &release.binning.columns, &ds.trees)
             .unwrap();
         for threads in THREAD_COUNTS {
-            let engine = ProtectionEngine::new(config(4, 5, 2), threads);
+            let engine = ProtectionEngine::new(config(4, 5, 2), threads).unwrap();
             let detection = engine
                 .detect(&attacked, &release.binning.columns, &ds.trees)
                 .unwrap();
