@@ -76,16 +76,43 @@ fn check(fresh_path: &Path, baseline_path: &Path, tolerance: f64) -> Result<Stri
         .ok_or_else(|| format!("{name}: baseline has no 1-thread {metric} entry"))?;
     let floor = base_1t * (1.0 - tolerance);
     let ratio = fresh_1t / base_1t;
-    let line = format!(
+    let mut line = format!(
         "{name}: 1-thread {fresh_1t:.0} {unit} vs baseline {base_1t:.0} {unit} \
          ({:.0}% of baseline, floor {floor:.0})",
         ratio * 100.0
     );
     if fresh_1t < floor {
-        Err(format!("REGRESSION — {line}"))
-    } else {
-        Ok(line)
+        return Err(format!("REGRESSION — {line}"));
     }
+    // The serving-layer bench also carries a durable-store axis; hold the
+    // fsync-batched path to the same trajectory so a persistence-layer
+    // slowdown cannot hide behind the in-memory metric. A baseline that
+    // carries the metric while the fresh file does not is itself a failure:
+    // the guard must never deactivate silently.
+    let durable = "durable_requests_per_sec";
+    match (
+        benchjson::thread_metric(&fresh, 1, durable),
+        benchjson::thread_metric(&baseline, 1, durable),
+    ) {
+        (Some(fresh_d), Some(base_d)) => {
+            let floor_d = base_d * (1.0 - tolerance);
+            line.push_str(&format!(
+                "; durable {fresh_d:.0} vs {base_d:.0} ({:.0}%, floor {floor_d:.0})",
+                fresh_d / base_d * 100.0
+            ));
+            if fresh_d < floor_d {
+                return Err(format!("REGRESSION (durable axis) — {line}"));
+            }
+        }
+        (None, Some(_)) => {
+            return Err(format!(
+                "{name}: the baseline carries a 1-thread {durable} entry but the fresh \
+                 file does not — the persistence axis of the bench stopped reporting"
+            ));
+        }
+        _ => {}
+    }
+    Ok(line)
 }
 
 fn main() -> ExitCode {

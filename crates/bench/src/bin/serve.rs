@@ -9,6 +9,14 @@
 //! against the in-process detection — the numbers can never come from a
 //! divergent fast path.
 //!
+//! Each worker count is measured on **two persistence axes**: the in-memory
+//! release store (`requests_per_sec`, the committed trajectory metric) and
+//! the durable WAL-backed store (`durable_requests_per_sec`), which prices
+//! the fsync-per-protect barrier and its cross-worker group commit. The
+//! durable axis carries its own gate: the server is shut down and reopened
+//! on the same data directory before timing, and the recovered store must
+//! answer a detect byte-identically to the pre-restart reply.
+//!
 //! Environment:
 //!
 //! * `MEDSHIELD_SERVE_TABLES` — number of submitted tables (default 12,
@@ -46,6 +54,9 @@ struct WorkerResult {
     protect_requests_per_sec: f64,
     detect_requests_per_sec: f64,
     requests_per_sec: f64,
+    durable_protect_requests_per_sec: f64,
+    durable_detect_requests_per_sec: f64,
+    durable_requests_per_sec: f64,
 }
 
 /// Fan `jobs` out over `clients` connections, one thread per connection.
@@ -107,16 +118,10 @@ fn main() {
         })
         .collect();
 
-    let worker_counts = [1usize, 2, 4, 8];
-    let mut results = Vec::new();
-    for &workers in &worker_counts {
-        let config = ServeConfig { engine: engine_config(), workers, ..ServeConfig::default() };
-        let handle = serve(config, "127.0.0.1:0").expect("bind the bench server");
-        let addr = handle.addr();
-
-        // Equivalence gate (untimed): served bytes must equal the
-        // in-process engine's for every table, and detection must recover
-        // the identical mark.
+    // Untimed equivalence gate: every served release must be the in-process
+    // bytes and every detection the in-process mark. Returns the release
+    // ids the gate stored.
+    let gate_equivalence = |addr: std::net::SocketAddr, workers: usize, axis: &str| {
         let mut gate = Client::connect(addr).expect("connect");
         let mut release_ids = Vec::with_capacity(tables);
         for (submission, (expected_csv, expected_mark)) in
@@ -127,7 +132,7 @@ fn main() {
             assert_eq!(
                 reply.body.as_deref(),
                 Some(expected_csv.as_str()),
-                "{workers}-worker served release diverged from the in-process bytes"
+                "{workers}-worker {axis} served release diverged from the in-process bytes"
             );
             let release_id = reply.release_id().expect("release id");
             let detect = gate.detect(&release_id, expected_csv).expect("detect reply");
@@ -135,14 +140,17 @@ fn main() {
             assert_eq!(
                 detect.str_field("mark").as_deref(),
                 Some(expected_mark.as_str()),
-                "{workers}-worker served detection diverged from the in-process mark"
+                "{workers}-worker {axis} served detection diverged from the in-process mark"
             );
             release_ids.push(release_id);
         }
+        release_ids
+    };
 
-        // Timed phase 1: protect traffic (the releases land in the store
-        // alongside the gate's, which is fine — ids are never reused).
-        let clients = workers.max(1);
+    // Timed phases shared by both persistence axes: protect traffic, then
+    // detect traffic against the gated releases. Returns
+    // (protect_secs, detect_secs, detect_count).
+    let timed_phases = |addr: std::net::SocketAddr, clients: usize, release_ids: &[String]| {
         let protect_jobs: Vec<BenchJob> = submissions
             .iter()
             .map(|submission| {
@@ -155,7 +163,6 @@ fn main() {
             .collect();
         let protect_secs = run_phase(addr, clients, protect_jobs);
 
-        // Timed phase 2: detect traffic against the gated releases.
         let detect_jobs: Vec<BenchJob> = (0..detect_rounds)
             .flat_map(|_| {
                 release_ids.iter().zip(expectations.iter()).map(|(id, (expected_csv, _))| {
@@ -170,17 +177,74 @@ fn main() {
             .collect();
         let detect_count = detect_jobs.len();
         let detect_secs = run_phase(addr, clients, detect_jobs);
+        (protect_secs, detect_secs, detect_count)
+    };
 
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut results = Vec::new();
+    for &workers in &worker_counts {
+        let clients = workers.max(1);
+
+        // Axis 1: the in-memory store (the committed trajectory metric).
+        let config = ServeConfig { engine: engine_config(), workers, ..ServeConfig::default() };
+        let handle = serve(config, "127.0.0.1:0").expect("bind the bench server");
+        let addr = handle.addr();
+        // The releases the timed protects store land alongside the gate's,
+        // which is fine — ids are never reused.
+        let release_ids = gate_equivalence(addr, workers, "in-memory");
+        let (protect_secs, detect_secs, detect_count) = timed_phases(addr, clients, &release_ids);
         handle.shutdown();
+
+        // Axis 2: the durable WAL-backed store, on a fresh data directory.
+        let data_dir = std::env::temp_dir()
+            .join(format!("medshield-bench-serve-{}-{workers}w", std::process::id()));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let durable_config = || ServeConfig {
+            engine: engine_config(),
+            workers,
+            data_dir: Some(data_dir.clone()),
+            ..ServeConfig::default()
+        };
+        let handle = serve(durable_config(), "127.0.0.1:0").expect("bind the durable server");
+        let addr = handle.addr();
+        let release_ids = gate_equivalence(addr, workers, "durable");
+        // Recovery gate: reopen the same data directory and require a
+        // byte-identical detect reply from the recovered store before any
+        // durable timing is trusted.
+        let mut gate = Client::connect(addr).expect("connect");
+        let before = gate.detect(&release_ids[0], &expectations[0].0).expect("pre-restart detect");
+        assert!(before.is_ok(), "pre-restart detect failed: {}", before.json);
+        drop(gate);
+        handle.shutdown();
+        let handle = serve(durable_config(), "127.0.0.1:0").expect("reopen the durable server");
+        let addr = handle.addr();
+        let mut gate = Client::connect(addr).expect("reconnect");
+        let after = gate.detect(&release_ids[0], &expectations[0].0).expect("post-restart detect");
+        assert_eq!(after, before, "{workers}-worker durable detect diverged across the restart");
+        drop(gate);
+        let (durable_protect_secs, durable_detect_secs, durable_detect_count) =
+            timed_phases(addr, clients, &release_ids);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&data_dir);
+
         let result = WorkerResult {
             workers,
             protect_requests_per_sec: tables as f64 / protect_secs,
             detect_requests_per_sec: detect_count as f64 / detect_secs,
             requests_per_sec: (tables + detect_count) as f64 / (protect_secs + detect_secs),
+            durable_protect_requests_per_sec: tables as f64 / durable_protect_secs,
+            durable_detect_requests_per_sec: durable_detect_count as f64 / durable_detect_secs,
+            durable_requests_per_sec: (tables + durable_detect_count) as f64
+                / (durable_protect_secs + durable_detect_secs),
         };
         eprintln!(
-            "{:>2} worker(s): protect {:>8.1} req/s, detect {:>8.1} req/s",
-            workers, result.protect_requests_per_sec, result.detect_requests_per_sec
+            "{:>2} worker(s): protect {:>8.1} req/s, detect {:>8.1} req/s \
+             (durable: {:>8.1} / {:>8.1})",
+            workers,
+            result.protect_requests_per_sec,
+            result.detect_requests_per_sec,
+            result.durable_protect_requests_per_sec,
+            result.durable_detect_requests_per_sec,
         );
         results.push(result);
     }
@@ -202,14 +266,18 @@ fn main() {
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
     ));
     json.push_str("  \"equivalence_checked\": true,\n");
+    json.push_str("  \"persistence_axis\": true,\n");
     json.push_str("  \"threads\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"threads\": {}, \"requests_per_sec\": {:.1}, \"protect_requests_per_sec\": {:.1}, \"detect_requests_per_sec\": {:.1}}}{}\n",
+            "    {{\"threads\": {}, \"requests_per_sec\": {:.1}, \"protect_requests_per_sec\": {:.1}, \"detect_requests_per_sec\": {:.1}, \"durable_requests_per_sec\": {:.1}, \"durable_protect_requests_per_sec\": {:.1}, \"durable_detect_requests_per_sec\": {:.1}}}{}\n",
             r.workers,
             r.requests_per_sec,
             r.protect_requests_per_sec,
             r.detect_requests_per_sec,
+            r.durable_requests_per_sec,
+            r.durable_protect_requests_per_sec,
+            r.durable_detect_requests_per_sec,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 /// Binning state of one quasi-identifying column: the three node sets of the
 /// paper (maximal from the usage metrics, minimal from mono-attribute
 /// binning, ultimate from multi-attribute binning).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnBinning {
     /// Column name.
     pub column: String,

@@ -40,6 +40,12 @@ impl Options {
         self.values.get(name).cloned().unwrap_or_else(|| default.to_string())
     }
 
+    /// An optional string option with no default (`None` when the flag was
+    /// not given).
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
     /// An optional parsed option with a default.
     pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.values.get(name) {

@@ -30,6 +30,7 @@ USAGE:
                      [--batch-max N] [--per-attribute true|false]
                      [--k K] [--eta ETA] [--enc-secret S1] [--wm-secret S2]
                      [--mark-from-statistic true]
+                     [--data-dir DIR] [--snapshot-every N]
 
 The CSV files use the schema R(ssn, age, zip_code, doctor, symptom, prescription)
 and the built-in domain ontologies. Detection re-derives the binning state from
@@ -38,7 +39,11 @@ the original CSV and the same parameters, so no extra state file is needed.
 embedding/detection over N worker threads; the output is byte-identical for
 every N. `serve` runs the long-lived data-owner service: protect/embed/detect/
 resolve-ownership over a length-framed TCP protocol, with --threads worker
-engines answering in parallel behind a bounded queue of depth --queue-depth.";
+engines answering in parallel behind a bounded queue of depth --queue-depth.
+--data-dir DIR makes the release store durable (write-ahead log + snapshots
+under DIR): stored releases and their ids survive restarts and even a SIGKILL,
+and a protect reply is only sent once its record is fsynced. --snapshot-every N
+compacts the log after every N stored releases (0 = log only).";
 
 fn read_table(path: &str) -> Result<Table, String> {
     // The schema roles are the serving layer's: both front ends must import
@@ -197,6 +202,7 @@ pub(crate) fn serve_config_from(
     options: &Options,
 ) -> Result<(medshield_serve::ServeConfig, String), String> {
     let addr = options.string_or("addr", "127.0.0.1:7878");
+    let defaults = medshield_serve::ServeConfig::default();
     let config = medshield_serve::ServeConfig {
         engine: config_from(options)?,
         engine_threads: options.parse_or("engine-threads", 1)?,
@@ -207,13 +213,16 @@ pub(crate) fn serve_config_from(
         ),
         batch_max: options.parse_or("batch-max", 8)?,
         per_attribute_default: options.parse_or("per-attribute", true)?,
-        ..medshield_serve::ServeConfig::default()
+        data_dir: options.get("data-dir").map(std::path::PathBuf::from),
+        snapshot_every: options.parse_or("snapshot-every", defaults.snapshot_every)?,
+        ..defaults
     };
     Ok((config, addr))
 }
 
 /// `medshield serve`: run the long-lived data-owner service until killed.
 pub fn serve(options: &Options) -> Result<(), String> {
+    use std::io::Write as _;
     let (config, addr) = serve_config_from(options)?;
     let workers = config.workers;
     let queue_depth = config.queue_depth;
@@ -227,6 +236,17 @@ pub fn serve(options: &Options) -> Result<(), String> {
         if workers == 1 { "" } else { "s" },
         queue_depth,
     );
+    if handle.is_durable() {
+        println!(
+            "durable release store: {} release{} recovered, ids continue from the log",
+            handle.releases(),
+            if handle.releases() == 1 { "" } else { "s" },
+        );
+    }
+    // The bound address (port 0 resolves here) must reach a piped parent
+    // (supervisors, the kill-recovery integration test) before the process
+    // parks: piped stdout is block-buffered, so flush explicitly.
+    let _ = std::io::stdout().flush();
     handle.wait();
     Ok(())
 }
@@ -352,6 +372,24 @@ mod tests {
         assert!(reply.is_ok(), "{}", reply.json);
         assert_eq!(reply.u64_field("rows"), Some(120));
         handle.shutdown();
+    }
+
+    #[test]
+    fn serve_options_parse_the_durable_store_flags() {
+        // Default: in-memory store.
+        let (config, _) = serve_config_from(&opts(&[])).unwrap();
+        assert_eq!(config.data_dir, None);
+        let (config, _) = serve_config_from(&opts(&[
+            ("data-dir", "/tmp/medshield-releases"),
+            ("snapshot-every", "17"),
+        ]))
+        .unwrap();
+        assert_eq!(
+            config.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/medshield-releases"))
+        );
+        assert_eq!(config.snapshot_every, 17);
+        assert!(serve_config_from(&opts(&[("snapshot-every", "lots")])).is_err());
     }
 
     #[test]

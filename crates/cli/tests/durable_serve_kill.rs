@@ -1,0 +1,173 @@
+//! Hard-kill recovery of `medshield serve --data-dir`, end to end through
+//! the real binary: SIGKILL the serving process mid-load, restart it on the
+//! same data directory, and require that
+//!
+//! 1. every release whose `protect` reply was acknowledged before the kill
+//!    answers `detect` and `resolve-ownership` **byte-identically** to the
+//!    replies recorded pre-kill, and
+//! 2. release ids assigned after the restart never collide with any id the
+//!    dead process acknowledged.
+
+use medshield_datagen::{DatasetConfig, MedicalDataset};
+use medshield_relation::csv;
+use medshield_serve::{Client, Response};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Start `medshield serve` on an ephemeral port with a durable store in
+/// `data_dir`, returning the child and the address it reported on stdout.
+fn spawn_server(data_dir: &std::path::Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_medshield"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+            // Keep everything in the WAL: the kill lands between append and
+            // snapshot, the recovery path the paper's custodian fears most.
+            "--snapshot-every",
+            "100000",
+            "--threads",
+            "2",
+            "--k",
+            "4",
+            "--eta",
+            "5",
+            "--duplication",
+            "2",
+            "--mark-from-statistic",
+            "true",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn medshield serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stdout");
+        if let Some(rest) = line.strip_prefix("medshield serving on ") {
+            break rest.split_whitespace().next().expect("address token").to_string();
+        }
+    };
+    // Keep draining stdout until the child dies: dropping the pipe's read
+    // end would turn the server's own logging into an EPIPE panic.
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    (child, addr)
+}
+
+fn connect(addr: &str) -> Client {
+    // The listener is up before the address is printed, but give a slow CI
+    // host a little slack anyway.
+    for _ in 0..50 {
+        if let Ok(client) = Client::connect(addr) {
+            return client;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("cannot connect to {addr}");
+}
+
+struct Recorded {
+    id: String,
+    release_csv: String,
+    detect: Response,
+    resolve: Response,
+}
+
+#[test]
+fn sigkill_mid_load_loses_no_acknowledged_release() {
+    let data_dir = std::env::temp_dir().join(format!("medshield-kill-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let (mut child, addr) = spawn_server(&data_dir);
+    let mut client = connect(&addr);
+
+    // Store two releases and record the exact replies a client saw.
+    let mut recorded = Vec::new();
+    for (i, rows) in [120usize, 160].into_iter().enumerate() {
+        let ds = MedicalDataset::generate(&DatasetConfig {
+            num_tuples: rows,
+            seed: 0x5EED + i as u64,
+            zipf_exponent: 0.8,
+        });
+        let reply = client.protect(&csv::to_csv(&ds.table)).expect("protect reply");
+        assert!(reply.is_ok(), "{}", reply.json);
+        let id = reply.release_id().expect("release id");
+        let release_csv = reply.body.clone().expect("release body");
+        let detect = client.detect(&id, &release_csv).expect("detect reply");
+        assert!(detect.is_ok(), "{}", detect.json);
+        let resolve = client.resolve_ownership(&id, &release_csv).expect("resolve reply");
+        assert!(resolve.is_ok(), "{}", resolve.json);
+        recorded.push(Recorded { id, release_csv, detect, resolve });
+    }
+
+    // Mid-load: keep protect traffic in flight on another connection while
+    // the process is killed. Acknowledged ids are collected; a request cut
+    // down by the kill is allowed to fail — durability is promised per
+    // *acknowledged* reply, not per attempted request.
+    let stop = Arc::new(AtomicBool::new(false));
+    let loader = {
+        let stop = Arc::clone(&stop);
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut acked = Vec::new();
+            let Ok(mut c) = Client::connect(&addr) else { return acked };
+            let ds = MedicalDataset::generate(&DatasetConfig {
+                num_tuples: 100,
+                seed: 7,
+                zipf_exponent: 0.8,
+            });
+            let body = csv::to_csv(&ds.table);
+            while !stop.load(Ordering::Relaxed) {
+                match c.protect(&body) {
+                    Ok(reply) if reply.is_ok() => {
+                        acked.push(reply.release_id().expect("release id"));
+                    }
+                    _ => break,
+                }
+            }
+            acked
+        })
+    };
+    std::thread::sleep(Duration::from_millis(120));
+    child.kill().expect("SIGKILL the server"); // Child::kill is SIGKILL on unix
+    child.wait().expect("reap the killed server");
+    stop.store(true, Ordering::Relaxed);
+    let mut acked_ids: Vec<String> = loader.join().expect("loader thread");
+    acked_ids.extend(recorded.iter().map(|r| r.id.clone()));
+
+    // Restart on the same data directory.
+    let (mut child, addr) = spawn_server(&data_dir);
+    let mut client = connect(&addr);
+
+    // 1. Byte-identical replies for every acknowledged release.
+    for r in &recorded {
+        let detect = client.detect(&r.id, &r.release_csv).expect("detect after restart");
+        assert_eq!(detect, r.detect, "detect reply for {} changed across the kill", r.id);
+        let resolve =
+            client.resolve_ownership(&r.id, &r.release_csv).expect("resolve after restart");
+        assert_eq!(resolve, r.resolve, "resolve reply for {} changed across the kill", r.id);
+    }
+
+    // 2. Fresh ids never collide with anything the dead process handed out.
+    let ds =
+        MedicalDataset::generate(&DatasetConfig { num_tuples: 90, seed: 11, zipf_exponent: 0.8 });
+    let reply = client.protect(&csv::to_csv(&ds.table)).expect("protect after restart");
+    assert!(reply.is_ok(), "{}", reply.json);
+    let new_id = reply.release_id().expect("release id");
+    assert!(
+        !acked_ids.contains(&new_id),
+        "restart reissued acknowledged id {new_id} (acknowledged: {acked_ids:?})"
+    );
+
+    child.kill().expect("stop the second server");
+    child.wait().expect("reap the second server");
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

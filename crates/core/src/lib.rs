@@ -54,11 +54,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod interference;
 pub mod pipeline;
 
+pub use codec::CodecError;
 pub use config::{ProtectionConfig, ProtectionConfigBuilder};
 pub use engine::{PipelineError, ProtectedRelease, ProtectionEngine};
 pub use interference::{analytic_interference, measure_interference, ColumnInterference};

@@ -170,7 +170,7 @@ impl Aes128 {
     /// ECB is used deliberately for the deterministic one-to-one identifier
     /// replacement of the binning step; see the module documentation.
     pub fn ecb_encrypt(&self, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-        if data.len() % BLOCK_LEN != 0 {
+        if !data.len().is_multiple_of(BLOCK_LEN) {
             return Err(CryptoError::InvalidBlockLength { block: BLOCK_LEN, actual: data.len() });
         }
         let mut out = data.to_vec();
@@ -185,7 +185,7 @@ impl Aes128 {
 
     /// ECB-decrypt `data`, which must be a multiple of 16 bytes.
     pub fn ecb_decrypt(&self, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-        if data.len() % BLOCK_LEN != 0 {
+        if !data.len().is_multiple_of(BLOCK_LEN) {
             return Err(CryptoError::InvalidBlockLength { block: BLOCK_LEN, actual: data.len() });
         }
         let mut out = data.to_vec();

@@ -23,7 +23,7 @@ pub fn encode(data: &[u8]) -> String {
 /// Returns [`CryptoError::InvalidHex`] if the string has odd length or
 /// contains a non-hex character.
 pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(CryptoError::InvalidHex(s.to_string()));
     }
     let bytes = s.as_bytes();

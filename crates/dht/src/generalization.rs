@@ -49,6 +49,18 @@ impl GeneralizationSet {
         GeneralizationSet { nodes: vec![tree.root()] }
     }
 
+    /// Rebuild a set from node ids that were **previously validated**
+    /// against their tree — the deserialization surface of the durable
+    /// release store. The ids are re-sorted and deduplicated (the invariants
+    /// the accessors rely on) but tree validity is *not* re-checked: the
+    /// caller vouches that the ids came from [`GeneralizationSet::nodes`] of
+    /// a set built by [`GeneralizationSet::new`] or one of the constructors.
+    pub fn from_validated_nodes(mut nodes: Vec<NodeId>) -> Self {
+        nodes.sort();
+        nodes.dedup();
+        GeneralizationSet { nodes }
+    }
+
     /// The finest generalization: every leaf is its own node (no information
     /// loss).
     pub fn all_leaves(tree: &DomainHierarchyTree) -> Self {

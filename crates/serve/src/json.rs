@@ -247,8 +247,23 @@ fn unescape(raw: &str) -> Option<String> {
 }
 
 /// A numeric field. `None` when absent or not a number.
+///
+/// JSON has no NaN/Infinity literal, so the encoder renders non-finite
+/// [`Json::Num`] values as `null` — this reader round-trips that `null`
+/// back to NaN, the one non-finite value with "no numeric information"
+/// semantics on the reading side (e.g. a `mark_loss` that could not be
+/// computed).
 pub fn get_f64(json: &str, key: &str) -> Option<f64> {
-    get_raw(json, key)?.parse().ok()
+    let raw = get_raw(json, key)?;
+    if raw == "null" {
+        return Some(f64::NAN);
+    }
+    // Reject the textual spellings Rust's f64 parser would accept but a
+    // JSON document can never contain.
+    if raw.chars().any(|c| c.is_ascii_alphabetic() && c != 'e' && c != 'E') {
+        return None;
+    }
+    raw.parse().ok()
 }
 
 /// An integer field. `None` when absent or not an integer.
@@ -329,6 +344,28 @@ mod tests {
         assert_eq!(get_str_array(&text, "warnings").unwrap(), vec!["a", "b,}"]);
         assert_eq!(get_raw(&text, "nan"), Some("null"));
         assert_eq!(get_raw(&text, "missing"), None);
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null_and_read_back_as_nan() {
+        // JSON has no NaN/Infinity token: every non-finite Num must render
+        // as the valid literal `null`…
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let text = obj(vec![("loss", Json::Num(v))]).to_string();
+            assert_eq!(text, "{\"loss\":null}", "{v} must encode as null");
+            // …and get_f64 must round-trip it (as NaN) instead of dropping
+            // the field.
+            let read = get_f64(&text, "loss").expect("null reads back");
+            assert!(read.is_nan(), "{v} read back as {read}");
+        }
+        // Finite values are untouched by the round-trip rule.
+        let text = obj(vec![("loss", Json::Num(0.5))]).to_string();
+        assert_eq!(get_f64(&text, "loss"), Some(0.5));
+        // Non-numeric fields still read as None, not NaN: only the exact
+        // `null` literal converts.
+        let text = obj(vec![("loss", "NaN".into())]).to_string();
+        assert_eq!(get_f64(&text, "loss"), None);
+        assert_eq!(get_bool(&text, "loss"), None);
     }
 
     #[test]

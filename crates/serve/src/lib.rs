@@ -15,6 +15,10 @@
 //!   [`ProtectionEngine`](medshield_core::ProtectionEngine) per worker),
 //!   micro-batching of small `detect` requests, per-request queue deadlines,
 //!   structured error replies and graceful shutdown.
+//! * [`store`] — the release store behind the [`ReleaseStore`] trait: the
+//!   in-memory default, and the durable WAL + snapshot store
+//!   ([`DurableStore`]) that survives a hard kill — enabled with
+//!   [`ServeConfig::data_dir`] / `medshield serve --data-dir`.
 //! * [`client`] — a small blocking client used by the CLI, the loopback
 //!   integration tests and the serve benchmark.
 //!
@@ -39,9 +43,11 @@ pub mod client;
 pub mod json;
 pub mod protocol;
 pub mod server;
+pub mod store;
 
 pub use client::{Client, ClientError};
 pub use protocol::{Command, ErrorCode, Request, Response};
 pub use server::{
     serve, ServeConfig, ServeError, ServeHandle, CARRIES_MARK_THRESHOLD, MEDICAL_ROLES,
 };
+pub use store::{DurableStore, MemoryStore, ReleaseStore, StoreError, StoredRelease};

@@ -52,9 +52,15 @@ pub enum Command {
     /// Liveness probe; replies with server statistics.
     Ping,
     /// Hold a worker for `ms=<n>` milliseconds. Only honored when the server
-    /// was built with `debug_sleep` (integration tests use it to fill the
+    /// was built with `debug_hooks` (integration tests use it to fill the
     /// queue deterministically); otherwise an unknown command.
     Sleep,
+    /// Panic inside the handler — with `poison=store`, while holding the
+    /// release-store lock. Only honored when the server was built with
+    /// `debug_hooks` (integration tests use it to prove one panicking
+    /// worker cannot cascade into poisoned-mutex failures on unrelated
+    /// connections); otherwise an unknown command.
+    Panic,
 }
 
 impl Command {
@@ -67,6 +73,7 @@ impl Command {
             Command::ResolveOwnership => "resolve-ownership",
             Command::Ping => "ping",
             Command::Sleep => "sleep",
+            Command::Panic => "panic",
         }
     }
 
@@ -78,6 +85,7 @@ impl Command {
             "resolve-ownership" => Command::ResolveOwnership,
             "ping" => Command::Ping,
             "sleep" => Command::Sleep,
+            "panic" => Command::Panic,
             _ => return None,
         })
     }
@@ -198,8 +206,13 @@ pub enum ErrorCode {
     MissingParameter,
     /// The named release id is not in the server's store.
     UnknownRelease,
+    /// The named release carries no ownership proof, so the §5.4 dispute
+    /// protocol cannot run (protect with `mark-from-statistic` enabled).
+    NoOwnershipProof,
     /// The protection engine rejected the submission.
     Engine,
+    /// The durable release store could not persist or sync the release.
+    Storage,
     /// The server is shutting down.
     ShuttingDown,
 }
@@ -216,7 +229,9 @@ impl ErrorCode {
             ErrorCode::Timeout => "timeout",
             ErrorCode::MissingParameter => "missing-parameter",
             ErrorCode::UnknownRelease => "unknown-release",
+            ErrorCode::NoOwnershipProof => "no-ownership-proof",
             ErrorCode::Engine => "engine",
+            ErrorCode::Storage => "storage",
             ErrorCode::ShuttingDown => "shutting-down",
         }
     }

@@ -26,9 +26,15 @@
 //!   requests are **micro-batched**: a worker drains up to
 //!   [`ServeConfig::batch_max`] consecutive small detects in one queue
 //!   wake-up and shares one detection plan per release across the batch.
-//! * The **release store** retains what the data holder keeps after
-//!   `protect` (per-column binning state, the mark, the ownership proof) so
-//!   later `detect` / `resolve-ownership` calls need only name the release.
+//! * The **release store** ([`crate::store`]) retains what the data holder
+//!   keeps after `protect` (per-column binning state, the mark, the
+//!   ownership proof) so later `detect` / `resolve-ownership` calls need
+//!   only name the release. With [`ServeConfig::data_dir`] set the store is
+//!   the durable WAL + snapshot [`DurableStore`]: a `protect` reply is
+//!   released only after its release record is fsynced (one group-commit
+//!   sync per mutating queue drain), and on restart recovery replays the
+//!   log, truncates a torn tail and restores the next release id so ids
+//!   handed to clients are never reused.
 //!
 //! Every worker computes with the same chunk-parallel engine the in-process
 //! API exposes, so a served response is byte-identical to calling the engine
@@ -39,19 +45,22 @@ use crate::protocol::{
     write_frame, Command, ErrorCode, FrameError, FrameReader, ReadStep, Request, RequestError,
     Response, DEFAULT_MAX_FRAME_LEN,
 };
-use medshield_binning::ColumnBinning;
+use crate::store::{
+    lock_unpoisoned, DurableStore, MemoryStore, ReleaseStore, StoreError, StoredRelease,
+};
 use medshield_core::{PipelineError, ProtectionConfig, ProtectionEngine};
 use medshield_datagen::ontology;
 use medshield_dht::DomainHierarchyTree;
 use medshield_metrics::mark_loss;
 use medshield_relation::{csv, ColumnRole, Table};
 use medshield_watermark::{DetectionReport, Mark, OwnershipProof};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -99,9 +108,19 @@ pub struct ServeConfig {
     /// Default binning mode when a `protect` request does not say
     /// (`per-attribute=true|false`): per-attribute matches the CLI default.
     pub per_attribute_default: bool,
-    /// Honor the test-only `sleep` command (integration tests use it to
-    /// fill the queue deterministically). Never enable in production.
-    pub debug_sleep: bool,
+    /// Directory for the durable release store (WAL + snapshots). `None`
+    /// keeps releases in memory — the default, and what tests use. Set, the
+    /// server recovers every previously stored release on startup and a
+    /// `protect` reply is only released once its record is fsynced.
+    pub data_dir: Option<PathBuf>,
+    /// Snapshot + compact the write-ahead log after this many appends
+    /// (durable store only). 0 disables snapshots; the WAL alone still
+    /// recovers everything, it just replays longer.
+    pub snapshot_every: usize,
+    /// Honor the test-only `sleep` and `panic` commands (integration tests
+    /// use them to fill the queue deterministically and to exercise the
+    /// mutex-poison recovery path). Never enable in production.
+    pub debug_hooks: bool,
 }
 
 impl Default for ServeConfig {
@@ -116,7 +135,9 @@ impl Default for ServeConfig {
             batch_max: 8,
             batch_small_bytes: 64 * 1024,
             per_attribute_default: true,
-            debug_sleep: false,
+            data_dir: None,
+            snapshot_every: 256,
+            debug_hooks: false,
         }
     }
 }
@@ -129,6 +150,8 @@ pub enum ServeError {
     InvalidConfig(String),
     /// Binding or configuring the listener failed.
     Io(std::io::Error),
+    /// The durable release store could not be opened or recovered.
+    Store(StoreError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -136,6 +159,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::InvalidConfig(m) => write!(f, "invalid serve configuration: {m}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Store(e) => write!(f, "release store error: {e}"),
         }
     }
 }
@@ -146,14 +170,6 @@ impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
     }
-}
-
-/// What the data holder keeps per protected release: everything detection
-/// and dispute resolution need later.
-struct StoredRelease {
-    columns: Vec<ColumnBinning>,
-    mark: Mark,
-    ownership: Option<OwnershipProof>,
 }
 
 /// Counters exposed by `ping` (and useful to tests).
@@ -167,26 +183,9 @@ struct Counters {
 struct Shared {
     config: ServeConfig,
     trees: BTreeMap<String, DomainHierarchyTree>,
-    releases: Mutex<HashMap<u64, Arc<StoredRelease>>>,
-    next_release: AtomicU64,
+    store: Box<dyn ReleaseStore>,
     shutdown: AtomicBool,
     counters: Counters,
-}
-
-impl Shared {
-    fn store_release(&self, release: StoredRelease) -> u64 {
-        let id = self.next_release.fetch_add(1, Ordering::Relaxed);
-        self.releases.lock().expect("release store poisoned").insert(id, Arc::new(release));
-        id
-    }
-
-    fn release(&self, id: u64) -> Option<Arc<StoredRelease>> {
-        self.releases.lock().expect("release store poisoned").get(&id).cloned()
-    }
-
-    fn release_count(&self) -> usize {
-        self.releases.lock().expect("release store poisoned").len()
-    }
 }
 
 /// One queued request: the parsed request plus the channel its reply goes
@@ -226,7 +225,7 @@ impl<T> BoundedQueue<T> {
     }
 
     fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         if inner.closed {
             return Err(TryPushError::Closed(item));
         }
@@ -249,13 +248,15 @@ impl<T> BoundedQueue<T> {
         timeout: Duration,
         batch: impl Fn(&T) -> bool,
     ) -> Option<Vec<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         while inner.items.is_empty() {
             if inner.closed {
                 return None;
             }
+            // Poison recovery mirrors `lock_unpoisoned`: the queue is a
+            // plain deque + flag, consistent after any panic.
             let (guard, wait) =
-                self.not_empty.wait_timeout(inner, timeout).expect("queue poisoned");
+                self.not_empty.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
             inner = guard;
             if wait.timed_out() && inner.items.is_empty() {
                 return if inner.closed { None } else { Some(Vec::new()) };
@@ -277,7 +278,7 @@ impl<T> BoundedQueue<T> {
     }
 
     fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        lock_unpoisoned(&self.inner).closed = true;
         self.not_empty.notify_all();
     }
 }
@@ -298,6 +299,17 @@ impl ServeHandle {
     /// The address the listener is actually bound to (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Number of releases currently in the store (after a durable restart
+    /// this includes everything recovery restored).
+    pub fn releases(&self) -> usize {
+        self.shared.store.len()
+    }
+
+    /// True when the server persists releases across restarts.
+    pub fn is_durable(&self) -> bool {
+        self.shared.store.is_durable()
     }
 
     /// Shut the server down gracefully and join every thread.
@@ -352,14 +364,22 @@ pub fn serve(config: ServeConfig, addr: impl ToSocketAddrs) -> Result<ServeHandl
     let engine = ProtectionEngine::new(config.engine.clone(), config.engine_threads)
         .map_err(|e| ServeError::InvalidConfig(e.to_string()))?;
 
+    // Open (and recover) the release store before binding: a server that
+    // cannot reach its durable evidence must not accept traffic.
+    let store: Box<dyn ReleaseStore> = match &config.data_dir {
+        None => Box::new(MemoryStore::new()),
+        Some(dir) => {
+            Box::new(DurableStore::open(dir, config.snapshot_every).map_err(ServeError::Store)?)
+        }
+    };
+
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
     let shared = Arc::new(Shared {
         trees: ontology::all_trees(),
-        releases: Mutex::new(HashMap::new()),
-        next_release: AtomicU64::new(1),
+        store,
         shutdown: AtomicBool::new(false),
         counters: Counters::default(),
         config,
@@ -485,7 +505,8 @@ fn dispatch(payload: &[u8], shared: &Arc<Shared>, queue: &Arc<BoundedQueue<Job>>
                 ("pong", true.into()),
                 ("workers", shared.config.workers.into()),
                 ("queue_depth", shared.config.queue_depth.into()),
-                ("releases", shared.release_count().into()),
+                ("releases", shared.store.len().into()),
+                ("durable", shared.store.is_durable().into()),
                 ("served", Json::Int(shared.counters.served.load(Ordering::Relaxed) as i64)),
                 (
                     "batched_detects",
@@ -573,7 +594,29 @@ fn process_batch(shared: &Arc<Shared>, engine: &ProtectionEngine, batch: Vec<Job
         } else {
             flush(&mut pending);
             pending_release = None;
-            let response = guarded(shared, engine, &job);
+            let mut response = guarded(shared, engine, &job);
+            // Durability barrier, batched per queue drain: a *successful*
+            // protect reply leaves the worker only after its release record
+            // is fsynced (group commit shares the fsync with concurrently
+            // draining workers). A protect that failed before appending —
+            // malformed CSV, engine rejection — has nothing to sync and
+            // keeps its own error. The in-memory store's sync is a no-op.
+            if job.request.command == Command::Protect && response.is_ok() {
+                if let Err(e) = shared.store.sync() {
+                    // The durable store fail-stops on an fsync failure:
+                    // whether this record reached disk is unknowable until a
+                    // restart replays the log, and no further protect will
+                    // be accepted — say so instead of claiming the release
+                    // was stored.
+                    response = error_response(
+                        ErrorCode::Storage,
+                        &format!(
+                            "durability of the release is unconfirmed and the store has \
+                             fail-stopped; restart the server and re-check before retrying: {e}"
+                        ),
+                    );
+                }
+            }
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
             let _ = job.reply.send(response);
         }
@@ -723,7 +766,7 @@ fn handle_request(shared: &Arc<Shared>, engine: &ProtectionEngine, request: &Req
             }
         }
         Command::ResolveOwnership => handle_resolve(shared, engine, request),
-        Command::Sleep if shared.config.debug_sleep => {
+        Command::Sleep if shared.config.debug_hooks => {
             let ms: u64 = match param(request, "ms", 100) {
                 Ok(ms) => ms,
                 Err(response) => return response,
@@ -731,8 +774,17 @@ fn handle_request(shared: &Arc<Shared>, engine: &ProtectionEngine, request: &Req
             thread::sleep(Duration::from_millis(ms));
             ok_response(vec![("slept_ms", Json::Int(ms as i64))], None)
         }
-        Command::Sleep => {
-            error_response(ErrorCode::UnknownCommand, "the sleep command is not enabled")
+        Command::Panic if shared.config.debug_hooks => {
+            // Exercises the worker panic guard; with `poison=store`, the
+            // panic unwinds while the release-store lock is held, which is
+            // exactly the cascade the poison-recovering locks must absorb.
+            if request.params.get("poison").map(String::as_str) == Some("store") {
+                shared.store.poison_for_tests();
+            }
+            panic!("debug panic command");
+        }
+        Command::Sleep | Command::Panic => {
+            error_response(ErrorCode::UnknownCommand, "debug commands are not enabled")
         }
         // Ping is answered inline by the connection thread.
         Command::Ping => ok_response(vec![("pong", true.into())], None),
@@ -757,11 +809,19 @@ fn handle_protect(shared: &Arc<Shared>, engine: &ProtectionEngine, request: &Req
         Ok(release) => release,
         Err(e) => return error_response(ErrorCode::Engine, &e.to_string()),
     };
-    let id = shared.store_release(StoredRelease {
+    let id = match shared.store.append(StoredRelease {
         columns: release.binning.columns.clone(),
         mark: release.mark.clone(),
         ownership: release.ownership.clone(),
-    });
+    }) {
+        Ok(id) => id,
+        Err(e) => {
+            return error_response(
+                ErrorCode::Storage,
+                &format!("the release could not be stored: {e}"),
+            );
+        }
+    };
     let body = csv::to_csv(&release.table);
     ok_response(
         vec![
@@ -812,8 +872,12 @@ fn handle_resolve(shared: &Arc<Shared>, engine: &ProtectionEngine, request: &Req
         Err(response) => return response,
     };
     let Some(proof) = &stored.ownership else {
+        // A structured, machine-readable code: a release stored without a
+        // proof is a normal state (mark-from-statistic off), not a protocol
+        // violation, and the claimant must be able to tell it apart from a
+        // malformed request.
         return error_response(
-            ErrorCode::BadRequest,
+            ErrorCode::NoOwnershipProof,
             "the release has no ownership proof (protect with mark-from-statistic enabled)",
         );
     };
@@ -879,7 +943,7 @@ fn release_param(shared: &Arc<Shared>, request: &Request) -> Result<Arc<StoredRe
     let id: u64 = raw.strip_prefix('r').unwrap_or(raw).parse().map_err(|_| {
         error_response(ErrorCode::MissingParameter, &format!("invalid release id: {raw}"))
     })?;
-    shared.release(id).ok_or_else(|| {
+    shared.store.get(id).ok_or_else(|| {
         error_response(ErrorCode::UnknownRelease, &format!("no release named {raw} is stored"))
     })
 }
@@ -962,5 +1026,22 @@ mod tests {
             Err(ServeError::InvalidConfig(m)) => assert!(m.contains("at least 1"), "{m}"),
             other => panic!("expected InvalidConfig, got {:?}", other.map(|h| h.addr())),
         }
+    }
+
+    #[test]
+    fn serve_refuses_an_unopenable_data_dir() {
+        // Point the durable store at a path whose parent is a *file*: the
+        // store cannot create the directory and the server must fail fast
+        // with a Store error instead of accepting traffic it cannot make
+        // durable.
+        let blocker =
+            std::env::temp_dir().join(format!("medshield-serve-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let bad = ServeConfig { data_dir: Some(blocker.join("store")), ..ServeConfig::default() };
+        match serve(bad, "127.0.0.1:0") {
+            Err(ServeError::Store(_)) => {}
+            other => panic!("expected Store error, got {:?}", other.map(|h| h.addr())),
+        }
+        let _ = std::fs::remove_file(&blocker);
     }
 }

@@ -232,7 +232,7 @@ fn queue_full_and_timeout_are_structured_errors() {
         workers: 1,
         queue_depth: 1,
         request_timeout: Duration::from_millis(150),
-        debug_sleep: true,
+        debug_hooks: true,
         ..serve_config()
     };
     let handle = serve(config, "127.0.0.1:0").unwrap();
@@ -269,7 +269,7 @@ fn queue_full_and_timeout_are_structured_errors() {
 
 #[test]
 fn small_detects_are_micro_batched_with_identical_results() {
-    let config = ServeConfig { workers: 1, debug_sleep: true, ..serve_config() };
+    let config = ServeConfig { workers: 1, debug_hooks: true, ..serve_config() };
     let handle = serve(config, "127.0.0.1:0").unwrap();
     let addr = handle.addr();
     let mut client = Client::connect(addr).unwrap();
@@ -363,4 +363,137 @@ fn graceful_shutdown_drains_and_stops_accepting() {
         Err(_) => {}
         Ok(mut c) => assert!(c.ping().is_err(), "the server must be gone after shutdown"),
     }
+}
+
+#[test]
+fn resolve_without_an_ownership_proof_is_a_structured_code() {
+    // Protect WITHOUT mark-from-statistic: the release carries no proof, so
+    // the dispute protocol cannot run — the claimant must get the dedicated
+    // machine-readable code, not a panic, an empty body or a generic
+    // bad-request.
+    let config = ServeConfig {
+        engine: ProtectionConfig::builder().k(4).eta(5).duplication(2).build(),
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let handle = serve(config, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let ds = dataset(200);
+    let reply = client.protect(&csv::to_csv(&ds.table)).unwrap();
+    assert!(reply.is_ok(), "{}", reply.json);
+    assert_eq!(reply.bool_field("has_ownership_proof"), Some(false), "{}", reply.json);
+    let release_id = reply.release_id().unwrap();
+
+    let verdict = client.resolve_ownership(&release_id, reply.body.as_deref().unwrap()).unwrap();
+    assert!(!verdict.is_ok(), "{}", verdict.json);
+    assert_eq!(verdict.code().as_deref(), Some("no-ownership-proof"), "{}", verdict.json);
+    assert!(verdict.message().unwrap().contains("mark-from-statistic"), "{}", verdict.json);
+    // The connection survives and the release still answers detect.
+    let detect = client.detect(&release_id, reply.body.as_deref().unwrap()).unwrap();
+    assert!(detect.is_ok(), "{}", detect.json);
+    handle.shutdown();
+}
+
+#[test]
+fn a_poisoned_store_lock_does_not_cascade_to_other_requests() {
+    // The debug `panic poison=store` command panics *while holding the
+    // release-store lock*, poisoning it. Before the serving layer recovered
+    // poisoned locks with `into_inner`, every later request touching the
+    // store would die in `.expect("poisoned")` — one sick worker taking
+    // down unrelated connections.
+    let config = ServeConfig { workers: 2, debug_hooks: true, ..serve_config() };
+    let handle = serve(config, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let poisoned = client.call(&Request::new(Command::Panic).param("poison", "store")).unwrap();
+    assert_eq!(poisoned.code().as_deref(), Some("engine"), "{}", poisoned.json);
+
+    // A fresh connection still protects, pings and detects: the store's
+    // plain-map state is consistent, so the poison is recovered, not fatal.
+    let mut second = Client::connect(handle.addr()).unwrap();
+    let ds = dataset(150);
+    let reply = second.protect(&csv::to_csv(&ds.table)).unwrap();
+    assert!(reply.is_ok(), "protect after poison failed: {}", reply.json);
+    let release_id = reply.release_id().unwrap();
+    let detect = second.detect(&release_id, reply.body.as_deref().unwrap()).unwrap();
+    assert!(detect.is_ok(), "detect after poison failed: {}", detect.json);
+    let pong = second.ping().unwrap();
+    assert_eq!(pong.u64_field("releases"), Some(1), "{}", pong.json);
+
+    // A bare panic (no lock held) is likewise absorbed by the guard.
+    let plain = second.call(&Request::new(Command::Panic)).unwrap();
+    assert_eq!(plain.code().as_deref(), Some("engine"), "{}", plain.json);
+    assert!(second.ping().unwrap().is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn debug_commands_stay_disabled_by_default() {
+    let handle = serve(serve_config(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for request in
+        [Request::new(Command::Panic).param("poison", "store"), Request::new(Command::Sleep)]
+    {
+        let reply = client.call(&request).unwrap();
+        assert_eq!(reply.code().as_deref(), Some("unknown-command"), "{}", reply.json);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn durable_server_restart_serves_byte_identical_replies_and_fresh_ids() {
+    let dir =
+        std::env::temp_dir().join(format!("medshield-loopback-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable_config = || ServeConfig {
+        data_dir: Some(dir.clone()),
+        // Large interval: the releases live in the WAL only, modelling a
+        // death between append and snapshot.
+        snapshot_every: 10_000,
+        ..serve_config()
+    };
+
+    // First server lifetime: protect two tables, capture the exact replies
+    // a client saw.
+    let handle = serve(durable_config(), "127.0.0.1:0").unwrap();
+    assert!(handle.is_durable());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut stored = Vec::new();
+    for n in [160usize, 220] {
+        let ds = dataset(n);
+        let reply = client.protect(&csv::to_csv(&ds.table)).unwrap();
+        assert!(reply.is_ok(), "{}", reply.json);
+        let id = reply.release_id().unwrap();
+        let release_csv = reply.body.clone().unwrap();
+        let detect = client.detect(&id, &release_csv).unwrap();
+        assert!(detect.is_ok(), "{}", detect.json);
+        let resolve = client.resolve_ownership(&id, &release_csv).unwrap();
+        assert!(resolve.is_ok(), "{}", resolve.json);
+        stored.push((id, release_csv, detect, resolve));
+    }
+    // Drop WITHOUT graceful shutdown semantics mattering for the store: the
+    // replies above were only released after their records were fsynced.
+    handle.shutdown();
+
+    // Second lifetime, same data dir: every stored release answers with the
+    // byte-identical reply, and new ids never collide with old ones.
+    let handle = serve(durable_config(), "127.0.0.1:0").unwrap();
+    assert_eq!(handle.releases(), 2, "recovery must restore both releases");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for (id, release_csv, detect_before, resolve_before) in &stored {
+        let detect_after = client.detect(id, release_csv).unwrap();
+        assert_eq!(&detect_after, detect_before, "detect reply changed across restart");
+        let resolve_after = client.resolve_ownership(id, release_csv).unwrap();
+        assert_eq!(&resolve_after, resolve_before, "resolve reply changed across restart");
+    }
+    let ds = dataset(140);
+    let reply = client.protect(&csv::to_csv(&ds.table)).unwrap();
+    assert!(reply.is_ok(), "{}", reply.json);
+    let new_id = reply.release_id().unwrap();
+    assert!(stored.iter().all(|(id, ..)| id != &new_id), "restart reissued release id {new_id}");
+    let pong = client.ping().unwrap();
+    assert_eq!(pong.bool_field("durable"), Some(true), "{}", pong.json);
+    assert_eq!(pong.u64_field("releases"), Some(3), "{}", pong.json);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

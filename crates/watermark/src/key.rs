@@ -91,6 +91,31 @@ impl Mark {
         &self.bits
     }
 
+    /// Pack the bits into bytes, most-significant bit first, for compact
+    /// serialization; pair with [`Mark::from_packed_bits`]. The final byte
+    /// is zero-padded when the bit count is not a multiple of eight.
+    pub fn to_packed_bits(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.bits.len().div_ceil(8)];
+        for (i, &bit) in self.bits.iter().enumerate() {
+            if bit {
+                out[i / 8] |= 1 << (7 - (i % 8));
+            }
+        }
+        out
+    }
+
+    /// Rebuild a mark from [`Mark::to_packed_bits`] output. Returns `None`
+    /// when `bytes` cannot hold `len` bits — the deserialization caller
+    /// treats that as corrupt input, never as a panic.
+    pub fn from_packed_bits(len: usize, bytes: &[u8]) -> Option<Mark> {
+        if bytes.len() != len.div_ceil(8) {
+            return None;
+        }
+        let bits =
+            (0..len).map(|i| bytes[i / 8] & (1 << (7 - (i % 8))) != 0).collect::<Vec<bool>>();
+        Some(Mark { bits })
+    }
+
     /// Number of bits.
     pub fn len(&self) -> usize {
         self.bits.len()
