@@ -2,6 +2,8 @@
 //! the individual `fig*` and `generalization_attack` binaries one after
 //! another; handy for regenerating EXPERIMENTS.md in one go.
 
+#![forbid(unsafe_code)]
+
 use std::process::Command;
 
 fn main() {

@@ -19,6 +19,8 @@
 //! * `MEDSHIELD_BENCH_ITERS` — timed iterations per thread count (default 1).
 //! * `MEDSHIELD_BENCH_OUT` — output path (default `BENCH_binning.json`).
 
+#![forbid(unsafe_code)]
+
 use medshield_core::binning::{BinningAgent, BinningConfig, BinningOutcome, SearchMode};
 use medshield_core::dht::GeneralizationSet;
 use medshield_core::relation::csv;
@@ -146,7 +148,7 @@ fn main() {
     json.push_str(&format!("  \"iterations\": {iters},\n"));
     json.push_str(&format!(
         "  \"host_parallelism\": {},\n",
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
     ));
     json.push_str("  \"mode\": \"exhaustive\",\n");
     json.push_str("  \"equivalence_checked\": true,\n");

@@ -21,6 +21,8 @@
 //! * `MEDSHIELD_REGRESSION_TOLERANCE` — allowed fractional drop (default
 //!   `0.25`, i.e. fail below 75% of the baseline).
 
+#![forbid(unsafe_code)]
+
 use medshield_bench::benchjson;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;

@@ -1,6 +1,8 @@
 //! Figure 11 — k vs. information loss (%), mono-attribute vs multi-attribute
 //! binning, plus the minimal-node-strategy ablation mentioned in §4.2/§7.1.
 
+#![forbid(unsafe_code)]
+
 use medshield_bench::{experiment_dataset, info_loss_of, print_figure_header, root_usage_metrics};
 use medshield_binning::{BinningAgent, BinningConfig, MinimalNodeStrategy};
 

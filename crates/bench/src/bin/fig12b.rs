@@ -1,6 +1,8 @@
 //! Figure 12(b) — robustness to Subset Addition: percentage of added bogus
 //! tuples vs mark loss, for η ∈ {50, 75, 100}.
 
+#![forbid(unsafe_code)]
+
 use medshield_attacks::{Attack, SubsetAddition};
 use medshield_bench::{experiment_dataset, print_figure_header, protect_per_attribute};
 use medshield_core::metrics::mark_loss;

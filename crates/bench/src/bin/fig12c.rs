@@ -3,6 +3,8 @@
 //! deletes over the (encrypted) identifier, like the paper's
 //! `DELETE FROM R WHERE SSN > lval AND SSN < uval`.
 
+#![forbid(unsafe_code)]
+
 use medshield_attacks::{Attack, SubsetDeletion};
 use medshield_bench::{experiment_dataset, print_figure_header, protect_per_attribute};
 use medshield_core::metrics::mark_loss;

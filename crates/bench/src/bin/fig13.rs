@@ -9,6 +9,8 @@
 //! per cent. The extra Eq.-3 information loss of the watermarked table over
 //! the binned table is reported alongside for completeness.
 
+#![forbid(unsafe_code)]
+
 use medshield_bench::{
     experiment_dataset, info_loss_of, print_figure_header, protect_per_attribute,
 };
@@ -38,7 +40,7 @@ fn main() {
         // them as fully lost gives a conservative extra-loss estimate.
         let extra_loss = permuted;
 
-        println!("{:>6} {:>18.2} {:>22.1} {:>22.2}", eta, permuted, binned_loss, extra_loss);
+        println!("{eta:>6} {permuted:>18.2} {binned_loss:>22.1} {extra_loss:>22.2}");
     }
     println!();
     println!("paper shape: the loss added by watermarking is minor (under ~10%) and");

@@ -3,6 +3,8 @@
 //! number of bins whose size fell below k. Also prints the analytic Lemma 1/2
 //! probabilities for reference.
 
+#![forbid(unsafe_code)]
+
 use medshield_bench::{experiment_dataset, print_figure_header, protect_per_attribute};
 use medshield_core::{analytic_interference, measure_interference};
 

@@ -2,6 +2,8 @@
 //! (the paper's argument for why a hierarchical scheme is needed) and against
 //! the hierarchical scheme itself.
 
+#![forbid(unsafe_code)]
+
 use medshield_attacks::{Attack, GeneralizationAttack};
 use medshield_bench::{experiment_dataset, print_figure_header, protect_per_attribute};
 use medshield_core::metrics::mark_loss;

@@ -27,6 +27,8 @@
 //!   timed phase (default 2).
 //! * `MEDSHIELD_BENCH_OUT` — output path (default `BENCH_serve.json`).
 
+#![forbid(unsafe_code)]
+
 use medshield_core::{ProtectionConfig, ProtectionEngine};
 use medshield_datagen::{DatasetConfig, MedicalDataset};
 use medshield_relation::csv;
@@ -263,7 +265,7 @@ fn main() {
     json.push_str(&format!("  \"detect_rounds\": {detect_rounds},\n"));
     json.push_str(&format!(
         "  \"host_parallelism\": {},\n",
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
     ));
     json.push_str("  \"equivalence_checked\": true,\n");
     json.push_str("  \"persistence_axis\": true,\n");

@@ -14,6 +14,8 @@
 //! * `MEDSHIELD_BENCH_ITERS` — timed iterations per thread count (default 3).
 //! * `MEDSHIELD_BENCH_OUT` — output path (default `BENCH_throughput.json`).
 
+#![forbid(unsafe_code)]
+
 use medshield_core::relation::csv;
 use medshield_core::{ProtectionConfig, ProtectionEngine};
 use medshield_datagen::{DatasetConfig, MedicalDataset};
@@ -126,7 +128,7 @@ fn main() {
     json.push_str(&format!("  \"iterations\": {iters},\n"));
     json.push_str(&format!(
         "  \"host_parallelism\": {},\n",
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
     ));
     json.push_str("  \"equivalence_checked\": true,\n");
     json.push_str("  \"threads\": [\n");

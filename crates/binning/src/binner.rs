@@ -92,8 +92,12 @@ impl BinningAgent {
         if self.config.threads == 0 {
             return Err(BinningError::InvalidThreads);
         }
-        let quasi: Vec<String> =
-            table.schema().quasi_names().into_iter().map(|s| s.to_string()).collect();
+        let quasi: Vec<String> = table
+            .schema()
+            .quasi_names()
+            .into_iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let mut warnings = Vec::new();
         let effective_k = self.config.spec.effective_k();
 
@@ -199,8 +203,12 @@ impl BinningAgent {
         if self.config.threads == 0 {
             return Err(BinningError::InvalidThreads);
         }
-        let quasi: Vec<String> =
-            table.schema().quasi_names().into_iter().map(|s| s.to_string()).collect();
+        let quasi: Vec<String> = table
+            .schema()
+            .quasi_names()
+            .into_iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let mut warnings = Vec::new();
         let effective_k = self.config.spec.effective_k();
 

@@ -663,7 +663,7 @@ mod tests {
         assert!(satisfies(&table, &[("age", &age_tree), ("doctor", &doctor_tree)], &r.ultimate, 2));
         // The chosen generalization must not be the trivial all-root one:
         // the data allow something finer (e.g. age halves + doctor level 1).
-        let total_nodes: usize = r.ultimate.iter().map(|g| g.len()).sum();
+        let total_nodes: usize = r.ultimate.iter().map(medshield_dht::GeneralizationSet::len).sum();
         assert!(total_nodes > 2, "should be finer than root-only on both columns");
     }
 

@@ -104,7 +104,7 @@ impl TableLeaves {
 
     /// Number of rows (all columns cover the same rows).
     pub fn rows(&self) -> usize {
-        self.row_leaf_ix.first().map(|r| r.len()).unwrap_or(0)
+        self.row_leaf_ix.first().map(std::vec::Vec::len).unwrap_or(0)
     }
 
     /// Entries per occurring leaf of one column, as a node-keyed map (the

@@ -60,7 +60,7 @@ mod tests {
     use super::*;
 
     fn argv(s: &[&str]) -> Vec<String> {
-        s.iter().map(|x| x.to_string()).collect()
+        s.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]

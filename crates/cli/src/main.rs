@@ -27,11 +27,10 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.is_empty() {
+    let Some((command, rest)) = argv.split_first() else {
         eprintln!("{}", commands::USAGE);
         return ExitCode::FAILURE;
-    }
-    let (command, rest) = argv.split_first().expect("argv is non-empty");
+    };
     let options = match args::Options::parse(rest) {
         Ok(o) => o,
         Err(e) => {

@@ -41,9 +41,15 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// An append-only byte buffer the `write_*` functions encode into.
+///
+/// Length conversions are checked with a *sticky overflow* design: a
+/// count that does not fit its wire width poisons the writer instead of
+/// truncating silently, and [`Writer::into_bytes`] reports it once at
+/// the end — callers keep the simple infallible `write_*` call style.
 #[derive(Debug, Default)]
 pub struct Writer {
     buf: Vec<u8>,
+    overflow: bool,
 }
 
 impl Writer {
@@ -73,10 +79,30 @@ impl Writer {
         self.u64(v.to_bits());
     }
 
+    /// Append a count/length as a little-endian `u32`; a value above
+    /// `u32::MAX` poisons the writer.
+    pub fn count_u32(&mut self, v: usize) {
+        match u32::try_from(v) {
+            Ok(n) => self.u32(n),
+            Err(_) => self.overflow = true,
+        }
+    }
+
+    /// Append a count/length as a little-endian `u64`; lossless for any
+    /// `usize` this codebase can run on, but checked all the same.
+    pub fn count_u64(&mut self, v: usize) {
+        match u64::try_from(v) {
+            Ok(n) => self.u64(n),
+            Err(_) => self.overflow = true,
+        }
+    }
+
     /// Append a `u32`-length-prefixed byte string.
     pub fn bytes(&mut self, v: &[u8]) {
-        self.u32(v.len() as u32);
-        self.buf.extend_from_slice(v);
+        self.count_u32(v.len());
+        if !self.overflow {
+            self.buf.extend_from_slice(v);
+        }
     }
 
     /// Append a `u32`-length-prefixed UTF-8 string.
@@ -84,9 +110,13 @@ impl Writer {
         self.bytes(v.as_bytes());
     }
 
-    /// The encoded bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+    /// The encoded bytes — or [`CodecError::Invalid`] if any length
+    /// overflowed its wire width along the way.
+    pub fn into_bytes(self) -> Result<Vec<u8>, CodecError> {
+        if self.overflow {
+            return Err(CodecError::Invalid("a length overflowed its wire width".into()));
+        }
+        Ok(self.buf)
     }
 }
 
@@ -105,27 +135,26 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         let end = self.at.checked_add(n).ok_or(CodecError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(CodecError::Truncated);
-        }
-        let slice = &self.buf[self.at..end];
+        let slice = self.buf.get(self.at..end).ok_or(CodecError::Truncated)?;
         self.at = end;
         Ok(slice)
     }
 
     /// Read one byte.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(CodecError::Truncated)
     }
 
     /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+        let bytes = self.take(4)?.try_into().map_err(|_| CodecError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     /// Read a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+        let bytes = self.take(8)?.try_into().map_err(|_| CodecError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Read an `f64` from its bit pattern.
@@ -135,7 +164,7 @@ impl<'a> Reader<'a> {
 
     /// Read a `u32`-length-prefixed byte string.
     pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
-        let len = self.u32()? as usize;
+        let len = usize::try_from(self.u32()?).map_err(|_| CodecError::Truncated)?;
         self.take(len)
     }
 
@@ -177,7 +206,7 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 /// Encode a [`Mark`] (bit count + packed bits).
 pub fn write_mark(w: &mut Writer, mark: &Mark) {
-    w.u64(mark.len() as u64);
+    w.count_u64(mark.len());
     w.bytes(&mark.to_packed_bits());
 }
 
@@ -194,7 +223,7 @@ pub fn read_mark(r: &mut Reader<'_>) -> Result<Mark, CodecError> {
 /// Encode an [`OwnershipProof`].
 pub fn write_ownership_proof(w: &mut Writer, proof: &OwnershipProof) {
     w.f64(proof.statistic);
-    w.u64(proof.mark_len as u64);
+    w.count_u64(proof.mark_len);
 }
 
 /// Decode an [`OwnershipProof`] written by [`write_ownership_proof`].
@@ -206,14 +235,14 @@ pub fn read_ownership_proof(r: &mut Reader<'_>) -> Result<OwnershipProof, CodecE
 }
 
 fn write_generalization_set(w: &mut Writer, set: &GeneralizationSet) {
-    w.u32(set.nodes().len() as u32);
+    w.count_u32(set.nodes().len());
     for node in set.nodes() {
         w.u32(node.0);
     }
 }
 
 fn read_generalization_set(r: &mut Reader<'_>) -> Result<GeneralizationSet, CodecError> {
-    let count = r.u32()? as usize;
+    let count = usize::try_from(r.u32()?).map_err(|_| CodecError::Truncated)?;
     // Cap the preallocation by what the buffer can actually hold (4 bytes
     // per node) so a corrupt count cannot balloon memory.
     if count.saturating_mul(4) > r.remaining() {
@@ -266,7 +295,7 @@ mod tests {
         w.f64(f64::NAN);
         w.bytes(b"raw");
         w.str("caf\u{e9}");
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.u8().unwrap(), 7);
         assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
@@ -283,10 +312,11 @@ mod tests {
         let mut w = Writer::new();
         w.str("column");
         w.u64(42);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         for cut in 0..bytes.len() {
             let mut r = Reader::new(&bytes[..cut]);
-            let first = r.str().map(|s| s.to_string()).and_then(|s| r.u64().map(|n| (s, n)));
+            let first =
+                r.str().map(std::string::ToString::to_string).and_then(|s| r.u64().map(|n| (s, n)));
             assert!(first.is_err(), "cut at {cut} still decoded");
         }
     }
@@ -295,7 +325,7 @@ mod tests {
     fn trailing_bytes_are_rejected() {
         let mut w = Writer::new();
         w.u32(1);
-        let mut bytes = w.into_bytes();
+        let mut bytes = w.into_bytes().unwrap();
         bytes.push(0);
         let mut r = Reader::new(&bytes);
         r.u32().unwrap();
@@ -316,7 +346,7 @@ mod tests {
             let mark = Mark::from_bytes(b"owner", len);
             let mut w = Writer::new();
             write_mark(&mut w, &mark);
-            let bytes = w.into_bytes();
+            let bytes = w.into_bytes().unwrap();
             let mut r = Reader::new(&bytes);
             assert_eq!(read_mark(&mut r).unwrap(), mark, "len {len}");
             r.finish().unwrap();
@@ -324,7 +354,7 @@ mod tests {
         let proof = OwnershipProof { statistic: 123_456_789.654_321, mark_len: 20 };
         let mut w = Writer::new();
         write_ownership_proof(&mut w, &proof);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         assert_eq!(read_ownership_proof(&mut r).unwrap(), proof);
         r.finish().unwrap();
@@ -335,7 +365,7 @@ mod tests {
         let mut w = Writer::new();
         w.u64(64); // claims 64 bits…
         w.bytes(&[0xFF]); // …but supplies one byte
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         assert!(matches!(read_mark(&mut r), Err(CodecError::Invalid(_))));
     }
@@ -353,7 +383,7 @@ mod tests {
         };
         let mut w = Writer::new();
         write_column_binning(&mut w, &column);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         let decoded = read_column_binning(&mut r).unwrap();
         r.finish().unwrap();

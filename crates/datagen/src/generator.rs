@@ -98,7 +98,12 @@ impl MedicalDataset {
 
     /// Names of the quasi-identifying columns, in schema order.
     pub fn quasi_columns(&self) -> Vec<String> {
-        self.table.schema().quasi_names().into_iter().map(|s| s.to_string()).collect()
+        self.table
+            .schema()
+            .quasi_names()
+            .into_iter()
+            .map(std::string::ToString::to_string)
+            .collect()
     }
 }
 

@@ -261,7 +261,7 @@ fn options_below(
 /// order so every returned set covers one option from *every* list — a
 /// truncated enumeration never yields a partial (invalid) generalization.
 fn capped_product(lists: &[Vec<Vec<NodeId>>], limit: usize) -> Vec<Vec<NodeId>> {
-    if lists.iter().any(|l| l.is_empty()) {
+    if lists.iter().any(std::vec::Vec::is_empty) {
         return Vec::new();
     }
     let mut total: usize = 1;

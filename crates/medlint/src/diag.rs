@@ -1,0 +1,85 @@
+//! Diagnostics: what a rule reports, and the human / JSON renderings.
+
+/// One finding: a rule violation at a file:line location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (with `/` separators).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired (e.g. `no-panic`).
+    pub rule: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic.
+    pub fn new(file: &str, line: usize, rule: &str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { file: file.to_string(), line, rule: rule.to_string(), message: message.into() }
+    }
+
+    /// The `file:line: [rule] message` human rendering.
+    pub fn human(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a diagnostic list as the JSON report CI uploads:
+/// `{"diagnostics":[{file,line,rule,message}…],"total":N}`.
+pub fn render_json(diags: &[Diagnostic], suppressed: usize) -> String {
+    let mut out = String::from("{\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            escape_json(&d.file),
+            d.line,
+            escape_json(&d.rule),
+            escape_json(&d.message)
+        ));
+    }
+    out.push_str(&format!("],\"total\":{},\"suppressed\":{}}}", diags.len(), suppressed));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_human_and_json() {
+        let d = Diagnostic::new("crates/x/src/a.rs", 7, "no-panic", "say \"no\" to unwrap()");
+        assert_eq!(d.human(), "crates/x/src/a.rs:7: [no-panic] say \"no\" to unwrap()");
+        let json = render_json(&[d], 2);
+        assert!(json.contains("\"line\":7"));
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\"total\":1"));
+        assert!(json.contains("\"suppressed\":2"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        assert_eq!(render_json(&[], 0), "{\"diagnostics\":[],\"total\":0,\"suppressed\":0}");
+    }
+}

@@ -1,0 +1,384 @@
+//! A comment- and string-aware lexer for Rust source text.
+//!
+//! The rules in this crate reason about *token streams*, never raw text:
+//! an `unwrap()` inside a string literal or a comment is data, not code,
+//! and must not trip the panic-freedom gate. The lexer is deliberately
+//! much smaller than a real Rust front end — it has no grammar, only
+//! enough lexical structure to classify every byte of a file into one of
+//! the [`TokenKind`]s — but it is **total**: any byte sequence, valid
+//! Rust or garbage, lexes to a token list without panicking, and every
+//! loop iteration consumes at least one byte, so lexing always
+//! terminates (a property test pins both claims).
+//!
+//! Covered lexical shapes: line comments (`//`, `///`, `//!`), nested
+//! block comments (`/* /* */ */`), string literals with escapes, raw
+//! strings with any `#` depth (`r#"…"#`, also `b`/`c` prefixed), byte
+//! and char literals, lifetimes (disambiguated from char literals),
+//! identifiers, numbers and single-byte punctuation. Anything else —
+//! stray non-UTF-8 bytes included — becomes a [`TokenKind::Unknown`]
+//! token and lexing continues.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `unsafe`, …).
+    Ident,
+    /// A numeric literal.
+    Number,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A lifetime: `'a`, `'static`.
+    Lifetime,
+    /// A `//` comment, including the delimiter, up to (not including) the
+    /// newline.
+    LineComment,
+    /// A `/* … */` comment (nesting-aware), possibly spanning lines.
+    BlockComment,
+    /// One byte of punctuation (`.`, `(`, `[`, `+`, …).
+    Punct,
+    /// A byte the lexer cannot classify (e.g. invalid UTF-8). Kept so the
+    /// stream still covers the whole file.
+    Unknown,
+}
+
+/// One token: its kind, byte span in the source, and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text. Returns an empty string if the span is somehow
+    /// out of bounds or not valid UTF-8 on its boundaries (cannot happen
+    /// for tokens this lexer produced over the same source, but the
+    /// accessor stays total anyway).
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex `source` into a token list covering every byte. Never panics,
+/// always terminates: each outer-loop iteration consumes at least one
+/// byte.
+pub fn lex(source: &str) -> Vec<Token> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while let Some(&b) = bytes.get(i) {
+        let start = i;
+        let start_line = line;
+        let kind = match b {
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+                continue;
+            }
+            b'\n' => {
+                i += 1;
+                line += 1;
+                continue;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                i += 2;
+                while bytes.get(i).is_some_and(|&c| c != b'\n') {
+                    i += 1;
+                }
+                TokenKind::LineComment
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (bytes.get(i), bytes.get(i + 1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        (Some(b'\n'), _) => {
+                            line += 1;
+                            i += 1;
+                        }
+                        (Some(_), _) => i += 1,
+                        (None, _) => break, // unterminated: consume to EOF
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                i = consume_string(bytes, i, &mut line);
+                TokenKind::Str
+            }
+            b'r' | b'b' | b'c' if starts_raw_or_bytes(bytes, i) => {
+                i = consume_prefixed_literal(bytes, i, &mut line);
+                TokenKind::Str
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                i = consume_char(bytes, i + 1, &mut line);
+                TokenKind::Char
+            }
+            b'\'' => {
+                // Lifetime (`'a` not followed by a closing quote) or char
+                // literal. `'a'` is a char; `'a` is a lifetime.
+                let next = bytes.get(i + 1).copied();
+                let after = bytes.get(i + 2).copied();
+                if next.is_some_and(is_ident_start) && after != Some(b'\'') {
+                    i += 2;
+                    while bytes.get(i).copied().is_some_and(is_ident_continue) {
+                        i += 1;
+                    }
+                    TokenKind::Lifetime
+                } else {
+                    i = consume_char(bytes, i, &mut line);
+                    TokenKind::Char
+                }
+            }
+            b if is_ident_start(b) => {
+                i += 1;
+                while bytes.get(i).copied().is_some_and(is_ident_continue) {
+                    i += 1;
+                }
+                TokenKind::Ident
+            }
+            b if b.is_ascii_digit() => {
+                i += 1;
+                // Digits, hex/bin/underscore digits, type suffixes.
+                while bytes.get(i).copied().is_some_and(is_ident_continue) {
+                    i += 1;
+                }
+                // A fraction part — but never eat the `..` of a range.
+                if bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    i += 1;
+                    while bytes.get(i).copied().is_some_and(is_ident_continue) {
+                        i += 1;
+                    }
+                }
+                TokenKind::Number
+            }
+            b if b.is_ascii_punctuation() => {
+                i += 1;
+                TokenKind::Punct
+            }
+            _ => {
+                // Non-ASCII or control byte outside any literal: keep a
+                // placeholder token and move on.
+                i += 1;
+                TokenKind::Unknown
+            }
+        };
+        tokens.push(Token { kind, start, end: i, line: start_line });
+    }
+    tokens
+}
+
+/// Is `r…`, `br…`, `cr…`, `b"` or `c"` at `i` the start of a raw/byte/C
+/// string literal (as opposed to a plain identifier)?
+fn starts_raw_or_bytes(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    // Optional `b`/`c` prefix before `r` or `"`.
+    if matches!(bytes.get(j), Some(b'b') | Some(b'c')) {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Consume a string literal starting at the `b`/`c`/`r`/`#`/`"` prefix;
+/// returns the index one past its end (or EOF if unterminated).
+fn consume_prefixed_literal(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    if matches!(bytes.get(i), Some(b'b') | Some(b'c')) {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    if bytes.get(i) == Some(&b'r') {
+        i += 1;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        // Raw string: no escapes; closed by `"` + `hashes` hash marks.
+        if bytes.get(i) == Some(&b'"') {
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    None => return i,
+                    Some(b'\n') => {
+                        *line += 1;
+                        i += 1;
+                    }
+                    Some(b'"') => {
+                        let mut k = 0usize;
+                        while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                            k += 1;
+                        }
+                        i += 1 + k;
+                        if k == hashes {
+                            return i;
+                        }
+                    }
+                    Some(_) => i += 1,
+                }
+            }
+        }
+        return i;
+    }
+    consume_string(bytes, i, line)
+}
+
+/// Consume a `"…"` string with escapes, starting at the opening quote.
+fn consume_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1; // opening quote
+    while let Some(&c) = bytes.get(i) {
+        match c {
+            b'"' => return i + 1,
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consume a char/byte literal starting at the opening `'`.
+fn consume_char(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1; // opening quote
+            // A char literal is short; scan to the closing quote with escape
+            // handling, giving up (at a bounded distance) on malformed input so a
+            // stray `'` cannot swallow the rest of the file.
+    let limit = i + 16;
+    while let Some(&c) = bytes.get(i) {
+        match c {
+            b'\'' => return i + 1,
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                return i; // malformed: stop at the line end
+            }
+            _ => i += 1,
+        }
+        if i > limit {
+            break;
+        }
+    }
+    i.min(bytes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_shield_their_contents() {
+        let src = r#"let x = "unwrap()"; // unwrap()
+        /* .lock() */ y.unwrap();"#;
+        let toks = kinds(src);
+        let idents: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).map(|(_, t)| t.as_str()).collect();
+        // The only code-level `unwrap` is the final call.
+        assert_eq!(idents, vec!["let", "x", "y", "unwrap"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::LineComment && t.contains("unwrap")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::BlockComment && t.contains("lock")));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r##"let s = r#"has "quotes" and unwrap()"#; s.len()"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap") && t.contains("quotes")));
+        let idents: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, vec!["let", "s", "s", "len"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'x'"));
+    }
+
+    #[test]
+    fn escaped_quote_chars_lex() {
+        let src = r"let q = '\''; let b = b'\n'; let s = '\\';";
+        let toks = kinds(src);
+        let chars: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(chars.len(), 3, "{chars:?}");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ code";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "code".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\nb // trail\nc";
+        let toks = lex(src);
+        let line_of = |name: &str| {
+            toks.iter().find(|t| t.text(src) == name).map(|t| t.line).unwrap_or(usize::MAX)
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 4);
+        assert_eq!(line_of("c"), 5);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let src = "for i in 0..count { x[i]; } let f = 1.5e3;";
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && t == "1.5e3"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "count"));
+    }
+
+    #[test]
+    fn garbage_bytes_lex_without_panicking() {
+        let src = "fn \u{FFFD} ok \u{1F600} 'unterminated";
+        let toks = lex(src);
+        assert!(!toks.is_empty());
+        // Every token span is well-formed and within bounds.
+        for t in &toks {
+            assert!(t.start < t.end && t.end <= src.len());
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! medlint — workspace-native static analysis for MedShield.
+//!
+//! The serving path of this repository has invariants that `rustc` and
+//! clippy cannot see: panic-freedom in the request loop, poison-safe
+//! lock acquisition, overflow-checked frame arithmetic, a pure-safe-Rust
+//! policy, and an error-code vocabulary that three artifacts must agree
+//! on. medlint enforces them with its own comment/string-aware lexer and
+//! a small rule engine — no external dependencies, so it runs in the
+//! same hermetic environment as the rest of the workspace.
+//!
+//! Run it as CI does:
+//!
+//! ```text
+//! cargo run -p medlint -- --check
+//! ```
+//!
+//! Findings print as `file:line: [rule] message`; exit status is 0 when
+//! clean, 1 when any diagnostic survives suppression, 2 on usage or I/O
+//! errors. A finding is suppressed by a line comment on the same or the
+//! preceding line — the reason is mandatory:
+//!
+//! ```text
+//! // medlint::allow(no-panic, poison hook is test-only and gated)
+//! ```
+//!
+//! See `docs/ARCHITECTURE.md` ("Static analysis") for the rule
+//! catalogue and the policy on adding rules.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+use std::fs;
+use std::path::PathBuf;
+
+pub use diag::{render_json, Diagnostic};
+pub use rules::{lint, LintReport};
+pub use workspace::Workspace;
+
+/// Parsed command-line options.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Options {
+    /// Exit non-zero on findings (the CI gate). Currently the only mode.
+    pub check: bool,
+    /// `human` (default) or `json` for stdout.
+    pub json: bool,
+    /// Also write the JSON report here (CI artifact).
+    pub out: Option<PathBuf>,
+    /// Workspace root to lint.
+    pub root: PathBuf,
+}
+
+/// Parse argv (without the program name). Returns `Err(message)` on
+/// unknown flags or missing values.
+pub fn parse_args(argv: &[String]) -> Result<Options, String> {
+    let mut opts = Options { check: false, json: false, out: None, root: default_root() };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => opts.json = true,
+                Some("human") => opts.json = false,
+                Some(other) => return Err(format!("unknown --format `{other}` (human|json)")),
+                None => return Err("--format needs a value (human|json)".to_string()),
+            },
+            "--out" => match it.next() {
+                Some(path) => opts.out = Some(PathBuf::from(path)),
+                None => return Err("--out needs a file path".to_string()),
+            },
+            "--root" => match it.next() {
+                Some(path) => opts.root = PathBuf::from(path),
+                None => return Err("--root needs a directory path".to_string()),
+            },
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The workspace root when invoked via `cargo run -p medlint`:
+/// two levels above this crate's manifest; falls back to `.` so a
+/// relocated binary still does something sensible.
+fn default_root() -> PathBuf {
+    option_env!("CARGO_MANIFEST_DIR")
+        .map(|dir| PathBuf::from(dir).join("../.."))
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Run medlint end to end; returns the process exit code. Output goes to
+/// the given writers so tests can capture it.
+pub fn run(opts: &Options, stdout: &mut dyn std::io::Write) -> i32 {
+    let ws = match Workspace::load(&opts.root) {
+        Ok(ws) => ws,
+        Err(err) => {
+            let _ = writeln!(
+                stdout,
+                "medlint: cannot read workspace at {}: {err}",
+                opts.root.display()
+            );
+            return 2;
+        }
+    };
+    if ws.files.is_empty() {
+        let _ = writeln!(stdout, "medlint: no Rust sources under {}", opts.root.display());
+        return 2;
+    }
+    let report = lint(&ws);
+    let json = render_json(&report.diagnostics, report.suppressed);
+    if let Some(out_path) = &opts.out {
+        if let Err(err) = fs::write(out_path, &json) {
+            let _ = writeln!(stdout, "medlint: cannot write {}: {err}", out_path.display());
+            return 2;
+        }
+    }
+    if opts.json {
+        let _ = writeln!(stdout, "{json}");
+    } else {
+        for d in &report.diagnostics {
+            let _ = writeln!(stdout, "{}", d.human());
+        }
+        let _ = writeln!(
+            stdout,
+            "medlint: {} file(s), {} finding(s), {} suppressed",
+            ws.files.len(),
+            report.diagnostics.len(),
+            report.suppressed
+        );
+    }
+    if report.diagnostics.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(std::string::ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let opts = parse_args(&args(&["--check", "--format", "json", "--out", "r.json"])).unwrap();
+        assert!(opts.check);
+        assert!(opts.json);
+        assert_eq!(opts.out.as_deref(), Some(std::path::Path::new("r.json")));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(parse_args(&args(&["--frobnicate"])).is_err());
+        assert!(parse_args(&args(&["--format"])).is_err());
+        assert!(parse_args(&args(&["--format", "xml"])).is_err());
+        assert!(parse_args(&args(&["--out"])).is_err());
+    }
+
+    #[test]
+    fn run_on_missing_root_is_a_usage_error() {
+        let opts = Options {
+            check: true,
+            json: false,
+            out: None,
+            root: PathBuf::from("/nonexistent/medlint-root"),
+        };
+        let mut out = Vec::new();
+        assert_eq!(run(&opts, &mut out), 2);
+    }
+}

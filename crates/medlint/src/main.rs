@@ -1,0 +1,20 @@
+//! The `medlint` binary: thin argv/exit-code shell over [`medlint::run`].
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match medlint::parse_args(&argv) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("medlint: {message}");
+            eprintln!("usage: medlint --check [--format human|json] [--out FILE] [--root DIR]");
+            return ExitCode::from(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    let code = medlint::run(&opts, &mut stdout);
+    ExitCode::from(u8::try_from(code).unwrap_or(2))
+}

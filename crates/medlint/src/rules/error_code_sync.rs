@@ -1,0 +1,314 @@
+//! `error-code-sync`: the protocol error vocabulary must agree across
+//! the codebase and the docs.
+//!
+//! Three artifacts describe the same set: the `ErrorCode` enum in
+//! `serve::protocol`, the kebab-case wire strings its `as_str()` returns,
+//! and the error-code table in `docs/ARCHITECTURE.md` (delimited by
+//! `medlint:error-codes:begin` / `end` markers). This rule parses all
+//! three and reports any variant without an `as_str` arm, any arm whose
+//! string is not the kebab-case of its variant, and any drift between
+//! the wire strings and the documented table.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+
+/// See the module docs.
+pub struct ErrorCodeSync;
+
+const DOCS: &str = "docs/ARCHITECTURE.md";
+const BEGIN_MARKER: &str = "medlint:error-codes:begin";
+const END_MARKER: &str = "medlint:error-codes:end";
+
+impl Rule for ErrorCodeSync {
+    fn name(&self) -> &'static str {
+        "error-code-sync"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let Some(proto) = ws.files.iter().find(|f| f.rel_path.ends_with("serve/src/protocol.rs"))
+        else {
+            return; // nothing to sync against (e.g. a fixture workspace)
+        };
+        let variants = enum_variants(proto, "ErrorCode");
+        let arms = as_str_arms(proto);
+
+        for (variant, line) in &variants {
+            match arms.get(variant) {
+                None => out.push(Diagnostic::new(
+                    &proto.rel_path,
+                    *line,
+                    "error-code-sync",
+                    format!("`ErrorCode::{variant}` has no `as_str()` arm"),
+                )),
+                Some((wire, arm_line)) => {
+                    let expected = kebab_case(variant);
+                    if *wire != expected {
+                        out.push(Diagnostic::new(
+                            &proto.rel_path,
+                            *arm_line,
+                            "error-code-sync",
+                            format!(
+                                "`ErrorCode::{variant}` maps to \"{wire}\" but the wire \
+                                 convention is kebab-case: \"{expected}\""
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        for (variant, (_, arm_line)) in &arms {
+            if !variants.iter().any(|(v, _)| v == variant) {
+                out.push(Diagnostic::new(
+                    &proto.rel_path,
+                    *arm_line,
+                    "error-code-sync",
+                    format!(
+                        "`as_str()` matches `ErrorCode::{variant}` which is not a declared variant"
+                    ),
+                ));
+            }
+        }
+
+        // The docs table.
+        let Some(docs) = &ws.docs_architecture else {
+            out.push(Diagnostic::new(
+                DOCS,
+                1,
+                "error-code-sync",
+                "docs/ARCHITECTURE.md is missing; the error-code table lives there",
+            ));
+            return;
+        };
+        let Some(table) = docs_table(docs) else {
+            out.push(Diagnostic::new(
+                DOCS,
+                1,
+                "error-code-sync",
+                format!("no `{BEGIN_MARKER}` … `{END_MARKER}` table found"),
+            ));
+            return;
+        };
+        for (wire, arm_line) in arms.values() {
+            if !table.contains_key(wire) {
+                out.push(Diagnostic::new(
+                    &proto.rel_path,
+                    *arm_line,
+                    "error-code-sync",
+                    format!(
+                        "wire code \"{wire}\" is not documented in {DOCS} ({BEGIN_MARKER} table)"
+                    ),
+                ));
+            }
+        }
+        for (code, line) in &table {
+            if !arms.values().any(|(s, _)| s == code) {
+                out.push(Diagnostic::new(
+                    DOCS,
+                    *line,
+                    "error-code-sync",
+                    format!("documented code \"{code}\" has no `ErrorCode` wire string"),
+                ));
+            }
+        }
+    }
+}
+
+/// CamelCase → kebab-case (`BadRequest` → `bad-request`).
+fn kebab_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Collect the variants of `enum <name> { … }` as (variant, line).
+fn enum_variants(file: &SourceFile, name: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    let Some(start) = (0..toks.len()).find(|&i| {
+        file.tok_text(i) == "enum" && file.next_code(i).is_some_and(|n| file.tok_text(n) == name)
+    }) else {
+        return out;
+    };
+    // Find the opening brace, then walk at depth 1 collecting idents that
+    // are followed by `,` or `}` (fieldless variants; a payload `(…)` or
+    // `{…}` bumps the depth so its contents are skipped).
+    let mut i = start;
+    while i < toks.len() && file.tok_text(i) != "{" {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    while let Some(tok) = toks.get(i) {
+        let text = tok.text(&file.text);
+        match (tok.kind, text) {
+            (TokenKind::Punct, "{" | "(" | "[") => depth += 1,
+            (TokenKind::Punct, "}" | ")" | "]") => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            }
+            (TokenKind::Ident, _) if depth == 1 => {
+                let next = file.next_code(i).map(|n| file.tok_text(n)).unwrap_or("");
+                if next == "," || next == "}" || next == "(" || next == "=" {
+                    out.push((text.to_string(), tok.line));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collect `ErrorCode::Variant => "wire-string"` arms from `as_str`,
+/// keyed by variant name → (wire string, line).
+fn as_str_arms(file: &SourceFile) -> BTreeMap<String, (String, usize)> {
+    let mut out = BTreeMap::new();
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        // Pattern: Ident("ErrorCode") :: Ident(v) = > Str(s)
+        if file.tok_text(i) != "ErrorCode" {
+            continue;
+        }
+        let Some(c1) = file.next_code(i).filter(|&k| file.tok_text(k) == ":") else { continue };
+        let Some(c2) = file.next_code(c1).filter(|&k| file.tok_text(k) == ":") else { continue };
+        let Some(v) = file.next_code(c2) else { continue };
+        if toks.get(v).map(|t| t.kind) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let Some(eq) = file.next_code(v).filter(|&k| file.tok_text(k) == "=") else { continue };
+        let Some(gt) = file.next_code(eq).filter(|&k| file.tok_text(k) == ">") else { continue };
+        let Some(s) = file.next_code(gt) else { continue };
+        let Some(stok) = toks.get(s) else { continue };
+        if stok.kind != TokenKind::Str {
+            continue;
+        }
+        let raw = stok.text(&file.text);
+        let wire = raw.trim_matches('"').to_string();
+        let variant = file.tok_text(v).to_string();
+        let line = toks.get(v).map(|t| t.line).unwrap_or(1);
+        out.insert(variant, (wire, line));
+    }
+    out
+}
+
+/// Parse the marker-delimited table in the docs: code → line. Returns
+/// `None` when the markers are absent.
+fn docs_table(docs: &str) -> Option<BTreeMap<String, usize>> {
+    let mut table = BTreeMap::new();
+    let mut inside = false;
+    let mut seen_begin = false;
+    for (idx, line) in docs.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.contains(BEGIN_MARKER) {
+            inside = true;
+            seen_begin = true;
+            continue;
+        }
+        if line.contains(END_MARKER) {
+            inside = false;
+            continue;
+        }
+        if !inside {
+            continue;
+        }
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        // A data row's first cell is a backtick-quoted code; the header
+        // and `|---|` separator rows have none.
+        let first_cell = trimmed.trim_start_matches('|').split('|').next().unwrap_or("");
+        if let Some(open) = first_cell.find('`') {
+            if let Some(rest) = first_cell.get(open + 1..) {
+                if let Some(close) = rest.find('`') {
+                    if let Some(code) = rest.get(..close) {
+                        if !code.is_empty() {
+                            table.insert(code.to_string(), lineno);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    seen_begin.then_some(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROTO_OK: &str = "pub enum ErrorCode {\n BadRequest,\n Timeout,\n}\nimpl ErrorCode {\n pub fn as_str(self) -> &'static str {\n  match self {\n   ErrorCode::BadRequest => \"bad-request\",\n   ErrorCode::Timeout => \"timeout\",\n  }\n }\n}\n";
+
+    fn ws(proto: &str, docs: Option<&str>) -> Workspace {
+        Workspace::from_memory(
+            vec![("crates/serve/src/protocol.rs".to_string(), proto.to_string())],
+            docs.map(str::to_string),
+        )
+    }
+
+    fn diags(w: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        ErrorCodeSync.check(w, &mut out);
+        out
+    }
+
+    const DOCS_OK: &str = "# Arch\n<!-- medlint:error-codes:begin -->\n| code | meaning |\n|---|---|\n| `bad-request` | malformed |\n| `timeout` | slow |\n<!-- medlint:error-codes:end -->\n";
+
+    #[test]
+    fn in_sync_workspace_is_clean() {
+        assert!(diags(&ws(PROTO_OK, Some(DOCS_OK))).is_empty());
+    }
+
+    #[test]
+    fn missing_arm_and_non_kebab_string_are_flagged() {
+        let proto = "pub enum ErrorCode {\n BadRequest,\n Timeout,\n}\nimpl ErrorCode {\n fn as_str(self) -> &'static str {\n  match self {\n   ErrorCode::BadRequest => \"BadRequest\",\n  }\n }\n}\n";
+        let found = diags(&ws(proto, Some(DOCS_OK)));
+        assert!(found.iter().any(|d| d.message.contains("no `as_str()` arm")), "{found:?}");
+        assert!(found.iter().any(|d| d.message.contains("kebab-case")), "{found:?}");
+    }
+
+    #[test]
+    fn docs_drift_is_flagged_in_both_directions() {
+        let docs = "<!-- medlint:error-codes:begin -->\n| `bad-request` | malformed |\n| `ghost-code` | gone |\n<!-- medlint:error-codes:end -->\n";
+        let found = diags(&ws(PROTO_OK, Some(docs)));
+        assert!(
+            found.iter().any(|d| d.message.contains("\"timeout\" is not documented")),
+            "{found:?}"
+        );
+        assert!(
+            found
+                .iter()
+                .any(|d| d.file == "docs/ARCHITECTURE.md" && d.message.contains("ghost-code")),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn missing_docs_or_markers_are_flagged() {
+        assert!(diags(&ws(PROTO_OK, None)).iter().any(|d| d.message.contains("missing")));
+        assert!(diags(&ws(PROTO_OK, Some("# Arch\nno table here\n")))
+            .iter()
+            .any(|d| d.message.contains("error-codes:begin")));
+    }
+
+    #[test]
+    fn kebab_case_derivation() {
+        assert_eq!(kebab_case("BadRequest"), "bad-request");
+        assert_eq!(kebab_case("Timeout"), "timeout");
+        assert_eq!(kebab_case("NoOwnershipProof"), "no-ownership-proof");
+    }
+}

@@ -1,0 +1,96 @@
+//! `forbid-unsafe`: every crate root must carry
+//! `#![forbid(unsafe_code)]`, and no file may contain an `unsafe` token
+//! at all. The workspace is pure safe Rust by policy (PAPER.md threat
+//! model: the server handles adversarial ciphertext and fingerprints —
+//! memory safety must not depend on local reasoning).
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// See the module docs.
+pub struct ForbidUnsafe;
+
+impl Rule for ForbidUnsafe {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if file.is_crate_root && !has_forbid_unsafe(file) {
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    1,
+                    "forbid-unsafe",
+                    "crate root lacks `#![forbid(unsafe_code)]`",
+                ));
+            }
+            // `unsafe_code` inside the forbid attribute is its own
+            // identifier and does not trip the token scan below.
+            for tok in &file.tokens {
+                if tok.kind == TokenKind::Ident && tok.text(&file.text) == "unsafe" {
+                    out.push(Diagnostic::new(
+                        &file.rel_path,
+                        tok.line,
+                        "forbid-unsafe",
+                        "`unsafe` is forbidden workspace-wide",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Token-match `# ! [ forbid ( unsafe_code ) ]` anywhere in the file
+/// (attribute order and surrounding doc comments don't matter).
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    let toks = &file.tokens;
+    (0..toks.len()).any(|i| {
+        let text = |k: usize| file.tok_text(k);
+        text(i) == "#"
+            && text(i + 1) == "!"
+            && text(i + 2) == "["
+            && text(i + 3) == "forbid"
+            && text(i + 4) == "("
+            && text(i + 5) == "unsafe_code"
+            && text(i + 6) == ")"
+            && text(i + 7) == "]"
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace::from_memory(vec![(path.to_string(), src.to_string())], None);
+        let mut out = Vec::new();
+        ForbidUnsafe.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn crate_root_without_forbid_is_flagged() {
+        let found = diags("crates/x/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn forbidding_root_passes_and_non_roots_are_exempt() {
+        let src = "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(diags("crates/x/src/lib.rs", src).is_empty());
+        assert!(diags("crates/x/src/helper.rs", "pub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn any_unsafe_token_is_flagged_even_in_tests() {
+        let src = "#![forbid(unsafe_code)]\n#[cfg(test)]\nmod tests {\n fn t() { unsafe { } }\n}\n";
+        let found = diags("crates/x/src/lib.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 4);
+    }
+}

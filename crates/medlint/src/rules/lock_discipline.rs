@@ -1,0 +1,91 @@
+//! `lock-discipline`: all mutex/rwlock acquisition in `crates/serve`
+//! must go through `lock_unpoisoned` (see `serve::store`), which recovers
+//! from poisoning instead of propagating a worker panic to every other
+//! thread. Raw `.lock()`, and no-argument `.read()` / `.write()` (the
+//! `RwLock` guard methods), are forbidden outside that helper.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// See the module docs.
+pub struct LockDiscipline;
+
+impl Rule for LockDiscipline {
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in ws.files.iter().filter(|f| f.rel_path.starts_with("crates/serve/src/")) {
+            check_file(file, out);
+        }
+    }
+}
+
+fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || file.is_test_token(i) {
+            continue;
+        }
+        let name = tok.text(&file.text);
+        if !matches!(name, "lock" | "read" | "write") {
+            continue;
+        }
+        // A guard acquisition is `receiver.lock()` — method position with
+        // an empty argument list. `io::Read::read(&mut buf)` and friends
+        // take arguments, so requiring `()` keeps I/O calls out.
+        let method = file.prev_code(i).is_some_and(|p| file.tok_text(p) == ".");
+        let open = file.next_code(i).filter(|&n| file.tok_text(n) == "(");
+        let empty_args =
+            open.and_then(|n| file.next_code(n)).is_some_and(|c| file.tok_text(c) == ")");
+        if method && empty_args {
+            out.push(Diagnostic::new(
+                &file.rel_path,
+                tok.line,
+                "lock-discipline",
+                format!(
+                    "raw `.{name}()` guard acquisition in crates/serve; \
+                     route it through `lock_unpoisoned` so a poisoned lock \
+                     cannot wedge the server"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace::from_memory(vec![(path.to_string(), src.to_string())], None);
+        let mut out = Vec::new();
+        LockDiscipline.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_raw_lock_and_guard_reads() {
+        let src = "fn f(m: &Mutex<u32>, rw: &RwLock<u32>) {\n let a = m.lock();\n let b = rw.read();\n let c = rw.write();\n}\n";
+        let found = diags("crates/serve/src/server.rs", src);
+        assert_eq!(found.len(), 3);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn io_read_write_with_args_is_fine() {
+        let src = "fn f(s: &mut TcpStream, buf: &mut [u8]) {\n s.read(buf);\n s.write(buf);\n s.read_exact(buf);\n}\n";
+        assert!(diags("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn other_crates_and_tests_are_out_of_scope() {
+        let src = "fn f(m: &Mutex<u32>) { let _ = m.lock(); }\n";
+        assert!(diags("crates/engine/src/lib.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n fn t(m: &Mutex<u32>) { m.lock(); }\n}\n";
+        assert!(diags("crates/serve/src/store.rs", test_src).is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! `no-panic`: the serving path must not be able to panic.
+//!
+//! A worker panic poisons shared mutexes and kills in-flight requests, so
+//! `crates/serve`, `crates/cli` and the wire codec (`core::codec`) may
+//! not call `unwrap()` / `expect()`, invoke the panicking macros, or use
+//! slice/array indexing in non-test code. Use `match` / `let-else` /
+//! `.get()` / `try_into()` and propagate a structured error instead.
+
+use super::{is_keyword, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// Panicking macro names caught when followed by `!`. Asserts are left
+/// to clippy; these four are unconditional aborts.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// See the module docs.
+pub struct NoPanic;
+
+fn in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/serve/src/")
+        || rel.starts_with("crates/cli/src/")
+        || rel == "crates/core/src/codec.rs"
+}
+
+impl Rule for NoPanic {
+    fn name(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in ws.files.iter().filter(|f| in_scope(&f.rel_path)) {
+            check_file(file, out);
+        }
+    }
+}
+
+fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if file.is_test_token(i) {
+            continue;
+        }
+        let text = tok.text(&file.text);
+        match tok.kind {
+            TokenKind::Ident if text == "unwrap" || text == "expect" => {
+                let is_method = file.prev_code(i).is_some_and(|p| file.tok_text(p) == ".")
+                    && file.next_code(i).is_some_and(|n| file.tok_text(n) == "(");
+                if is_method {
+                    out.push(Diagnostic::new(
+                        &file.rel_path,
+                        tok.line,
+                        "no-panic",
+                        format!(
+                            "`.{text}()` can panic on the serving path; \
+                             match on the error and propagate it"
+                        ),
+                    ));
+                }
+            }
+            TokenKind::Ident if PANIC_MACROS.contains(&text) => {
+                let is_macro = file.next_code(i).is_some_and(|n| file.tok_text(n) == "!");
+                // `panic` as a path segment (`std::panic::catch_unwind`)
+                // has no `!` after it.
+                if is_macro {
+                    out.push(Diagnostic::new(
+                        &file.rel_path,
+                        tok.line,
+                        "no-panic",
+                        format!("`{text}!` aborts the worker; return a structured error instead"),
+                    ));
+                }
+            }
+            TokenKind::Punct if text == "[" && is_index_expression(file, i) => {
+                out.push(Diagnostic::new(
+                    &file.rel_path,
+                    tok.line,
+                    "no-panic",
+                    "slice indexing panics when out of bounds; \
+                         use `.get(..)` / `split_at_checked`-style access",
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A `[` opens an index expression when the previous significant token
+/// could end an expression: an identifier (that is not a keyword), a
+/// literal, or one of `)` `]` `?`. Attributes (`#[`), macro invocations
+/// (`vec![`), types (`&[u8]`, `-> [u8; 4]`) and slice patterns
+/// (`let [a, b] = …`) all fail that test.
+fn is_index_expression(file: &SourceFile, i: usize) -> bool {
+    let Some(p) = file.prev_code(i) else { return false };
+    let Some(prev) = file.tokens.get(p) else { return false };
+    let prev_text = prev.text(&file.text);
+    match prev.kind {
+        TokenKind::Ident => !is_keyword(prev_text),
+        TokenKind::Number | TokenKind::Str => true,
+        TokenKind::Punct => matches!(prev_text, ")" | "]" | "?"),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace::from_memory(vec![(path.to_string(), src.to_string())], None);
+        let mut out = Vec::new();
+        NoPanic.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let src =
+            "fn f() {\n a.unwrap();\n b.expect(\"x\");\n panic!(\"boom\");\n unreachable!();\n}\n";
+        let found = diags("crates/serve/src/server.rs", src);
+        assert_eq!(found.len(), 4);
+        assert_eq!(found[0].line, 2);
+        assert_eq!(found[2].line, 4);
+    }
+
+    #[test]
+    fn flags_indexing_but_not_types_or_attrs() {
+        let src = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\nfn f(xs: &[u8]) -> u8 {\n let v = vec![1];\n let [p, q] = (1, 2).into();\n xs[0]\n}\n";
+        let found = diags("crates/serve/src/server.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 6);
+    }
+
+    #[test]
+    fn ignores_test_code_and_out_of_scope_files() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { a.unwrap(); xs[0]; panic!(); }\n}\n";
+        assert!(diags("crates/serve/src/server.rs", src).is_empty());
+        let live = "fn f() { a.unwrap(); }\n";
+        assert!(diags("crates/engine/src/lib.rs", live).is_empty());
+        assert!(!diags("crates/core/src/codec.rs", live).is_empty());
+    }
+
+    #[test]
+    fn path_segment_panic_is_not_a_macro_call() {
+        let src = "fn f() { let _ = std::panic::catch_unwind(|| ()); }\n";
+        assert!(diags("crates/serve/src/server.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! Per-file analysis state: the token stream, which tokens are test-only
+//! code, and the `// medlint::allow(rule, reason)` suppressions.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::{HashMap, HashSet};
+
+/// Lines each rule is allowed on, plus malformed `medlint::allow` comments
+/// as `(line, message)` pairs.
+type AllowIndex = (HashMap<String, HashSet<usize>>, Vec<(usize, String)>);
+
+/// One source file prepared for linting.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (e.g.
+    /// `crates/serve/src/server.rs`).
+    pub rel_path: String,
+    /// The file's text.
+    pub text: String,
+    /// The lexed token stream (covers comments).
+    pub tokens: Vec<Token>,
+    /// True when this file is the root of a compilation unit
+    /// (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`).
+    pub is_crate_root: bool,
+    /// `tokens[i]` is inside a `#[cfg(test)]` / `#[test]` item, or the
+    /// whole file is test code (an integration-test or fixture file).
+    test_token: Vec<bool>,
+    /// Lines on which a `medlint::allow(rule, …)` applies, per rule name.
+    allows: HashMap<String, HashSet<usize>>,
+    /// Malformed suppression comments: (line, problem).
+    pub bad_allows: Vec<(usize, String)>,
+}
+
+impl SourceFile {
+    /// Prepare a file for linting. `rel_path` must use `/` separators.
+    pub fn new(rel_path: &str, text: String) -> SourceFile {
+        let tokens = lex(&text);
+        let is_crate_root = {
+            let tail = rel_path.rsplit('/').next().unwrap_or(rel_path);
+            rel_path.ends_with("src/lib.rs")
+                || rel_path.ends_with("src/main.rs")
+                || (rel_path.contains("src/bin/") && tail.ends_with(".rs"))
+        };
+        // Integration tests, benches and examples are their own crates and
+        // are test/dev-only code for the panic rules.
+        let whole_file_test = rel_path.starts_with("tests/")
+            || rel_path.contains("/tests/")
+            || rel_path.starts_with("benches/")
+            || rel_path.contains("/benches/");
+        let test_token = mark_test_tokens(&text, &tokens, whole_file_test);
+        let (allows, bad_allows) = collect_allows(&text, &tokens);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            text,
+            tokens,
+            is_crate_root,
+            test_token,
+            allows,
+            bad_allows,
+        }
+    }
+
+    /// Is token `idx` inside test-only code?
+    pub fn is_test_token(&self, idx: usize) -> bool {
+        self.test_token.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Is `rule` suppressed on `line`?
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.get(rule).is_some_and(|lines| lines.contains(&line))
+    }
+
+    /// The text of token `idx` (empty when out of range).
+    pub fn tok_text(&self, idx: usize) -> &str {
+        self.tokens.get(idx).map(|t| t.text(&self.text)).unwrap_or("")
+    }
+
+    /// The index of the previous non-comment token before `idx`.
+    pub fn prev_code(&self, idx: usize) -> Option<usize> {
+        let mut j = idx;
+        while j > 0 {
+            j -= 1;
+            match self.tokens.get(j)?.kind {
+                TokenKind::LineComment | TokenKind::BlockComment => continue,
+                _ => return Some(j),
+            }
+        }
+        None
+    }
+
+    /// The index of the next non-comment token after `idx`.
+    pub fn next_code(&self, idx: usize) -> Option<usize> {
+        let mut j = idx + 1;
+        while let Some(t) = self.tokens.get(j) {
+            match t.kind {
+                TokenKind::LineComment | TokenKind::BlockComment => j += 1,
+                _ => return Some(j),
+            }
+        }
+        None
+    }
+}
+
+/// Mark every token belonging to a `#[cfg(test)]` or `#[test]` item.
+///
+/// The recognizer is lexical: after such an attribute (and any further
+/// attributes or doc comments), the next item extends to the matching `}`
+/// of its first `{` — or to the first `;` if no brace opens before one
+/// (e.g. `#[cfg(test)] use foo;`).
+fn mark_test_tokens(text: &str, tokens: &[Token], whole_file: bool) -> Vec<bool> {
+    let mut marks = vec![whole_file; tokens.len()];
+    if whole_file {
+        return marks;
+    }
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_hash_bracket(text, tokens, i) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute `#[ … ]` for the test markers.
+        let (attr_end, is_test_attr) = scan_attribute(text, tokens, i);
+        if !is_test_attr {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut j = attr_end;
+        while is_hash_bracket(text, tokens, j) {
+            j = scan_attribute(text, tokens, j).0;
+        }
+        // The item body: up to the matching `}` of the first `{`, or the
+        // first top-level `;`.
+        let mut depth = 0usize;
+        let mut saw_brace = false;
+        while let Some(t) = tokens.get(j) {
+            let tx = t.text(text);
+            match (t.kind, tx) {
+                (TokenKind::Punct, "{") => {
+                    depth += 1;
+                    saw_brace = true;
+                }
+                (TokenKind::Punct, "}") => {
+                    depth = depth.saturating_sub(1);
+                    if saw_brace && depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                (TokenKind::Punct, ";") if !saw_brace => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for mark in marks.iter_mut().take(j.min(tokens.len())).skip(i) {
+            *mark = true;
+        }
+        i = j.max(i + 1);
+    }
+    marks
+}
+
+/// Does `#` `[` start at token `i`?
+fn is_hash_bracket(text: &str, tokens: &[Token], i: usize) -> bool {
+    let hash = tokens.get(i).map(|t| t.text(text)) == Some("#");
+    let bracket = tokens.get(i + 1).map(|t| t.text(text)) == Some("[");
+    hash && bracket
+}
+
+/// Scan an attribute starting at its `#`; return (index one past the
+/// closing `]`, does it mark test code).
+fn scan_attribute(text: &str, tokens: &[Token], i: usize) -> (usize, bool) {
+    let mut j = i + 2; // past `#` `[`
+    let mut depth = 1usize;
+    let mut idents: Vec<&str> = Vec::new();
+    while let Some(t) = tokens.get(j) {
+        let tx = t.text(text);
+        match (t.kind, tx) {
+            (TokenKind::Punct, "[" | "(") => depth += 1,
+            (TokenKind::Punct, "]" | ")") => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            (TokenKind::Ident, _) => idents.push(tx),
+            _ => {}
+        }
+        j += 1;
+    }
+    // `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]` all mark test
+    // code; `#[cfg(not(test))]` explicitly does not.
+    let is_test = match idents.first().copied() {
+        Some("test") => idents.len() == 1,
+        Some("cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    };
+    (j.max(i + 2), is_test)
+}
+
+/// Extract `medlint::allow(rule, reason)` suppressions from line
+/// comments. A suppression applies to the comment's own line and the
+/// following line, so both trailing and preceding-line styles work:
+///
+/// ```text
+/// foo.lock().unwrap(); // medlint::allow(lock-discipline, audited here)
+/// // medlint::allow(no-panic, the invariant is checked two lines up)
+/// let x = xs[i];
+/// ```
+fn collect_allows(text: &str, tokens: &[Token]) -> AllowIndex {
+    let mut allows: HashMap<String, HashSet<usize>> = HashMap::new();
+    let mut bad = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        // A suppression must be the comment's entire content — prose that
+        // merely *mentions* medlint::allow (docs, this file) is ignored.
+        let body = t.text(text);
+        let rest = body.trim_start_matches('/').trim_start_matches('!').trim_start();
+        if !rest.starts_with("medlint::allow") {
+            continue;
+        }
+        let Some(open) = rest.find('(') else {
+            bad.push((t.line, "missing `(rule, reason)` after medlint::allow".to_string()));
+            continue;
+        };
+        let Some(close) = rest.rfind(')') else {
+            bad.push((t.line, "unclosed medlint::allow(…)".to_string()));
+            continue;
+        };
+        let inner = rest.get(open + 1..close).unwrap_or("");
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (inner.trim(), ""),
+        };
+        if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_lowercase() || b == b'-') {
+            bad.push((t.line, format!("medlint::allow names no rule: `{inner}`")));
+            continue;
+        }
+        if reason.is_empty() {
+            bad.push((t.line, format!("medlint::allow({rule}, …) requires a non-empty reason")));
+            continue;
+        }
+        let lines = allows.entry(rule.to_string()).or_default();
+        lines.insert(t.line);
+        lines.insert(t.line + 1);
+    }
+    (allows, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs", src.to_string())
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let f = file(src);
+        let unwraps: Vec<(usize, bool)> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text(src) == "unwrap")
+            .map(|(i, _)| (i, f.is_test_token(i)))
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].1, "live unwrap must not be test-marked");
+        assert!(unwraps[1].1, "test unwrap must be test-marked");
+        // Code after the module is live again.
+        let live2 = f.tokens.iter().position(|t| t.text(src) == "live2").unwrap();
+        assert!(!f.is_test_token(live2));
+    }
+
+    #[test]
+    fn test_fns_and_cfg_not_test() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\n#[cfg(not(test))]\nfn live() { b.unwrap(); }\n";
+        let f = file(src);
+        let marks: Vec<bool> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text(src) == "unwrap")
+            .map(|(i, _)| f.is_test_token(i))
+            .collect();
+        assert_eq!(marks, vec![true, false]);
+    }
+
+    #[test]
+    fn allows_cover_own_and_next_line() {
+        let src = "// medlint::allow(no-panic, invariant checked above)\nlet x = xs[0];\nlet y = ys[1]; // medlint::allow(no-panic, fixed-size array)\n";
+        let f = file(src);
+        assert!(f.is_allowed("no-panic", 1));
+        assert!(f.is_allowed("no-panic", 2));
+        assert!(f.is_allowed("no-panic", 3));
+        assert!(!f.is_allowed("no-panic", 5));
+        assert!(!f.is_allowed("lock-discipline", 2));
+        assert!(f.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn reasonless_allows_are_rejected() {
+        let src = "let x = xs[0]; // medlint::allow(no-panic)\nlet y = ys[0]; // medlint::allow(no-panic, )\n";
+        let f = file(src);
+        assert_eq!(f.bad_allows.len(), 2);
+        assert!(!f.is_allowed("no-panic", 1));
+    }
+
+    #[test]
+    fn crate_roots_are_recognized() {
+        assert!(SourceFile::new("crates/serve/src/lib.rs", String::new()).is_crate_root);
+        assert!(SourceFile::new("crates/cli/src/main.rs", String::new()).is_crate_root);
+        assert!(SourceFile::new("crates/bench/src/bin/fig11.rs", String::new()).is_crate_root);
+        assert!(SourceFile::new("src/lib.rs", String::new()).is_crate_root);
+        assert!(!SourceFile::new("crates/serve/src/server.rs", String::new()).is_crate_root);
+        assert!(!SourceFile::new("tests/end_to_end.rs", String::new()).is_crate_root);
+    }
+}

@@ -1,0 +1,122 @@
+//! Loading the set of files to lint: a real workspace walked from disk,
+//! or an in-memory fixture for tests.
+
+use crate::source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything a lint run looks at.
+#[derive(Debug)]
+pub struct Workspace {
+    /// All Rust sources, sorted by `rel_path`.
+    pub files: Vec<SourceFile>,
+    /// `docs/ARCHITECTURE.md`, when present.
+    pub docs_architecture: Option<String>,
+}
+
+impl Workspace {
+    /// Build a workspace from in-memory `(rel_path, text)` pairs — the
+    /// fixture-test entry point.
+    pub fn from_memory(
+        files: Vec<(String, String)>,
+        docs_architecture: Option<String>,
+    ) -> Workspace {
+        let mut files: Vec<SourceFile> =
+            files.into_iter().map(|(p, t)| SourceFile::new(&p, t)).collect();
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        Workspace { files, docs_architecture }
+    }
+
+    /// Walk a workspace root on disk. Scans `src/`, `tests/` and
+    /// `examples/` at the root and under every `crates/*` and `shims/*`
+    /// member; `target/` and hidden directories are never entered.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut rs_files = Vec::new();
+        for top in ["src", "tests", "examples"] {
+            collect_rs(&root.join(top), &mut rs_files);
+        }
+        for group in ["crates", "shims"] {
+            let group_dir = root.join(group);
+            let Ok(entries) = fs::read_dir(&group_dir) else { continue };
+            let mut members: Vec<PathBuf> =
+                entries.filter_map(|e| e.ok().map(|e| e.path())).filter(|p| p.is_dir()).collect();
+            members.sort();
+            for member in members {
+                for sub in ["src", "tests", "benches", "examples"] {
+                    collect_rs(&member.join(sub), &mut rs_files);
+                }
+            }
+        }
+        rs_files.sort();
+        let mut files = Vec::with_capacity(rs_files.len());
+        for path in rs_files {
+            let text = fs::read_to_string(&path)?;
+            let rel = rel_path(root, &path);
+            files.push(SourceFile::new(&rel, text));
+        }
+        let docs_architecture = fs::read_to_string(root.join("docs/ARCHITECTURE.md")).ok();
+        Ok(Workspace { files, docs_architecture })
+    }
+}
+
+/// Recursively collect `.rs` files under `dir` (silently skipping
+/// anything unreadable — a vanished temp dir must not kill the lint).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `root`-relative path with `/` separators, total on any input.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> =
+        rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned()).collect();
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_memory_sorts_and_wraps() {
+        let ws = Workspace::from_memory(
+            vec![
+                ("crates/b/src/lib.rs".to_string(), String::new()),
+                ("crates/a/src/lib.rs".to_string(), String::new()),
+            ],
+            Some("# docs".to_string()),
+        );
+        assert_eq!(ws.files[0].rel_path, "crates/a/src/lib.rs");
+        assert!(ws.docs_architecture.is_some());
+    }
+
+    #[test]
+    fn load_walks_this_workspace() {
+        // CARGO_MANIFEST_DIR = crates/medlint; the workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let ws = Workspace::load(&root).expect("workspace loads");
+        assert!(
+            ws.files.iter().any(|f| f.rel_path == "crates/serve/src/protocol.rs"),
+            "protocol.rs should be discovered"
+        );
+        assert!(
+            ws.files.iter().any(|f| f.rel_path == "crates/medlint/src/lexer.rs"),
+            "medlint itself should be discovered"
+        );
+        assert!(ws.docs_architecture.is_some(), "docs/ARCHITECTURE.md should load");
+    }
+}

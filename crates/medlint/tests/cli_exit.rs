@@ -1,0 +1,66 @@
+//! The acceptance contract of the binary: exit 0 on a clean tree, exit 1
+//! with `file:line:` diagnostics on a violating tree, and a JSON report
+//! written where `--out` points. Runs `medlint::run` in-process against a
+//! throwaway workspace on disk.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn scratch_workspace(name: &str, server_rs: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("medlint-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("crates/serve/src")).expect("mkdir");
+    fs::create_dir_all(root.join("docs")).expect("mkdir docs");
+    fs::write(root.join("crates/serve/src/server.rs"), server_rs).expect("write server.rs");
+    // A consistent protocol/docs pair so only the injected file can fire.
+    fs::write(
+        root.join("crates/serve/src/protocol.rs"),
+        "pub enum ErrorCode {\n Timeout,\n}\nimpl ErrorCode {\n pub fn as_str(self) -> &'static str {\n  match self {\n   ErrorCode::Timeout => \"timeout\",\n  }\n }\n}\n",
+    )
+    .expect("write protocol.rs");
+    fs::write(
+        root.join("docs/ARCHITECTURE.md"),
+        "<!-- medlint:error-codes:begin -->\n| `timeout` | slow |\n<!-- medlint:error-codes:end -->\n",
+    )
+    .expect("write docs");
+    root
+}
+
+fn run(root: &Path, extra: &[&str]) -> (i32, String) {
+    let mut argv: Vec<String> = vec!["--check".into(), "--root".into(), root.display().to_string()];
+    argv.extend(extra.iter().map(std::string::ToString::to_string));
+    let opts = medlint::parse_args(&argv).expect("args parse");
+    let mut out = Vec::new();
+    let code = medlint::run(&opts, &mut out);
+    (code, String::from_utf8_lossy(&out).into_owned())
+}
+
+#[test]
+fn violating_tree_exits_nonzero_with_file_line_diagnostics() {
+    let root = scratch_workspace("dirty", "fn f(x: Option<u8>) {\n x.unwrap();\n}\n");
+    let (code, out) = run(&root, &[]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("crates/serve/src/server.rs:2: [no-panic]"), "{out}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = scratch_workspace("clean", "fn f(x: Option<u8>) -> Option<u8> { x }\n");
+    let (code, out) = run(&root, &[]);
+    assert_eq!(code, 0, "{out}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn json_out_file_is_written_for_ci() {
+    let root = scratch_workspace("json", "fn f(x: Option<u8>) {\n x.unwrap();\n}\n");
+    let report_path = root.join("medlint.json");
+    let (code, out) =
+        run(&root, &["--format", "json", "--out", &report_path.display().to_string()]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("\"rule\":\"no-panic\""), "stdout json: {out}");
+    let written = fs::read_to_string(&report_path).expect("report written");
+    assert!(written.contains("\"total\":1"), "{written}");
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,0 +1,194 @@
+//! Fixture tests: every rule is proven by a failing (positive), passing
+//! (negative) and suppressed in-memory workspace, end to end through the
+//! same `lint()` entry point CI uses.
+
+use medlint::rules::lint;
+use medlint::Workspace;
+
+fn rules_fired(ws: &Workspace) -> Vec<String> {
+    lint(ws).diagnostics.into_iter().map(|d| d.rule).collect()
+}
+
+const CLEAN_PROTO: &str = "pub enum ErrorCode {\n Timeout,\n}\nimpl ErrorCode {\n pub fn as_str(self) -> &'static str {\n  match self {\n   ErrorCode::Timeout => \"timeout\",\n  }\n }\n}\n";
+const CLEAN_DOCS: &str =
+    "<!-- medlint:error-codes:begin -->\n| `timeout` | slow |\n<!-- medlint:error-codes:end -->\n";
+
+/// A workspace with a consistent protocol/docs pair plus the given file.
+fn ws_with(path: &str, text: &str) -> Workspace {
+    Workspace::from_memory(
+        vec![
+            ("crates/serve/src/protocol.rs".to_string(), CLEAN_PROTO.to_string()),
+            (path.to_string(), text.to_string()),
+        ],
+        Some(CLEAN_DOCS.to_string()),
+    )
+}
+
+// ---- no-panic ----------------------------------------------------------
+
+#[test]
+fn no_panic_positive() {
+    let w = ws_with("crates/serve/src/server.rs", "fn f(x: Option<u8>) { x.unwrap(); }\n");
+    let fired = rules_fired(&w);
+    assert_eq!(fired, vec!["no-panic"], "{fired:?}");
+}
+
+#[test]
+fn no_panic_negative() {
+    let src = "fn f(x: Option<u8>) -> Option<u8> { x.map(|v| v.saturating_add(1)) }\n";
+    let w = ws_with("crates/serve/src/server.rs", src);
+    assert!(rules_fired(&w).is_empty());
+}
+
+#[test]
+fn no_panic_suppressed() {
+    let src = "fn f(x: Option<u8>) {\n // medlint::allow(no-panic, fixture exercises the suppression path)\n x.unwrap();\n}\n";
+    let w = ws_with("crates/serve/src/server.rs", src);
+    let report = lint(&w);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn no_panic_reasonless_suppression_is_reported() {
+    let src = "fn f(x: Option<u8>) {\n // medlint::allow(no-panic)\n x.unwrap();\n}\n";
+    let w = ws_with("crates/serve/src/server.rs", src);
+    let fired = rules_fired(&w);
+    assert!(fired.contains(&"no-panic".to_string()), "{fired:?}");
+    assert!(fired.contains(&"suppression".to_string()), "{fired:?}");
+}
+
+// ---- lock-discipline ---------------------------------------------------
+
+#[test]
+fn lock_discipline_positive() {
+    let w = ws_with("crates/serve/src/server.rs", "fn f(m: &Mutex<u8>) { let _ = m.lock(); }\n");
+    assert_eq!(rules_fired(&w), vec!["lock-discipline"]);
+}
+
+#[test]
+fn lock_discipline_negative() {
+    let src = "fn f(m: &Mutex<u8>) { let _ = lock_unpoisoned(m); }\n";
+    let w = ws_with("crates/serve/src/server.rs", src);
+    assert!(rules_fired(&w).is_empty());
+}
+
+#[test]
+fn lock_discipline_suppressed() {
+    let src = "fn f(m: &Mutex<u8>) {\n // medlint::allow(lock-discipline, this fixture is the sanctioned helper)\n let _ = m.lock();\n}\n";
+    let w = ws_with("crates/serve/src/server.rs", src);
+    let report = lint(&w);
+    assert!(report.diagnostics.is_empty());
+    assert_eq!(report.suppressed, 1);
+}
+
+// ---- checked-framing ---------------------------------------------------
+
+#[test]
+fn checked_framing_positive() {
+    let w = ws_with("crates/core/src/codec.rs", "fn f(v: &[u8]) -> u32 { v.len() as u32 }\n");
+    assert_eq!(rules_fired(&w), vec!["checked-framing"]);
+}
+
+#[test]
+fn checked_framing_negative() {
+    let src = "fn f(v: &[u8]) -> Option<u32> { u32::try_from(v.len()).ok() }\n";
+    let w = ws_with("crates/core/src/codec.rs", src);
+    assert!(rules_fired(&w).is_empty());
+}
+
+#[test]
+fn checked_framing_suppressed() {
+    let src = "// medlint::allow(checked-framing, fixture: the cast is proven lossless)\nfn f(n: u8) -> u32 { n as u32 }\n";
+    let w = ws_with("crates/core/src/codec.rs", src);
+    let report = lint(&w);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed, 1);
+}
+
+// ---- forbid-unsafe -----------------------------------------------------
+
+#[test]
+fn forbid_unsafe_positive_missing_attribute() {
+    let w = ws_with("crates/x/src/lib.rs", "pub fn f() {}\n");
+    assert_eq!(rules_fired(&w), vec!["forbid-unsafe"]);
+}
+
+#[test]
+fn forbid_unsafe_positive_unsafe_token() {
+    let src = "#![forbid(unsafe_code)]\npub fn f() { let _ = \"x\"; }\nfn g() { unsafe {} }\n";
+    let w = ws_with("crates/x/src/lib.rs", src);
+    assert_eq!(rules_fired(&w), vec!["forbid-unsafe"]);
+}
+
+#[test]
+fn forbid_unsafe_negative() {
+    let w = ws_with("crates/x/src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n");
+    assert!(rules_fired(&w).is_empty());
+}
+
+// ---- error-code-sync ---------------------------------------------------
+
+#[test]
+fn error_code_sync_positive_enum_drift() {
+    let proto = "pub enum ErrorCode {\n Timeout,\n QueueFull,\n}\nimpl ErrorCode {\n pub fn as_str(self) -> &'static str {\n  match self {\n   ErrorCode::Timeout => \"timeout\",\n  }\n }\n}\n";
+    let w = Workspace::from_memory(
+        vec![("crates/serve/src/protocol.rs".to_string(), proto.to_string())],
+        Some(CLEAN_DOCS.to_string()),
+    );
+    assert_eq!(rules_fired(&w), vec!["error-code-sync"]);
+}
+
+#[test]
+fn error_code_sync_positive_docs_drift() {
+    let docs = "<!-- medlint:error-codes:begin -->\n| `timeout` | slow |\n| `phantom` | not real |\n<!-- medlint:error-codes:end -->\n";
+    let w = Workspace::from_memory(
+        vec![("crates/serve/src/protocol.rs".to_string(), CLEAN_PROTO.to_string())],
+        Some(docs.to_string()),
+    );
+    assert_eq!(rules_fired(&w), vec!["error-code-sync"]);
+}
+
+#[test]
+fn error_code_sync_negative() {
+    let w = Workspace::from_memory(
+        vec![("crates/serve/src/protocol.rs".to_string(), CLEAN_PROTO.to_string())],
+        Some(CLEAN_DOCS.to_string()),
+    );
+    assert!(rules_fired(&w).is_empty());
+}
+
+// ---- reporting ---------------------------------------------------------
+
+#[test]
+fn diagnostics_carry_file_and_line_and_sort_stably() {
+    let w = Workspace::from_memory(
+        vec![
+            (
+                "crates/serve/src/server.rs".to_string(),
+                "fn f(x: Option<u8>) { x.unwrap(); }\n".to_string(),
+            ),
+            ("crates/serve/src/protocol.rs".to_string(), CLEAN_PROTO.to_string()),
+            (
+                "crates/cli/src/main.rs".to_string(),
+                "#![forbid(unsafe_code)]\nfn main() { Some(1).unwrap(); }\n".to_string(),
+            ),
+        ],
+        Some(CLEAN_DOCS.to_string()),
+    );
+    let report = lint(&w);
+    let rendered: Vec<String> = report.diagnostics.iter().map(medlint::Diagnostic::human).collect();
+    assert_eq!(rendered.len(), 2, "{rendered:?}");
+    assert!(rendered[0].starts_with("crates/cli/src/main.rs:2: [no-panic]"), "{rendered:?}");
+    assert!(rendered[1].starts_with("crates/serve/src/server.rs:1: [no-panic]"), "{rendered:?}");
+}
+
+#[test]
+fn json_report_shape() {
+    let w = ws_with("crates/serve/src/server.rs", "fn f(x: Option<u8>) { x.unwrap(); }\n");
+    let report = lint(&w);
+    let json = medlint::render_json(&report.diagnostics, report.suppressed);
+    assert!(json.starts_with("{\"diagnostics\":["));
+    assert!(json.contains("\"rule\":\"no-panic\""));
+    assert!(json.contains("\"total\":1"));
+}

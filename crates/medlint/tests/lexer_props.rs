@@ -1,0 +1,65 @@
+//! Property tests for the lexer: it must be *total* — never panic, always
+//! terminate, and produce an in-bounds, non-overlapping, monotone token
+//! stream — on arbitrary byte soup, because medlint reads whatever is on
+//! disk, including files mid-edit.
+
+use medlint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0usize..512)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&text);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start < t.end, "empty token at {}", t.start);
+            prop_assert!(t.end <= text.len(), "token past the end");
+            prop_assert!(t.start >= prev_end, "tokens overlap or go backwards");
+            prop_assert!(t.line >= 1);
+            // The accessor is total too: no char-boundary panics.
+            let _ = t.text(&text);
+            prev_end = t.end;
+        }
+    }
+
+    #[test]
+    fn lexer_round_trips_ascii_identifier_soup(
+        words in prop::collection::vec(prop::collection::vec(97u8..=122, 1usize..8), 0usize..20)
+    ) {
+        // Identifiers separated by spaces: every word must come back as an
+        // Ident token with exactly its text.
+        let text = words
+            .iter()
+            .map(|w| String::from_utf8_lossy(w).into_owned())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let tokens = lex(&text);
+        let idents: Vec<&str> =
+            tokens.iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text(&text)).collect();
+        let expected: Vec<String> =
+            words.iter().map(|w| String::from_utf8_lossy(w).into_owned()).collect();
+        prop_assert_eq!(idents.len(), expected.len());
+        for (got, want) in idents.iter().zip(&expected) {
+            prop_assert_eq!(*got, want.as_str());
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_never_leak_tokens(payload in prop::collection::vec(32u8..=126, 0usize..40)) {
+        // Arbitrary printable payload inside a line comment: the lexer must
+        // produce exactly one comment token for that line.
+        let body: String = String::from_utf8_lossy(&payload)
+            .chars()
+            .filter(|&c| c != '\n' && c != '\r')
+            .collect();
+        let text = format!("// {body}\nfn f() {{}}\n");
+        let tokens = lex(&text);
+        let comments: Vec<_> =
+            tokens.iter().filter(|t| t.kind == TokenKind::LineComment).collect();
+        prop_assert_eq!(comments.len(), 1);
+        prop_assert!(comments[0].line == 1);
+    }
+}

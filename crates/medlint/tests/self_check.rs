@@ -1,0 +1,31 @@
+//! The workspace must stay medlint-clean: this test runs the same lint CI
+//! runs, from the real source tree, and fails listing any finding. It is
+//! the in-process twin of `cargo run -p medlint -- --check`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = medlint::Workspace::load(&root).expect("workspace loads");
+    assert!(ws.files.len() > 50, "walker found only {} files", ws.files.len());
+    let report = medlint::lint(&ws);
+    let findings: Vec<String> = report.diagnostics.iter().map(medlint::Diagnostic::human).collect();
+    assert!(findings.is_empty(), "medlint findings:\n{}", findings.join("\n"));
+}
+
+#[test]
+fn suppressions_in_tree_all_carry_reasons() {
+    // `lint()` already reports reasonless allows as findings; this pins the
+    // stronger property that the tree's *accepted* suppressions stay few
+    // and intentional — a budget, so they cannot quietly multiply.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = medlint::Workspace::load(&root).expect("workspace loads");
+    let report = medlint::lint(&ws);
+    assert!(
+        report.suppressed <= 12,
+        "suppression budget exceeded: {} findings are suppressed; \
+         fix the code or raise the budget deliberately in this test",
+        report.suppressed
+    );
+}

@@ -57,7 +57,7 @@ pub fn quasi_bin_reports(
     k: usize,
 ) -> Result<Vec<(String, BinReport)>, RelationError> {
     let names: Vec<String> =
-        binned.schema().quasi_names().into_iter().map(|s| s.to_string()).collect();
+        binned.schema().quasi_names().into_iter().map(std::string::ToString::to_string).collect();
     let mut out = Vec::with_capacity(names.len());
     for name in names {
         let report = column_bin_report(binned, watermarked, &name, k)?;

@@ -329,7 +329,7 @@ mod tests {
         let err = from_csv(text, &[]).unwrap_err();
         match err {
             RelationError::CsvParse { message, .. } => {
-                assert!(message.contains("unterminated"), "{message}")
+                assert!(message.contains("unterminated"), "{message}");
             }
             other => panic!("unexpected error {other:?}"),
         }

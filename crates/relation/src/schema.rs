@@ -120,12 +120,12 @@ impl Schema {
 
     /// Indices of all identifying columns.
     pub fn identifying_indices(&self) -> Vec<usize> {
-        self.indices_with(|r| r.is_identifying())
+        self.indices_with(ColumnRole::is_identifying)
     }
 
     /// Indices of all quasi-identifying columns (categorical and numeric).
     pub fn quasi_indices(&self) -> Vec<usize> {
-        self.indices_with(|r| r.is_quasi())
+        self.indices_with(ColumnRole::is_quasi)
     }
 
     /// Names of all quasi-identifying columns, in schema order.

@@ -136,25 +136,28 @@ pub fn get_raw<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\"");
     let mut i = 0;
     let mut depth = 0usize;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&b) = bytes.get(i) {
+        match b {
             b'"' => {
                 let start = i;
                 i += 1;
-                while i < bytes.len() && bytes[i] != b'"' {
-                    if bytes[i] == b'\\' {
+                while let Some(&c) = bytes.get(i) {
+                    if c == b'"' {
+                        break;
+                    }
+                    if c == b'\\' {
                         i += 1;
                     }
                     i += 1;
                 }
                 let end = (i + 1).min(bytes.len());
-                if depth == 1 && json[start..end] == needle {
+                if depth == 1 && json.get(start..end) == Some(needle.as_str()) {
                     // Key match at the top level: the value follows the ':'.
                     let mut j = end;
-                    while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                    while bytes.get(j).is_some_and(|&c| (c as char).is_whitespace()) {
                         j += 1;
                     }
-                    if j < bytes.len() && bytes[j] == b':' {
+                    if bytes.get(j) == Some(&b':') {
                         return Some(value_slice(json, j + 1));
                     }
                 }
@@ -178,17 +181,20 @@ pub fn get_raw<'a>(json: &'a str, key: &str) -> Option<&'a str> {
 fn value_slice(json: &str, at: usize) -> &str {
     let bytes = json.as_bytes();
     let mut i = at;
-    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+    while bytes.get(i).is_some_and(|&c| (c as char).is_whitespace()) {
         i += 1;
     }
     let start = i;
     let mut depth = 0usize;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&b) = bytes.get(i) {
+        match b {
             b'"' => {
                 i += 1;
-                while i < bytes.len() && bytes[i] != b'"' {
-                    if bytes[i] == b'\\' {
+                while let Some(&c) = bytes.get(i) {
+                    if c == b'"' {
+                        break;
+                    }
+                    if c == b'\\' {
                         i += 1;
                     }
                     i += 1;
@@ -201,16 +207,16 @@ fn value_slice(json: &str, at: usize) -> &str {
             }
             b'}' | b']' => {
                 if depth == 0 {
-                    return json[start..i].trim_end();
+                    return json.get(start..i).unwrap_or_default().trim_end();
                 }
                 depth -= 1;
                 i += 1;
             }
-            b',' if depth == 0 => return json[start..i].trim_end(),
+            b',' if depth == 0 => return json.get(start..i).unwrap_or_default().trim_end(),
             _ => i += 1,
         }
     }
-    json[start..].trim_end()
+    json.get(start..).unwrap_or_default().trim_end()
 }
 
 /// A string field, unescaped. `None` when absent or not a string.
@@ -291,27 +297,32 @@ pub fn get_str_array(json: &str, key: &str) -> Option<Vec<String>> {
     let mut items = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
-        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+        while bytes.get(i).is_some_and(|&c| (c as char).is_whitespace()) {
             i += 1;
         }
-        if i >= bytes.len() || bytes[i] != b'"' {
+        if bytes.get(i) != Some(&b'"') {
             return None;
         }
         let start = i;
         i += 1;
-        while i < bytes.len() && bytes[i] != b'"' {
-            if bytes[i] == b'\\' {
+        while let Some(&c) = bytes.get(i) {
+            if c == b'"' {
+                break;
+            }
+            if c == b'\\' {
                 i += 1;
             }
             i += 1;
         }
         i += 1;
-        items.push(unescape(&inner[start..i])?);
-        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+        // An unterminated string runs `i` past the end; `get` turns that
+        // into a parse failure instead of a slicing panic.
+        items.push(unescape(inner.get(start..i)?)?);
+        while bytes.get(i).is_some_and(|&c| (c as char).is_whitespace()) {
             i += 1;
         }
-        if i < bytes.len() {
-            if bytes[i] != b',' {
+        if let Some(&c) = bytes.get(i) {
+            if c != b',' {
                 return None;
             }
             i += 1;

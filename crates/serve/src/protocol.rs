@@ -30,6 +30,7 @@ use std::io::{self, Read, Write};
 
 /// Upper bound accepted for a frame payload unless the server configures its
 /// own (16 MiB — roughly a 100k-row CSV submission).
+// medlint::allow(checked-framing, const arithmetic is evaluated and overflow-checked at compile time)
 pub const DEFAULT_MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
 /// The commands a request header can name.
@@ -360,6 +361,7 @@ impl FrameReader {
         loop {
             if !self.in_payload {
                 debug_assert!(self.header_read < 4);
+                // medlint::allow(no-panic, header_read < 4 by the branch condition and the assert above)
                 match r.read(&mut self.header[self.header_read..]) {
                     Ok(0) => {
                         return if self.header_read == 0 {
@@ -371,7 +373,10 @@ impl FrameReader {
                     Ok(n) => {
                         self.header_read += n;
                         if self.header_read == 4 {
-                            let len = u32::from_be_bytes(self.header) as usize;
+                            let len =
+                                usize::try_from(u32::from_be_bytes(self.header)).map_err(|_| {
+                                    FrameError::Oversized { len: usize::MAX, max: max_len }
+                                })?;
                             if len > max_len {
                                 return Err(FrameError::Oversized { len, max: max_len });
                             }
@@ -389,6 +394,7 @@ impl FrameReader {
                 *self = FrameReader::new();
                 return Ok(ReadStep::Frame(payload));
             } else {
+                // medlint::allow(no-panic, payload_read < payload.len() by the branch condition above)
                 match r.read(&mut self.payload[self.payload_read..]) {
                     Ok(0) => return Err(FrameError::Truncated),
                     Ok(n) => self.payload_read += n,

@@ -262,16 +262,20 @@ impl<T> BoundedQueue<T> {
                 return if inner.closed { None } else { Some(Vec::new()) };
             }
         }
-        let first = inner.items.pop_front().expect("non-empty queue");
+        let Some(first) = inner.items.pop_front() else {
+            // Unreachable: the wait loop above only exits with a non-empty
+            // queue — but an empty batch is a safe answer if it ever isn't.
+            return Some(Vec::new());
+        };
         let batchable = batch(&first);
         let mut out = vec![first];
         while batchable && out.len() < max {
-            match inner.items.front() {
-                Some(next) if batch(next) => {
-                    let next = inner.items.pop_front().expect("peeked item");
-                    out.push(next);
-                }
-                _ => break,
+            if !inner.items.front().is_some_and(&batch) {
+                break;
+            }
+            match inner.items.pop_front() {
+                Some(next) => out.push(next),
+                None => break,
             }
         }
         Some(out)
@@ -386,7 +390,7 @@ pub fn serve(config: ServeConfig, addr: impl ToSocketAddrs) -> Result<ServeHandl
     });
     let queue = Arc::new(BoundedQueue::new(shared.config.queue_depth));
 
-    let workers: Vec<JoinHandle<()>> = (0..shared.config.workers)
+    let workers = (0..shared.config.workers)
         .map(|i| {
             let shared = Arc::clone(&shared);
             let queue = Arc::clone(&queue);
@@ -394,17 +398,32 @@ pub fn serve(config: ServeConfig, addr: impl ToSocketAddrs) -> Result<ServeHandl
             thread::Builder::new()
                 .name(format!("medshield-worker-{i}"))
                 .spawn(move || worker_loop(&shared, &queue, &engine))
-                .expect("spawn worker thread")
+                .map_err(ServeError::Io)
         })
-        .collect();
+        .collect::<Result<_, _>>();
+    // On any spawn failure, close the queue so the workers that did start
+    // drain out instead of leaking blocked on an abandoned queue.
+    let workers: Vec<JoinHandle<()>> = match workers {
+        Ok(workers) => workers,
+        Err(e) => {
+            queue.close();
+            return Err(e);
+        }
+    };
 
     let acceptor = {
         let shared = Arc::clone(&shared);
-        let queue = Arc::clone(&queue);
-        thread::Builder::new()
+        let queue_for_acceptor = Arc::clone(&queue);
+        let spawned = thread::Builder::new()
             .name("medshield-acceptor".into())
-            .spawn(move || acceptor_loop(listener, &shared, &queue))
-            .expect("spawn acceptor thread")
+            .spawn(move || acceptor_loop(listener, &shared, &queue_for_acceptor));
+        match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                queue.close();
+                return Err(ServeError::Io(e));
+            }
+        }
     };
 
     Ok(ServeHandle { addr, shared, queue, acceptor: Some(acceptor), workers })
@@ -676,7 +695,10 @@ fn detect_group_responses(
     group: &[Job],
 ) -> Vec<Response> {
     // Resolve the release once for the whole group.
-    let stored = match release_param(shared, &group[0].request) {
+    let Some(first) = group.first() else {
+        return Vec::new();
+    };
+    let stored = match release_param(shared, &first.request) {
         Ok(stored) => stored,
         Err(response) => return group.iter().map(|_| response.clone()).collect(),
     };
@@ -781,6 +803,7 @@ fn handle_request(shared: &Arc<Shared>, engine: &ProtectionEngine, request: &Req
             if request.params.get("poison").map(String::as_str) == Some("store") {
                 shared.store.poison_for_tests();
             }
+            // medlint::allow(no-panic, the panic IS the feature: this debug-hooks-gated command exercises the worker panic guard)
             panic!("debug panic command");
         }
         Command::Sleep | Command::Panic => {

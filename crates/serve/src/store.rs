@@ -102,6 +102,7 @@ impl From<CodecError> for StoreError {
 /// after any panic, so one panicking worker must not cascade into
 /// `PoisonError` panics on unrelated connections.
 pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // medlint::allow(lock-discipline, this IS the sanctioned acquisition point the rule funnels everyone into)
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -140,6 +141,7 @@ pub trait ReleaseStore: Send + Sync {
     /// the debug-gated `panic` wire command; never called in production.
     #[doc(hidden)]
     fn poison_for_tests(&self) {
+        // medlint::allow(no-panic, test hook reachable only via the debug-gated panic command; the panic is the point)
         panic!("debug poison hook");
     }
 }
@@ -197,6 +199,7 @@ impl ReleaseStore for MemoryStore {
 
     fn poison_for_tests(&self) {
         let _guard = lock_unpoisoned(&self.map);
+        // medlint::allow(no-panic, test hook: panics while holding the lock to exercise poison recovery)
         panic!("debug poison hook (memory store)");
     }
 }
@@ -327,7 +330,7 @@ impl DurableStore {
             file.write_all(WAL_MAGIC)?;
             file.sync_data()?;
             WAL_MAGIC.len() as u64
-        } else if bytes.len() >= WAL_MAGIC.len() && &bytes[..WAL_MAGIC.len()] == WAL_MAGIC {
+        } else if bytes.starts_with(WAL_MAGIC) {
             replay_wal(&bytes, &mut map, &mut next)
         } else {
             // Anything else is a foreign file; refuse to overwrite it.
@@ -395,7 +398,7 @@ impl DurableStore {
         tmp.write_all(&self.next.load(Ordering::Relaxed).to_le_bytes())?;
         tmp.write_all(&(entries.len() as u64).to_le_bytes())?;
         for (id, release) in &entries {
-            tmp.write_all(&frame_record(&encode_release_record(*id, release)))?;
+            tmp.write_all(&frame_record(&encode_release_record(*id, release)?))?;
         }
         tmp.sync_data()?;
         drop(tmp);
@@ -423,7 +426,7 @@ impl ReleaseStore for DurableStore {
         }
         let mut wal = lock_unpoisoned(&self.wal);
         let id = self.next.load(Ordering::Relaxed);
-        let frame = frame_record(&encode_release_record(id, &release));
+        let frame = frame_record(&encode_release_record(id, &release)?);
         if let Err(e) = wal.file.write_all(&frame) {
             // Roll back to the last record boundary so a partial write
             // cannot shadow later appends from recovery.
@@ -514,8 +517,25 @@ impl ReleaseStore for DurableStore {
 
     fn poison_for_tests(&self) {
         let _guard = lock_unpoisoned(&self.map);
+        // medlint::allow(no-panic, test hook: panics while holding the lock to exercise poison recovery)
         panic!("debug poison hook (durable store)");
     }
+}
+
+/// Split a `[u32 len][u32 crc32]` record header out of `bytes` at `at`.
+/// `None` when fewer than eight bytes remain — total on any input.
+fn record_header(bytes: &[u8], at: usize) -> Option<(usize, u32)> {
+    let header = bytes.get(at..at.checked_add(8)?)?;
+    let (len_raw, crc_raw) = header.split_at(4);
+    let len = usize::try_from(u32::from_le_bytes(len_raw.try_into().ok()?)).ok()?;
+    let crc = u32::from_le_bytes(crc_raw.try_into().ok()?);
+    Some((len, crc))
+}
+
+/// Read a little-endian `u64` at `at`; `None` when out of range.
+fn read_u64_at(bytes: &[u8], at: usize) -> Option<u64> {
+    let raw = bytes.get(at..at.checked_add(8)?)?;
+    Some(u64::from_le_bytes(raw.try_into().ok()?))
 }
 
 /// Frame a record payload: `[u32 len][u32 crc32][payload]`, little-endian.
@@ -528,11 +548,11 @@ fn frame_record(payload: &[u8]) -> Vec<u8> {
 }
 
 /// Encode one release record payload (version, id, columns, mark, proof).
-fn encode_release_record(id: u64, release: &StoredRelease) -> Vec<u8> {
+fn encode_release_record(id: u64, release: &StoredRelease) -> Result<Vec<u8>, CodecError> {
     let mut w = Writer::new();
     w.u8(RELEASE_RECORD_VERSION);
     w.u64(id);
-    w.u32(release.columns.len() as u32);
+    w.count_u32(release.columns.len());
     for column in &release.columns {
         codec::write_column_binning(&mut w, column);
     }
@@ -583,9 +603,7 @@ fn decode_release_record(payload: &[u8]) -> Result<(u64, StoredRelease), CodecEr
 /// semantics that point is the torn tail of the crashed writer.
 fn replay_wal(bytes: &[u8], map: &mut HashMap<u64, Arc<StoredRelease>>, next: &mut u64) -> u64 {
     let mut at = WAL_MAGIC.len();
-    while let Some(header) = bytes.get(at..at + 8) {
-        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    while let Some((len, crc)) = record_header(bytes, at) {
         if len > MAX_RECORD_LEN {
             break;
         }
@@ -610,19 +628,17 @@ fn parse_snapshot(
     next: &mut u64,
 ) -> Result<(), StoreError> {
     let corrupt = |m: &str| StoreError::Corrupt(format!("snapshot: {m}"));
-    if bytes.len() < SNAPSHOT_MAGIC.len() + 16 || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+    if !bytes.starts_with(SNAPSHOT_MAGIC) {
         return Err(corrupt("missing magic or header"));
     }
     let mut at = SNAPSHOT_MAGIC.len();
-    let stored_next = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    let stored_next = read_u64_at(bytes, at).ok_or_else(|| corrupt("missing magic or header"))?;
     at += 8;
-    let count = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    let count = read_u64_at(bytes, at).ok_or_else(|| corrupt("missing magic or header"))?;
     at += 8;
     for i in 0..count {
-        let header =
-            bytes.get(at..at + 8).ok_or_else(|| corrupt(&format!("record {i} header cut")))?;
-        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        let (len, crc) =
+            record_header(bytes, at).ok_or_else(|| corrupt(&format!("record {i} header cut")))?;
         if len > MAX_RECORD_LEN {
             return Err(corrupt(&format!("record {i} announces {len} bytes")));
         }
@@ -745,7 +761,7 @@ mod tests {
         }
         // Two snapshots fired (at 3 and 6); the WAL holds only record 7.
         let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
-        let one_record = frame_record(&encode_release_record(7, &release(7))).len() as u64;
+        let one_record = frame_record(&encode_release_record(7, &release(7)).unwrap()).len() as u64;
         assert_eq!(wal_len, WAL_MAGIC.len() as u64 + one_record);
         drop(store);
         let store = DurableStore::open(&dir, 3).unwrap();

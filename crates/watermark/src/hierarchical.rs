@@ -211,12 +211,9 @@ impl HierarchicalWatermarker {
                     report.skipped_cells += 1;
                     continue;
                 }
-                let target = match pc.binning.ultimate.node_for_value(pc.tree, value) {
-                    Ok(n) => n,
-                    Err(_) => {
-                        report.skipped_cells += 1;
-                        continue;
-                    }
+                let Ok(target) = pc.binning.ultimate.node_for_value(pc.tree, value) else {
+                    report.skipped_cells += 1;
+                    continue;
                 };
                 let max_node = pc
                     .binning
@@ -322,10 +319,8 @@ impl HierarchicalWatermarker {
                 if value.is_null() {
                     continue;
                 }
-                let node = match pc.tree.node_for_value(value) {
-                    Ok(n) => n,
-                    Err(_) => continue, // attacker garbage: no vote
-                };
+                // Attacker garbage: no vote.
+                let Ok(node) = pc.tree.node_for_value(value) else { continue };
                 let Some(level_bits) = climb_and_read(pc.tree, &pc.binning.maximal, node)? else {
                     continue;
                 };

@@ -6,6 +6,8 @@
 //! serializer. In hermetic builds these derives therefore expand to nothing:
 //! the annotation is kept purely as a forward-compatible marker.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` attributes.
