@@ -12,7 +12,10 @@
 //! the engine and binning benches, `requests_per_sec` for the serving-layer
 //! bench — because the sharding speedup depends on the host's core count,
 //! while single-thread throughput is the stable per-commit signal the
-//! trajectory is tracked by.
+//! trajectory is tracked by. The serving-layer bench additionally guards
+//! its durable-store axis (`durable_requests_per_sec`) and the
+//! 1024-connection point of its connections axis, so neither the fsync path
+//! nor the multiplexed I/O core can regress behind the in-memory metric.
 //!
 //! Environment:
 //!
@@ -51,7 +54,7 @@ fn check(fresh_path: &Path, baseline_path: &Path, tolerance: f64) -> Result<Stri
     // A throughput comparison is only meaningful over the same workload:
     // different rows/k/candidate counts shift rows_per_sec for workload
     // reasons and would silently mask (or fake) real regressions.
-    for field in ["rows", "k", "candidates", "tables", "detect_rounds"] {
+    for field in ["rows", "k", "candidates", "tables", "detect_rounds", "conn_requests"] {
         let (f, b) =
             (benchjson::top_metric(&fresh, field), benchjson::top_metric(&baseline, field));
         if let (Some(f), Some(b)) = (f, b) {
@@ -110,6 +113,33 @@ fn check(fresh_path: &Path, baseline_path: &Path, tolerance: f64) -> Result<Stri
             return Err(format!(
                 "{name}: the baseline carries a 1-thread {durable} entry but the fresh \
                  file does not — the persistence axis of the bench stopped reporting"
+            ));
+        }
+        _ => {}
+    }
+    // The serving-layer bench also carries a connections axis: the
+    // 1024-connection throughput is the readiness loop's at-scale signal,
+    // held to the same trajectory so a multiplexing slowdown cannot hide
+    // behind the per-worker metrics. As with the durable axis, a baseline
+    // that carries the entry while the fresh file does not is a failure.
+    match (
+        benchjson::axis_metric(&fresh, "connections", 1024, "requests_per_sec"),
+        benchjson::axis_metric(&baseline, "connections", 1024, "requests_per_sec"),
+    ) {
+        (Some(fresh_c), Some(base_c)) => {
+            let floor_c = base_c * (1.0 - tolerance);
+            line.push_str(&format!(
+                "; 1024-conn {fresh_c:.0} vs {base_c:.0} ({:.0}%, floor {floor_c:.0})",
+                fresh_c / base_c * 100.0
+            ));
+            if fresh_c < floor_c {
+                return Err(format!("REGRESSION (connections axis) — {line}"));
+            }
+        }
+        (None, Some(_)) => {
+            return Err(format!(
+                "{name}: the baseline carries a 1024-connection requests_per_sec entry but \
+                 the fresh file does not — the connections axis of the bench stopped reporting"
             ));
         }
         _ => {}

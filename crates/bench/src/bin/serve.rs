@@ -17,6 +17,13 @@
 //! on the same data directory before timing, and the recovered store must
 //! answer a detect byte-identically to the pre-restart reply.
 //!
+//! After the worker axis, a **connections axis** prices the readiness loop
+//! at scale: one fixed-pool server answers the same fixed number of
+//! pipelined `detect` requests driven through 1, 64 and 1024 concurrent
+//! connections. The promise of the multiplexed I/O core is *flatness* —
+//! 1024 mostly-idle connections must not tax the 64-connection figure —
+//! reported as `flatness_1024_vs_64` and guarded by `check-regression`.
+//!
 //! Environment:
 //!
 //! * `MEDSHIELD_SERVE_TABLES` — number of submitted tables (default 12,
@@ -25,6 +32,9 @@
 //! * `MEDSHIELD_SERVE_ROWS` — rows per table (default 120, same reason).
 //! * `MEDSHIELD_SERVE_DETECT_ROUNDS` — detect requests per release in the
 //!   timed phase (default 2).
+//! * `MEDSHIELD_SERVE_CONN_REQUESTS` — total detect requests per point of
+//!   the connections axis (default 4096: enough steady state that the
+//!   one-time cost of reading the initial burst amortizes away).
 //! * `MEDSHIELD_BENCH_OUT` — output path (default `BENCH_serve.json`).
 
 #![forbid(unsafe_code)]
@@ -32,7 +42,8 @@
 use medshield_core::{ProtectionConfig, ProtectionEngine};
 use medshield_datagen::{DatasetConfig, MedicalDataset};
 use medshield_relation::csv;
-use medshield_serve::{serve, Client, ServeConfig};
+use medshield_serve::{serve, Client, Command, PipelinedClient, Request, ServeConfig};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
 /// One timed client request.
@@ -49,6 +60,20 @@ fn engine_config() -> ProtectionConfig {
         .duplication(2)
         .mark_text("serve-benchmark-owner")
         .build()
+}
+
+/// Per-connection pipeline depth in the connections axis: enough to keep
+/// the worker pool busy from a single connection, small enough that 1024
+/// connections cannot flood the request queue.
+const CONN_PIPELINE_DEPTH: usize = 4;
+
+/// Driver threads for the connections axis; each owns a fleet of pipelined
+/// connections and round-robins submissions and reply polling across them.
+const CONN_DRIVER_THREADS: usize = 16;
+
+struct ConnResult {
+    connections: usize,
+    requests_per_sec: f64,
 }
 
 struct WorkerResult {
@@ -82,10 +107,114 @@ fn run_phase(addr: std::net::SocketAddr, clients: usize, jobs: Vec<BenchJob>) ->
     start.elapsed().as_secs_f64()
 }
 
+/// One point of the connections axis: drive `total` detect requests against
+/// the gated releases through `connections` pipelined v2 connections, at
+/// most [`CONN_PIPELINE_DEPTH`] in flight per connection. Every reply is
+/// checked against the in-process mark for its own release — a reply routed
+/// to the wrong request id cannot go unnoticed. Before the clock starts,
+/// every socket is connected AND answered a warm-up ping (so the I/O core
+/// has registered all of them): the axis measures steady-state
+/// multiplexing, not the connect storm. Returns the wall-clock seconds of
+/// the drive.
+fn run_connections_phase(
+    addr: std::net::SocketAddr,
+    connections: usize,
+    total: usize,
+    release_ids: &[String],
+    expectations: &[(String, String)],
+) -> f64 {
+    // Job i targets release i % tables; jobs round-robin over connections.
+    // With fewer jobs than connections the surplus sockets stay connected
+    // but idle — exactly the load shape the readiness loop must not tax.
+    let mut shards: Vec<VecDeque<usize>> = (0..connections).map(|_| VecDeque::new()).collect();
+    for i in 0..total {
+        shards[i % connections].push_back(i % release_ids.len());
+    }
+    let drivers = connections.min(CONN_DRIVER_THREADS);
+    let mut fleet_shards: Vec<Vec<VecDeque<usize>>> = (0..drivers).map(|_| Vec::new()).collect();
+    for (i, jobs) in shards.into_iter().enumerate() {
+        fleet_shards[i % drivers].push(jobs);
+    }
+    // Drivers connect and warm up their fleets, then meet the timing thread
+    // at the barrier; only the drive itself is on the clock.
+    let barrier = std::sync::Barrier::new(drivers + 1);
+    let mut start = Instant::now();
+    std::thread::scope(|scope| {
+        for jobs_list in fleet_shards {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut fleet: Vec<(PipelinedClient, VecDeque<usize>)> = jobs_list
+                    .into_iter()
+                    .map(|jobs| {
+                        (PipelinedClient::connect(addr).expect("connect a pipelined client"), jobs)
+                    })
+                    .collect();
+                let warm_ups: Vec<u64> = fleet
+                    .iter_mut()
+                    .map(|(client, _)| {
+                        client.submit(&Request::new(Command::Ping)).expect("submit a warm-up ping")
+                    })
+                    .collect();
+                for ((client, _), id) in fleet.iter_mut().zip(warm_ups) {
+                    let pong = client.wait(id).expect("warm-up pong");
+                    assert!(pong.is_ok(), "warm-up ping failed: {}", pong.json);
+                }
+                barrier.wait();
+                // Round-robin the fleet: keep every connection filled to
+                // depth, claim exactly one reply per visit with a BLOCKING
+                // wait. Blocking (rather than timeout-polling) costs the
+                // driver no CPU while replies are in the server — the drive
+                // measures the I/O core, not driver scheduling.
+                let mut in_flight: Vec<BTreeMap<u64, usize>> =
+                    (0..fleet.len()).map(|_| BTreeMap::new()).collect();
+                let mut outstanding = 0usize;
+                let mut remaining: usize = fleet.iter().map(|(_, jobs)| jobs.len()).sum();
+                while outstanding > 0 || remaining > 0 {
+                    for (slot, (client, jobs)) in fleet.iter_mut().enumerate() {
+                        while in_flight[slot].len() < CONN_PIPELINE_DEPTH {
+                            let Some(job) = jobs.pop_front() else { break };
+                            let id = client
+                                .submit(
+                                    &Request::new(Command::Detect)
+                                        .param("release", &release_ids[job])
+                                        .body(&expectations[job].0),
+                                )
+                                .expect("submit a pipelined detect");
+                            in_flight[slot].insert(id, job);
+                            outstanding += 1;
+                            remaining -= 1;
+                        }
+                        let Some((&id, &job)) = in_flight[slot].first_key_value() else {
+                            continue;
+                        };
+                        // `wait` parks replies for this connection's other
+                        // ids; later visits claim them without touching the
+                        // wire.
+                        let reply = client.wait(id).expect("pipelined detect reply");
+                        in_flight[slot].remove(&id);
+                        assert!(reply.is_ok(), "connections-axis detect failed: {}", reply.json);
+                        assert_eq!(
+                            reply.str_field("mark").as_deref(),
+                            Some(expectations[job].1.as_str()),
+                            "connections-axis reply for id {id} diverged from the \
+                             in-process mark of its own release"
+                        );
+                        outstanding -= 1;
+                    }
+                }
+            });
+        }
+        barrier.wait();
+        start = Instant::now();
+    });
+    start.elapsed().as_secs_f64()
+}
+
 fn main() {
     let tables = env_usize("MEDSHIELD_SERVE_TABLES", 12).max(1);
     let rows = env_usize("MEDSHIELD_SERVE_ROWS", 120).max(1);
     let detect_rounds = env_usize("MEDSHIELD_SERVE_DETECT_ROUNDS", 2).max(1);
+    let conn_requests = env_usize("MEDSHIELD_SERVE_CONN_REQUESTS", 4096).max(1);
     let out_path =
         std::env::var("MEDSHIELD_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
 
@@ -251,6 +380,40 @@ fn main() {
         results.push(result);
     }
 
+    // Connections axis: one fixed-pool server, the same request total driven
+    // through 1, 64 and 1024 pipelined connections. The queue is deepened and
+    // the connection limit raised so the axis measures the I/O core, not the
+    // backpressure replies.
+    let conn_counts = [1usize, 64, 1024];
+    let conn_workers = 4usize;
+    let config = ServeConfig {
+        engine: engine_config(),
+        workers: conn_workers,
+        queue_depth: 8192,
+        max_connections: 2048,
+        ..ServeConfig::default()
+    };
+    let handle = serve(config, "127.0.0.1:0").expect("bind the connections-axis server");
+    let addr = handle.addr();
+    let release_ids = gate_equivalence(addr, conn_workers, "connections-axis");
+    let mut conn_results = Vec::new();
+    for &connections in &conn_counts {
+        let secs =
+            run_connections_phase(addr, connections, conn_requests, &release_ids, &expectations);
+        let requests_per_sec = conn_requests as f64 / secs;
+        eprintln!("{connections:>4} connection(s): {requests_per_sec:>8.1} detect req/s");
+        conn_results.push(ConnResult { connections, requests_per_sec });
+    }
+    handle.shutdown();
+    let conn_metric = |count: usize| {
+        conn_results
+            .iter()
+            .find(|r| r.connections == count)
+            .map(|r| r.requests_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    let flatness_1024_vs_64 = conn_metric(1024) / conn_metric(64);
+
     let speedup_4w = results
         .iter()
         .find(|r| r.workers == 4)
@@ -263,6 +426,7 @@ fn main() {
     json.push_str(&format!("  \"tables\": {tables},\n"));
     json.push_str(&format!("  \"rows\": {rows},\n"));
     json.push_str(&format!("  \"detect_rounds\": {detect_rounds},\n"));
+    json.push_str(&format!("  \"conn_requests\": {conn_requests},\n"));
     json.push_str(&format!(
         "  \"host_parallelism\": {},\n",
         std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
@@ -284,9 +448,21 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"connections\": [\n");
+    for (i, r) in conn_results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"connections\": {}, \"requests_per_sec\": {:.1}}}{}\n",
+            r.connections,
+            r.requests_per_sec,
+            if i + 1 == conn_results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"flatness_1024_vs_64\": {flatness_1024_vs_64:.3},\n"));
     json.push_str(&format!("  \"speedup_4w_vs_1w\": {speedup_4w:.2}\n"));
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write benchmark output");
     eprintln!("4-worker speedup over 1 worker: {speedup_4w:.2}x");
+    eprintln!("1024-connection flatness vs 64 connections: {flatness_1024_vs_64:.3}");
     eprintln!("wrote {out_path}");
 }

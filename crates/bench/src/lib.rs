@@ -15,8 +15,8 @@
 //! | `all_experiments` | runs everything above in sequence |
 //! | `throughput` | engine throughput at 1/2/4/8 threads → `BENCH_throughput.json` |
 //! | `binning` | sharded `GenUltiNd` search throughput at 1/2/4/8 threads → `BENCH_binning.json` |
-//! | `serve` | loopback serving-layer requests/sec at 1/2/4/8 pool workers → `BENCH_serve.json` |
-//! | `check-regression` | CI guard: fresh `BENCH_*.json` vs `baselines/`, fails on >25% 1-thread drop |
+//! | `serve` | loopback serving-layer requests/sec at 1/2/4/8 pool workers and 1/64/1024 pipelined connections → `BENCH_serve.json` |
+//! | `check-regression` | CI guard: fresh `BENCH_*.json` vs `baselines/`, fails on >25% 1-thread (or 1024-connection) drop |
 //!
 //! The experiments default to the paper's scale (20,000 tuples); set the
 //! environment variable `MEDSHIELD_TUPLES` to run them smaller or larger.
@@ -154,10 +154,13 @@ pub mod benchjson {
         rest[..end].parse().ok()
     }
 
-    /// The value of `field` in the object of the top-level `"threads": [...]`
-    /// array whose `"threads"` count equals `threads`.
-    pub fn thread_metric(json: &str, threads: usize, field: &str) -> Option<f64> {
-        let start = json.find("\"threads\": [")?;
+    /// The value of `field` in the object of the top-level `"<axis>": [...]`
+    /// array whose `"<axis>"` key equals `key` — the `"threads"` array is
+    /// keyed by worker count, the serving bench's `"connections"` array by
+    /// connection count.
+    pub fn axis_metric(json: &str, axis: &str, key: usize, field: &str) -> Option<f64> {
+        let needle = format!("\"{axis}\": [");
+        let start = json.find(&needle)?;
         let array = &json[start..];
         let end = array.find(']')?;
         let array = &array[..end];
@@ -165,12 +168,18 @@ pub mod benchjson {
         while let Some(open) = rest.find('{') {
             let close = rest[open..].find('}')? + open;
             let block = &rest[open..=close];
-            if field_number(block, "threads") == Some(threads as f64) {
+            if field_number(block, axis) == Some(key as f64) {
                 return field_number(block, field);
             }
             rest = &rest[close + 1..];
         }
         None
+    }
+
+    /// The value of `field` in the object of the top-level `"threads": [...]`
+    /// array whose `"threads"` count equals `threads`.
+    pub fn thread_metric(json: &str, threads: usize, field: &str) -> Option<f64> {
+        axis_metric(json, "threads", threads, field)
     }
 
     /// A top-level numeric field (e.g. `"rows"`, `"k"`, `"candidates"`),
@@ -228,10 +237,26 @@ mod tests {
     {"threads": 1, "rows_per_sec": 700.5, "candidates_per_sec": 17000.0},
     {"threads": 4, "rows_per_sec": 2800.0, "candidates_per_sec": 68000.0}
   ],
+  "connections": [
+    {"connections": 64, "requests_per_sec": 410.0},
+    {"connections": 1024, "requests_per_sec": 395.5}
+  ],
   "speedup_4t_vs_1t": 4.00
 }
 "#;
         assert_eq!(benchjson::benchmark_name(json), Some("binning-search-throughput"));
+        // A second axis keyed by its own field resolves independently of the
+        // threads array.
+        assert_eq!(
+            benchjson::axis_metric(json, "connections", 1024, "requests_per_sec"),
+            Some(395.5)
+        );
+        assert_eq!(
+            benchjson::axis_metric(json, "connections", 64, "requests_per_sec"),
+            Some(410.0)
+        );
+        assert_eq!(benchjson::axis_metric(json, "connections", 2, "requests_per_sec"), None);
+        assert_eq!(benchjson::axis_metric(json, "nope", 1, "requests_per_sec"), None);
         // Top-level fields resolve from the prefix only: "rows" is found,
         // while the per-thread "rows_per_sec" entries cannot shadow it.
         assert_eq!(benchjson::top_metric(json, "rows"), Some(2000.0));

@@ -27,7 +27,8 @@ USAGE:
                      [--fraction F] [--levels N] [--seed S] --out ATTACKED.csv
   medshield serve    [--addr HOST:PORT] [--threads N] [--queue-depth D]
                      [--engine-threads N] [--request-timeout-ms MS]
-                     [--batch-max N] [--per-attribute true|false]
+                     [--batch-max N] [--max-connections N]
+                     [--per-attribute true|false]
                      [--k K] [--eta ETA] [--enc-secret S1] [--wm-secret S2]
                      [--mark-from-statistic true]
                      [--data-dir DIR] [--snapshot-every N]
@@ -212,6 +213,7 @@ pub(crate) fn serve_config_from(
             options.parse_or("request-timeout-ms", 30_000u64)?,
         ),
         batch_max: options.parse_or("batch-max", 8)?,
+        max_connections: options.parse_or("max-connections", defaults.max_connections)?,
         per_attribute_default: options.parse_or("per-attribute", true)?,
         data_dir: options.get("data-dir").map(std::path::PathBuf::from),
         snapshot_every: options.parse_or("snapshot-every", defaults.snapshot_every)?,
@@ -360,6 +362,10 @@ mod tests {
         assert_eq!(config.workers, 2);
         assert_eq!(config.queue_depth, 8);
         assert_eq!(config.engine.binning.spec.k, 4);
+        // The connection limit rides the same parser, with the library default.
+        assert_eq!(config.max_connections, medshield_serve::ServeConfig::default().max_connections);
+        let (config, _) = serve_config_from(&opts(&[("max-connections", "3")])).unwrap();
+        assert_eq!(config.max_connections, 3);
         // Drive the parsed configuration on an ephemeral port: a protect
         // round-trip must serve the exact bytes the CLI's own protect logic
         // would produce.

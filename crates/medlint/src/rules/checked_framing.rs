@@ -136,7 +136,7 @@ mod tests {
     use super::*;
 
     fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
-        let ws = Workspace::from_memory(vec![(path.to_string(), src.to_string())], None);
+        let ws = Workspace::from_memory(vec![(path.to_string(), src.to_string())], None, None);
         let mut out = Vec::new();
         CheckedFraming.check(&ws, &mut out);
         out

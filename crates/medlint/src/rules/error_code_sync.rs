@@ -1,13 +1,14 @@
 //! `error-code-sync`: the protocol error vocabulary must agree across
 //! the codebase and the docs.
 //!
-//! Three artifacts describe the same set: the `ErrorCode` enum in
+//! Four artifacts describe the same set: the `ErrorCode` enum in
 //! `serve::protocol`, the kebab-case wire strings its `as_str()` returns,
-//! and the error-code table in `docs/ARCHITECTURE.md` (delimited by
-//! `medlint:error-codes:begin` / `end` markers). This rule parses all
-//! three and reports any variant without an `as_str` arm, any arm whose
+//! and the error-code tables in `docs/ARCHITECTURE.md` and the normative
+//! wire spec `docs/PROTOCOL.md` (each delimited by
+//! `medlint:error-codes:begin` / `end` markers). This rule parses all of
+//! them and reports any variant without an `as_str` arm, any arm whose
 //! string is not the kebab-case of its variant, and any drift between
-//! the wire strings and the documented table.
+//! the wire strings and either documented table.
 
 use super::Rule;
 use crate::diag::Diagnostic;
@@ -19,7 +20,8 @@ use std::collections::BTreeMap;
 /// See the module docs.
 pub struct ErrorCodeSync;
 
-const DOCS: &str = "docs/ARCHITECTURE.md";
+const ARCH_DOCS: &str = "docs/ARCHITECTURE.md";
+const PROTOCOL_DOCS: &str = "docs/PROTOCOL.md";
 const BEGIN_MARKER: &str = "medlint:error-codes:begin";
 const END_MARKER: &str = "medlint:error-codes:end";
 
@@ -73,46 +75,61 @@ impl Rule for ErrorCodeSync {
             }
         }
 
-        // The docs table.
-        let Some(docs) = &ws.docs_architecture else {
+        // Both docs tables: the architecture overview and the normative
+        // wire spec each carry a marker-delimited copy of the catalogue.
+        check_docs_table(ws.docs_architecture.as_deref(), ARCH_DOCS, proto, &arms, out);
+        check_docs_table(ws.docs_protocol.as_deref(), PROTOCOL_DOCS, proto, &arms, out);
+    }
+}
+
+/// Compare one marker-delimited docs table at `docs_path` against the
+/// `as_str` wire strings, reporting missing files/markers and drift in
+/// either direction.
+fn check_docs_table(
+    docs: Option<&str>,
+    docs_path: &str,
+    proto: &SourceFile,
+    arms: &BTreeMap<String, (String, usize)>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(docs) = docs else {
+        out.push(Diagnostic::new(
+            docs_path,
+            1,
+            "error-code-sync",
+            format!("{docs_path} is missing; it carries an error-code table"),
+        ));
+        return;
+    };
+    let Some(table) = docs_table(docs) else {
+        out.push(Diagnostic::new(
+            docs_path,
+            1,
+            "error-code-sync",
+            format!("no `{BEGIN_MARKER}` … `{END_MARKER}` table found"),
+        ));
+        return;
+    };
+    for (wire, arm_line) in arms.values() {
+        if !table.contains_key(wire) {
             out.push(Diagnostic::new(
-                DOCS,
-                1,
+                &proto.rel_path,
+                *arm_line,
                 "error-code-sync",
-                "docs/ARCHITECTURE.md is missing; the error-code table lives there",
+                format!(
+                    "wire code \"{wire}\" is not documented in {docs_path} ({BEGIN_MARKER} table)"
+                ),
             ));
-            return;
-        };
-        let Some(table) = docs_table(docs) else {
-            out.push(Diagnostic::new(
-                DOCS,
-                1,
-                "error-code-sync",
-                format!("no `{BEGIN_MARKER}` … `{END_MARKER}` table found"),
-            ));
-            return;
-        };
-        for (wire, arm_line) in arms.values() {
-            if !table.contains_key(wire) {
-                out.push(Diagnostic::new(
-                    &proto.rel_path,
-                    *arm_line,
-                    "error-code-sync",
-                    format!(
-                        "wire code \"{wire}\" is not documented in {DOCS} ({BEGIN_MARKER} table)"
-                    ),
-                ));
-            }
         }
-        for (code, line) in &table {
-            if !arms.values().any(|(s, _)| s == code) {
-                out.push(Diagnostic::new(
-                    DOCS,
-                    *line,
-                    "error-code-sync",
-                    format!("documented code \"{code}\" has no `ErrorCode` wire string"),
-                ));
-            }
+    }
+    for (code, line) in &table {
+        if !arms.values().any(|(s, _)| s == code) {
+            out.push(Diagnostic::new(
+                docs_path,
+                *line,
+                "error-code-sync",
+                format!("documented code \"{code}\" has no `ErrorCode` wire string"),
+            ));
         }
     }
 }
@@ -253,10 +270,11 @@ mod tests {
 
     const PROTO_OK: &str = "pub enum ErrorCode {\n BadRequest,\n Timeout,\n}\nimpl ErrorCode {\n pub fn as_str(self) -> &'static str {\n  match self {\n   ErrorCode::BadRequest => \"bad-request\",\n   ErrorCode::Timeout => \"timeout\",\n  }\n }\n}\n";
 
-    fn ws(proto: &str, docs: Option<&str>) -> Workspace {
+    fn ws(proto: &str, arch_docs: Option<&str>, proto_docs: Option<&str>) -> Workspace {
         Workspace::from_memory(
             vec![("crates/serve/src/protocol.rs".to_string(), proto.to_string())],
-            docs.map(str::to_string),
+            arch_docs.map(str::to_string),
+            proto_docs.map(str::to_string),
         )
     }
 
@@ -270,13 +288,13 @@ mod tests {
 
     #[test]
     fn in_sync_workspace_is_clean() {
-        assert!(diags(&ws(PROTO_OK, Some(DOCS_OK))).is_empty());
+        assert!(diags(&ws(PROTO_OK, Some(DOCS_OK), Some(DOCS_OK))).is_empty());
     }
 
     #[test]
     fn missing_arm_and_non_kebab_string_are_flagged() {
         let proto = "pub enum ErrorCode {\n BadRequest,\n Timeout,\n}\nimpl ErrorCode {\n fn as_str(self) -> &'static str {\n  match self {\n   ErrorCode::BadRequest => \"BadRequest\",\n  }\n }\n}\n";
-        let found = diags(&ws(proto, Some(DOCS_OK)));
+        let found = diags(&ws(proto, Some(DOCS_OK), Some(DOCS_OK)));
         assert!(found.iter().any(|d| d.message.contains("no `as_str()` arm")), "{found:?}");
         assert!(found.iter().any(|d| d.message.contains("kebab-case")), "{found:?}");
     }
@@ -284,7 +302,7 @@ mod tests {
     #[test]
     fn docs_drift_is_flagged_in_both_directions() {
         let docs = "<!-- medlint:error-codes:begin -->\n| `bad-request` | malformed |\n| `ghost-code` | gone |\n<!-- medlint:error-codes:end -->\n";
-        let found = diags(&ws(PROTO_OK, Some(docs)));
+        let found = diags(&ws(PROTO_OK, Some(docs), Some(DOCS_OK)));
         assert!(
             found.iter().any(|d| d.message.contains("\"timeout\" is not documented")),
             "{found:?}"
@@ -298,9 +316,32 @@ mod tests {
     }
 
     #[test]
+    fn protocol_docs_drift_is_flagged_independently() {
+        // The architecture table is in sync; only the wire spec drifted.
+        let proto_docs = "<!-- medlint:error-codes:begin -->\n| `bad-request` | malformed |\n<!-- medlint:error-codes:end -->\n";
+        let found = diags(&ws(PROTO_OK, Some(DOCS_OK), Some(proto_docs)));
+        assert!(
+            found
+                .iter()
+                .any(|d| d.message.contains("\"timeout\" is not documented in docs/PROTOCOL.md")),
+            "{found:?}"
+        );
+        assert!(
+            !found.iter().any(|d| d.file == "docs/ARCHITECTURE.md"),
+            "the in-sync architecture table must not be flagged: {found:?}"
+        );
+    }
+
+    #[test]
     fn missing_docs_or_markers_are_flagged() {
-        assert!(diags(&ws(PROTO_OK, None)).iter().any(|d| d.message.contains("missing")));
-        assert!(diags(&ws(PROTO_OK, Some("# Arch\nno table here\n")))
+        let found = diags(&ws(PROTO_OK, None, None));
+        assert!(found
+            .iter()
+            .any(|d| d.file == "docs/ARCHITECTURE.md" && d.message.contains("missing")));
+        assert!(found
+            .iter()
+            .any(|d| d.file == "docs/PROTOCOL.md" && d.message.contains("missing")));
+        assert!(diags(&ws(PROTO_OK, Some("# Arch\nno table here\n"), Some(DOCS_OK)))
             .iter()
             .any(|d| d.message.contains("error-codes:begin")));
     }

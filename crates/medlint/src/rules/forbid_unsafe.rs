@@ -66,7 +66,7 @@ mod tests {
     use super::*;
 
     fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
-        let ws = Workspace::from_memory(vec![(path.to_string(), src.to_string())], None);
+        let ws = Workspace::from_memory(vec![(path.to_string(), src.to_string())], None, None);
         let mut out = Vec::new();
         ForbidUnsafe.check(&ws, &mut out);
         out

@@ -13,6 +13,8 @@ pub struct Workspace {
     pub files: Vec<SourceFile>,
     /// `docs/ARCHITECTURE.md`, when present.
     pub docs_architecture: Option<String>,
+    /// `docs/PROTOCOL.md` (the normative wire spec), when present.
+    pub docs_protocol: Option<String>,
 }
 
 impl Workspace {
@@ -21,11 +23,12 @@ impl Workspace {
     pub fn from_memory(
         files: Vec<(String, String)>,
         docs_architecture: Option<String>,
+        docs_protocol: Option<String>,
     ) -> Workspace {
         let mut files: Vec<SourceFile> =
             files.into_iter().map(|(p, t)| SourceFile::new(&p, t)).collect();
         files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
-        Workspace { files, docs_architecture }
+        Workspace { files, docs_architecture, docs_protocol }
     }
 
     /// Walk a workspace root on disk. Scans `src/`, `tests/` and
@@ -56,7 +59,8 @@ impl Workspace {
             files.push(SourceFile::new(&rel, text));
         }
         let docs_architecture = fs::read_to_string(root.join("docs/ARCHITECTURE.md")).ok();
-        Ok(Workspace { files, docs_architecture })
+        let docs_protocol = fs::read_to_string(root.join("docs/PROTOCOL.md")).ok();
+        Ok(Workspace { files, docs_architecture, docs_protocol })
     }
 }
 
@@ -99,9 +103,11 @@ mod tests {
                 ("crates/a/src/lib.rs".to_string(), String::new()),
             ],
             Some("# docs".to_string()),
+            None,
         );
         assert_eq!(ws.files[0].rel_path, "crates/a/src/lib.rs");
         assert!(ws.docs_architecture.is_some());
+        assert!(ws.docs_protocol.is_none());
     }
 
     #[test]
@@ -118,5 +124,6 @@ mod tests {
             "medlint itself should be discovered"
         );
         assert!(ws.docs_architecture.is_some(), "docs/ARCHITECTURE.md should load");
+        assert!(ws.docs_protocol.is_some(), "docs/PROTOCOL.md should load");
     }
 }

@@ -12,17 +12,16 @@ fn scratch_workspace(name: &str, server_rs: &str) -> PathBuf {
     fs::create_dir_all(root.join("crates/serve/src")).expect("mkdir");
     fs::create_dir_all(root.join("docs")).expect("mkdir docs");
     fs::write(root.join("crates/serve/src/server.rs"), server_rs).expect("write server.rs");
-    // A consistent protocol/docs pair so only the injected file can fire.
+    // A consistent protocol/docs triple so only the injected file can fire.
     fs::write(
         root.join("crates/serve/src/protocol.rs"),
         "pub enum ErrorCode {\n Timeout,\n}\nimpl ErrorCode {\n pub fn as_str(self) -> &'static str {\n  match self {\n   ErrorCode::Timeout => \"timeout\",\n  }\n }\n}\n",
     )
     .expect("write protocol.rs");
-    fs::write(
-        root.join("docs/ARCHITECTURE.md"),
-        "<!-- medlint:error-codes:begin -->\n| `timeout` | slow |\n<!-- medlint:error-codes:end -->\n",
-    )
-    .expect("write docs");
+    let table =
+        "<!-- medlint:error-codes:begin -->\n| `timeout` | slow |\n<!-- medlint:error-codes:end -->\n";
+    fs::write(root.join("docs/ARCHITECTURE.md"), table).expect("write docs");
+    fs::write(root.join("docs/PROTOCOL.md"), table).expect("write wire spec");
     root
 }
 

@@ -13,13 +13,14 @@ const CLEAN_PROTO: &str = "pub enum ErrorCode {\n Timeout,\n}\nimpl ErrorCode {\
 const CLEAN_DOCS: &str =
     "<!-- medlint:error-codes:begin -->\n| `timeout` | slow |\n<!-- medlint:error-codes:end -->\n";
 
-/// A workspace with a consistent protocol/docs pair plus the given file.
+/// A workspace with a consistent protocol/docs triple plus the given file.
 fn ws_with(path: &str, text: &str) -> Workspace {
     Workspace::from_memory(
         vec![
             ("crates/serve/src/protocol.rs".to_string(), CLEAN_PROTO.to_string()),
             (path.to_string(), text.to_string()),
         ],
+        Some(CLEAN_DOCS.to_string()),
         Some(CLEAN_DOCS.to_string()),
     )
 }
@@ -135,6 +136,7 @@ fn error_code_sync_positive_enum_drift() {
     let w = Workspace::from_memory(
         vec![("crates/serve/src/protocol.rs".to_string(), proto.to_string())],
         Some(CLEAN_DOCS.to_string()),
+        Some(CLEAN_DOCS.to_string()),
     );
     assert_eq!(rules_fired(&w), vec!["error-code-sync"]);
 }
@@ -145,6 +147,7 @@ fn error_code_sync_positive_docs_drift() {
     let w = Workspace::from_memory(
         vec![("crates/serve/src/protocol.rs".to_string(), CLEAN_PROTO.to_string())],
         Some(docs.to_string()),
+        Some(CLEAN_DOCS.to_string()),
     );
     assert_eq!(rules_fired(&w), vec!["error-code-sync"]);
 }
@@ -153,6 +156,7 @@ fn error_code_sync_positive_docs_drift() {
 fn error_code_sync_negative() {
     let w = Workspace::from_memory(
         vec![("crates/serve/src/protocol.rs".to_string(), CLEAN_PROTO.to_string())],
+        Some(CLEAN_DOCS.to_string()),
         Some(CLEAN_DOCS.to_string()),
     );
     assert!(rules_fired(&w).is_empty());
@@ -174,6 +178,7 @@ fn diagnostics_carry_file_and_line_and_sort_stably() {
                 "#![forbid(unsafe_code)]\nfn main() { Some(1).unwrap(); }\n".to_string(),
             ),
         ],
+        Some(CLEAN_DOCS.to_string()),
         Some(CLEAN_DOCS.to_string()),
     );
     let report = lint(&w);

@@ -1,13 +1,25 @@
-//! A minimal blocking client for the serving layer.
+//! Clients for the serving layer.
 //!
-//! One [`Client`] wraps one TCP connection; requests are answered in order,
-//! so a client is also the simplest way to script the server from tests,
-//! benches or other processes.
+//! Two flavors share one TCP connection model:
+//!
+//! * [`Client`] — the minimal blocking client: v1 frames, one request in
+//!   flight, replies in order. The simplest way to script the server from
+//!   tests, benches or other processes.
+//! * [`PipelinedClient`] — the v2 client: every request carries a request
+//!   id, many may be in flight on one connection, and replies are matched
+//!   back to their ids however the server ordered them
+//!   ([`PipelinedClient::submit`] / [`PipelinedClient::wait`] /
+//!   [`PipelinedClient::poll_reply`]).
 
 use crate::json;
-use crate::protocol::{read_frame, write_frame, Command, FrameError, Request, Response};
+use crate::protocol::{
+    read_frame, write_frame, write_frame_v2, Command, FrameError, FrameReader, ReadStep, Request,
+    Response,
+};
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Errors from a client call.
 #[derive(Debug)]
@@ -74,7 +86,7 @@ impl Client {
         write_frame(&mut self.stream, payload)?;
         let reply = read_frame(&mut self.stream, self.max_frame_len)?
             .ok_or(ClientError::ConnectionClosed)?;
-        Response::decode(&reply).map_err(|e| ClientError::Frame(e.to_string()))
+        Response::decode(&reply.payload).map_err(|e| ClientError::Frame(e.to_string()))
     }
 
     /// Send a request and read its response.
@@ -125,6 +137,142 @@ impl Client {
     /// Liveness probe; the reply carries server statistics.
     pub fn ping(&mut self) -> Result<Response, ClientError> {
         self.call(&Request::new(Command::Ping))
+    }
+}
+
+/// A pipelined v2 connection: many requests in flight, replies matched to
+/// their request ids in whatever order the server finishes them.
+///
+/// [`submit`](PipelinedClient::submit) writes a request and returns its id
+/// immediately; [`wait`](PipelinedClient::wait) blocks until that id's
+/// reply arrives (parking any other replies read along the way);
+/// [`poll_reply`](PipelinedClient::poll_reply) hands back *any* one ready
+/// reply within a timeout — the shape a throughput driver wants.
+#[derive(Debug)]
+pub struct PipelinedClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    max_frame_len: usize,
+    next_id: u64,
+    pending: usize,
+    /// Replies read while waiting for a different id, parked by id.
+    parked: BTreeMap<u64, Response>,
+    /// The read timeout currently installed on the socket, so repeated
+    /// polls with the same timeout skip the syscall.
+    installed_timeout: Option<Duration>,
+}
+
+impl PipelinedClient {
+    /// Connect to the server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<PipelinedClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(PipelinedClient {
+            stream,
+            reader: FrameReader::new(),
+            max_frame_len: crate::protocol::DEFAULT_MAX_FRAME_LEN,
+            next_id: 0,
+            pending: 0,
+            parked: BTreeMap::new(),
+            installed_timeout: None,
+        })
+    }
+
+    /// Raise or lower the largest response frame this client accepts.
+    pub fn max_frame_len(mut self, max: usize) -> PipelinedClient {
+        self.max_frame_len = max;
+        self
+    }
+
+    /// Requests submitted whose replies have not been handed back yet.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Write one request frame and return the id its reply will carry.
+    /// Does not wait for anything: call again to pipeline.
+    pub fn submit(&mut self, request: &Request) -> Result<u64, ClientError> {
+        self.submit_raw(&request.encode())
+    }
+
+    /// Write a raw payload as a v2 frame (the escape hatch for deliberately
+    /// malformed requests) and return its request id.
+    pub fn submit_raw(&mut self, payload: &[u8]) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        write_frame_v2(&mut self.stream, id, payload)?;
+        self.pending = self.pending.saturating_add(1);
+        Ok(id)
+    }
+
+    /// Block until the reply for `id` arrives. Replies for other ids read
+    /// along the way are parked for their own `wait`/`poll_reply` calls.
+    pub fn wait(&mut self, id: u64) -> Result<Response, ClientError> {
+        loop {
+            if let Some(response) = self.parked.remove(&id) {
+                self.pending = self.pending.saturating_sub(1);
+                return Ok(response);
+            }
+            if let Some((got, response)) = self.read_reply(None)? {
+                self.parked.insert(got, response);
+            }
+        }
+    }
+
+    /// Hand back any one ready reply, waiting up to `timeout` (which must
+    /// be non-zero) for the wire. `Ok(None)` means nothing completed in
+    /// time — in-flight requests stay in flight.
+    pub fn poll_reply(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(u64, Response)>, ClientError> {
+        if let Some(id) = self.parked.keys().next().copied() {
+            if let Some(response) = self.parked.remove(&id) {
+                self.pending = self.pending.saturating_sub(1);
+                return Ok(Some((id, response)));
+            }
+        }
+        match self.read_reply(Some(timeout))? {
+            Some((id, response)) => {
+                self.pending = self.pending.saturating_sub(1);
+                Ok(Some((id, response)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Read one reply frame. `timeout: None` blocks until a frame or an
+    /// error; `Some(t)` returns `Ok(None)` on a timeout tick, keeping any
+    /// partial frame for the next call.
+    fn read_reply(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<(u64, Response)>, ClientError> {
+        if self.installed_timeout != timeout {
+            self.stream.set_read_timeout(timeout)?;
+            self.installed_timeout = timeout;
+        }
+        loop {
+            match self.reader.step(&mut self.stream, self.max_frame_len) {
+                Ok(ReadStep::Frame(frame)) => {
+                    let Some(id) = frame.request_id else {
+                        return Err(ClientError::Frame("reply frame carries no request id".into()));
+                    };
+                    let response = Response::decode(&frame.payload)
+                        .map_err(|e| ClientError::Frame(e.to_string()))?;
+                    return Ok(Some((id, response)));
+                }
+                Ok(ReadStep::Idle) => {
+                    if timeout.is_some() {
+                        return Ok(None);
+                    }
+                    // No timeout installed: Idle cannot normally occur; keep
+                    // reading rather than spin up to the caller.
+                }
+                Ok(ReadStep::Eof) => return Err(ClientError::ConnectionClosed),
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 }
 

@@ -8,10 +8,13 @@
 //! setup (engines, key schedules, domain hierarchy trees, detection plans)
 //! amortized across many small submissions.
 //!
-//! * [`protocol`] — the length-framed wire format: 4-byte big-endian length
-//!   prefix, a one-line command header, a CSV body; responses carry a
+//! * [`protocol`] — the length-framed wire format (normative spec:
+//!   `docs/PROTOCOL.md`): a 4-byte big-endian prefix, an 8-byte request id
+//!   on v2 frames so one connection can pipeline requests and take replies
+//!   out of order, a one-line command header, a CSV body; responses carry a
 //!   hand-rolled JSON report line ([`json`]) plus an optional CSV body.
-//! * [`server`] — acceptor, bounded request queue, worker pool (one
+//! * [`server`] — a non-blocking I/O core (readiness loop owning every
+//!   socket), bounded request queue, worker pool (one
 //!   [`ProtectionEngine`](medshield_core::ProtectionEngine) per worker),
 //!   micro-batching of small `detect` requests, per-request queue deadlines,
 //!   structured error replies and graceful shutdown.
@@ -19,8 +22,10 @@
 //!   in-memory default, and the durable WAL + snapshot store
 //!   ([`DurableStore`]) that survives a hard kill — enabled with
 //!   [`ServeConfig::data_dir`] / `medshield serve --data-dir`.
-//! * [`client`] — a small blocking client used by the CLI, the loopback
-//!   integration tests and the serve benchmark.
+//! * [`client`] — the blocking [`Client`] (v1, one request at a time) and
+//!   the [`PipelinedClient`] (v2, many requests in flight per connection),
+//!   used by the CLI, the loopback integration tests and the serve
+//!   benchmark.
 //!
 //! Served responses are **byte-identical** to calling the engine in-process
 //! (the `serve` benchmark gates on it), so moving from library use to the
@@ -45,8 +50,8 @@ pub mod protocol;
 pub mod server;
 pub mod store;
 
-pub use client::{Client, ClientError};
-pub use protocol::{Command, ErrorCode, Request, Response};
+pub use client::{Client, ClientError, PipelinedClient};
+pub use protocol::{Command, ErrorCode, Frame, Request, Response, PROTOCOL_VERSION};
 pub use server::{
     serve, ServeConfig, ServeError, ServeHandle, CARRIES_MARK_THRESHOLD, MEDICAL_ROLES,
 };

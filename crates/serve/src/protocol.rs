@@ -1,10 +1,25 @@
 //! The length-framed wire protocol of the serving layer.
 //!
+//! The normative specification of everything below — frame layout,
+//! request-id semantics, pipelining and ordering rules, backpressure, the
+//! command and error-code catalogue — is `docs/PROTOCOL.md`; this module is
+//! its reference implementation.
+//!
 //! Every message — request or response — travels as one **frame**: a 4-byte
-//! big-endian payload length followed by that many payload bytes. Frames
-//! keep the stream self-synchronizing (a reader always knows where the next
-//! message starts) and let the server reject oversized submissions *before*
-//! buffering them.
+//! big-endian prefix followed by the frame's contents. Frames keep the
+//! stream self-synchronizing (a reader always knows where the next message
+//! starts) and let the server reject oversized submissions *before*
+//! buffering them. Two frame encodings share the stream, distinguished by
+//! the prefix's most-significant bit:
+//!
+//! * **v1** (bit clear): the low 31 bits are the payload length, and the
+//!   payload follows directly. A v1 requester must keep at most one request
+//!   in flight per connection — replies carry no correlation id.
+//! * **v2** (bit set): the low 31 bits are the payload length, and an
+//!   8-byte big-endian **request id** sits between the prefix and the
+//!   payload. A v2 client may pipeline many requests on one connection; the
+//!   server echoes each request's id on its reply frame, and replies may
+//!   arrive **out of order**.
 //!
 //! A request payload is UTF-8 text: one header line, then the body.
 //!
@@ -32,6 +47,20 @@ use std::io::{self, Read, Write};
 /// own (16 MiB — roughly a 100k-row CSV submission).
 // medlint::allow(checked-framing, const arithmetic is evaluated and overflow-checked at compile time)
 pub const DEFAULT_MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// The protocol version this implementation speaks. Reported by `ping` as
+/// `"protocol"` so clients can negotiate before pipelining.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// The most-significant bit of the 4-byte frame prefix: set on v2 frames,
+/// which carry an 8-byte request id between the prefix and the payload.
+pub const V2_FLAG: u32 = 1 << 31;
+
+/// The largest payload length encodable in a frame prefix (the low 31
+/// bits). [`DEFAULT_MAX_FRAME_LEN`] is far below this; the bound matters
+/// only for servers configured with an enormous `max_frame_len`.
+// medlint::allow(checked-framing, const arithmetic is evaluated and overflow-checked at compile time)
+pub const MAX_ENCODABLE_LEN: u32 = V2_FLAG - 1;
 
 /// The commands a request header can name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,6 +226,9 @@ pub enum ErrorCode {
     UnknownCommand,
     /// The frame announced a payload larger than the server accepts.
     OversizedFrame,
+    /// The server is at its configured connection limit and refused this
+    /// connection; retry later or against another endpoint.
+    ConnectionLimit,
     /// The CSV body could not be parsed.
     MalformedCsv,
     /// The bounded request queue is full; retry later.
@@ -225,6 +257,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::UnknownCommand => "unknown-command",
             ErrorCode::OversizedFrame => "oversized-frame",
+            ErrorCode::ConnectionLimit => "connection-limit",
             ErrorCode::MalformedCsv => "malformed-csv",
             ErrorCode::QueueFull => "queue-full",
             ErrorCode::Timeout => "timeout",
@@ -309,37 +342,79 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// Write one frame (length prefix + payload).
+/// One decoded frame: the payload plus the request id when the frame used
+/// the v2 encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The 8-byte request id of a v2 frame; `None` for a v1 frame.
+    pub request_id: Option<u64>,
+    /// The frame payload.
+    pub payload: Vec<u8>,
+}
+
+/// Write one v1 frame (length prefix + payload, no request id).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    let len = u32::try_from(payload.len())
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload exceeds u32 length"))?;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(payload)?;
+    w.write_all(&encode_frame(None, payload)?)?;
     w.flush()
+}
+
+/// Write one v2 frame (length prefix with [`V2_FLAG`], 8-byte request id,
+/// payload).
+pub fn write_frame_v2(w: &mut impl Write, request_id: u64, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(Some(request_id), payload)?)?;
+    w.flush()
+}
+
+/// Encode a frame into one contiguous buffer — the prefix (with the v2 flag
+/// when a request id is present), the id, the payload. The server's I/O
+/// core appends these to per-connection write buffers; clients write them
+/// straight to the socket.
+pub fn encode_frame(request_id: Option<u64>, payload: &[u8]) -> io::Result<Vec<u8>> {
+    let len =
+        u32::try_from(payload.len()).ok().filter(|&l| l <= MAX_ENCODABLE_LEN).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "payload exceeds 31-bit length")
+        })?;
+    let mut out = Vec::with_capacity(payload.len().saturating_add(12));
+    match request_id {
+        None => out.extend_from_slice(&len.to_be_bytes()),
+        Some(id) => {
+            out.extend_from_slice(&(len | V2_FLAG).to_be_bytes());
+            out.extend_from_slice(&id.to_be_bytes());
+        }
+    }
+    out.extend_from_slice(payload);
+    Ok(out)
 }
 
 /// One step of the incremental frame reader.
 #[derive(Debug)]
 pub enum ReadStep {
-    /// A complete frame payload.
-    Frame(Vec<u8>),
+    /// A complete frame.
+    Frame(Frame),
     /// The peer closed the stream cleanly (EOF between frames).
     Eof,
-    /// A read timeout fired with the frame still incomplete; the partial
-    /// state is kept — call `step` again.
+    /// A read timeout (or `WouldBlock` on a non-blocking stream) fired with
+    /// the frame still incomplete; the partial state is kept — call `step`
+    /// again.
     Idle,
 }
 
-/// An incremental frame reader that survives read timeouts.
+/// An incremental frame reader that survives read timeouts and non-blocking
+/// sockets.
 ///
-/// The server polls its sockets with a short read timeout so connection
-/// threads can notice a shutdown; a timeout can fire after *part* of a frame
-/// arrived. The reader keeps the partial header/payload across calls so no
-/// bytes are lost and the stream never desynchronizes.
+/// The server's I/O core owns non-blocking sockets, so any read can return
+/// `WouldBlock` after *part* of a frame arrived. The reader keeps the
+/// partial prefix/id/payload across calls so no bytes are lost and the
+/// stream never desynchronizes. It decodes both frame encodings: a prefix
+/// with [`V2_FLAG`] set is followed by an 8-byte request id.
 #[derive(Debug, Default)]
 pub struct FrameReader {
     header: [u8; 4],
     header_read: usize,
+    id: [u8; 8],
+    id_read: usize,
+    in_id: bool,
+    request_id: Option<u64>,
     payload: Vec<u8>,
     payload_read: usize,
     in_payload: bool,
@@ -353,15 +428,36 @@ impl FrameReader {
 
     /// True when no frame is partially read (safe to stop reading).
     pub fn is_clean(&self) -> bool {
-        self.header_read == 0 && !self.in_payload
+        self.header_read == 0 && !self.in_id && !self.in_payload
+    }
+
+    /// Decode the completed 4-byte prefix: enforce the length limit, then
+    /// move to the id (v2) or payload (v1) phase.
+    fn begin_body(&mut self, max_len: usize) -> Result<(), FrameError> {
+        let word = u32::from_be_bytes(self.header);
+        let v2 = word & V2_FLAG != 0;
+        let len = usize::try_from(word & MAX_ENCODABLE_LEN)
+            .map_err(|_| FrameError::Oversized { len: usize::MAX, max: max_len })?;
+        if len > max_len {
+            return Err(FrameError::Oversized { len, max: max_len });
+        }
+        self.payload = vec![0; len];
+        self.payload_read = 0;
+        self.request_id = None;
+        if v2 {
+            self.in_id = true;
+            self.id_read = 0;
+        } else {
+            self.in_payload = true;
+        }
+        Ok(())
     }
 
     /// Read until a frame completes, EOF, or a read timeout.
     pub fn step(&mut self, r: &mut impl Read, max_len: usize) -> Result<ReadStep, FrameError> {
         loop {
-            if !self.in_payload {
-                debug_assert!(self.header_read < 4);
-                // medlint::allow(no-panic, header_read < 4 by the branch condition and the assert above)
+            if self.header_read < 4 && !self.in_id && !self.in_payload {
+                // medlint::allow(no-panic, header_read < 4 by the branch condition)
                 match r.read(&mut self.header[self.header_read..]) {
                     Ok(0) => {
                         return if self.header_read == 0 {
@@ -371,18 +467,26 @@ impl FrameReader {
                         };
                     }
                     Ok(n) => {
-                        self.header_read += n;
+                        self.header_read = self.header_read.saturating_add(n);
                         if self.header_read == 4 {
-                            let len =
-                                usize::try_from(u32::from_be_bytes(self.header)).map_err(|_| {
-                                    FrameError::Oversized { len: usize::MAX, max: max_len }
-                                })?;
-                            if len > max_len {
-                                return Err(FrameError::Oversized { len, max: max_len });
-                            }
+                            self.begin_body(max_len)?;
+                        }
+                    }
+                    Err(e) if is_timeout(&e) => return Ok(ReadStep::Idle),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(FrameError::Io(e)),
+                }
+            } else if self.in_id {
+                debug_assert!(self.id_read < 8);
+                // medlint::allow(no-panic, id_read < 8 whenever in_id is set)
+                match r.read(&mut self.id[self.id_read..]) {
+                    Ok(0) => return Err(FrameError::Truncated),
+                    Ok(n) => {
+                        self.id_read = self.id_read.saturating_add(n);
+                        if self.id_read == 8 {
+                            self.request_id = Some(u64::from_be_bytes(self.id));
+                            self.in_id = false;
                             self.in_payload = true;
-                            self.payload = vec![0; len];
-                            self.payload_read = 0;
                         }
                     }
                     Err(e) if is_timeout(&e) => return Ok(ReadStep::Idle),
@@ -391,13 +495,14 @@ impl FrameReader {
                 }
             } else if self.payload_read == self.payload.len() {
                 let payload = std::mem::take(&mut self.payload);
+                let request_id = self.request_id;
                 *self = FrameReader::new();
-                return Ok(ReadStep::Frame(payload));
+                return Ok(ReadStep::Frame(Frame { request_id, payload }));
             } else {
                 // medlint::allow(no-panic, payload_read < payload.len() by the branch condition above)
                 match r.read(&mut self.payload[self.payload_read..]) {
                     Ok(0) => return Err(FrameError::Truncated),
-                    Ok(n) => self.payload_read += n,
+                    Ok(n) => self.payload_read = self.payload_read.saturating_add(n),
                     Err(e) if is_timeout(&e) => return Ok(ReadStep::Idle),
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                     Err(e) => return Err(FrameError::Io(e)),
@@ -412,11 +517,11 @@ fn is_timeout(e: &io::Error) -> bool {
 }
 
 /// Read one frame from a blocking stream (no timeout installed).
-pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Option<Vec<u8>>, FrameError> {
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Option<Frame>, FrameError> {
     let mut reader = FrameReader::new();
     loop {
         match reader.step(r, max_len)? {
-            ReadStep::Frame(payload) => return Ok(Some(payload)),
+            ReadStep::Frame(frame) => return Ok(Some(frame)),
             ReadStep::Eof => return Ok(None),
             // Without a read timeout installed `Idle` cannot occur, but a
             // caller that installed one anyway just keeps waiting.
@@ -472,8 +577,10 @@ mod tests {
         write_frame(&mut buf, b"hello").unwrap();
         write_frame(&mut buf, b"").unwrap();
         let mut cursor = std::io::Cursor::new(buf);
-        assert_eq!(read_frame(&mut cursor, 1024).unwrap().unwrap(), b"hello");
-        assert_eq!(read_frame(&mut cursor, 1024).unwrap().unwrap(), b"");
+        let frame = read_frame(&mut cursor, 1024).unwrap().unwrap();
+        assert_eq!(frame, Frame { request_id: None, payload: b"hello".to_vec() });
+        let frame = read_frame(&mut cursor, 1024).unwrap().unwrap();
+        assert_eq!(frame, Frame { request_id: None, payload: Vec::new() });
         assert!(read_frame(&mut cursor, 1024).unwrap().is_none());
 
         let mut buf = Vec::new();
@@ -483,6 +590,54 @@ mod tests {
             Err(FrameError::Oversized { len: 100, max: 64 }) => {}
             other => panic!("expected Oversized, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn v2_frames_carry_request_ids_and_mix_with_v1() {
+        let mut buf = Vec::new();
+        write_frame_v2(&mut buf, 7, b"first").unwrap();
+        write_frame(&mut buf, b"legacy").unwrap();
+        write_frame_v2(&mut buf, u64::MAX, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let frame = read_frame(&mut cursor, 1024).unwrap().unwrap();
+        assert_eq!(frame, Frame { request_id: Some(7), payload: b"first".to_vec() });
+        let frame = read_frame(&mut cursor, 1024).unwrap().unwrap();
+        assert_eq!(frame, Frame { request_id: None, payload: b"legacy".to_vec() });
+        let frame = read_frame(&mut cursor, 1024).unwrap().unwrap();
+        assert_eq!(frame, Frame { request_id: Some(u64::MAX), payload: Vec::new() });
+        assert!(read_frame(&mut cursor, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn v2_oversized_frames_are_detected_with_the_id_still_readable() {
+        // The length limit is enforced from the prefix alone, before the
+        // payload is buffered; the id bytes were not yet consumed, so the
+        // reader reports the announced length faithfully.
+        let mut buf = Vec::new();
+        write_frame_v2(&mut buf, 42, &[7u8; 100]).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        match read_frame(&mut cursor, 64) {
+            Err(FrameError::Oversized { len: 100, max: 64 }) => {}
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_truncated_id_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame_v2(&mut buf, 42, b"payload").unwrap();
+        buf.truncate(8); // prefix + half the id
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor, 1024), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn encode_frame_rejects_payloads_beyond_the_31_bit_bound() {
+        // Can't allocate 2 GiB in a unit test; rely on the length check
+        // rejecting a fake oversized slice via the u32 conversion path by
+        // checking the boundary constant instead.
+        assert_eq!(MAX_ENCODABLE_LEN, 0x7fff_ffff);
+        assert!(encode_frame(Some(1), b"ok").is_ok());
     }
 
     #[test]
@@ -529,8 +684,9 @@ mod tests {
         let mut idles = 0;
         loop {
             match reader.step(&mut trickle, 1024).unwrap() {
-                ReadStep::Frame(p) => {
-                    assert_eq!(p, b"split me");
+                ReadStep::Frame(f) => {
+                    assert_eq!(f.payload, b"split me");
+                    assert_eq!(f.request_id, None);
                     break;
                 }
                 ReadStep::Idle => idles += 1,
@@ -538,6 +694,24 @@ mod tests {
             }
         }
         assert!(idles > 0, "the trickle reader must have reported idle steps");
+        assert!(reader.is_clean());
+
+        // The same byte-at-a-time stream, v2: the id survives splitting too.
+        let mut framed = Vec::new();
+        write_frame_v2(&mut framed, 0xDEAD_BEEF_u64, b"split v2").unwrap();
+        let mut trickle = Trickle { data: framed, at: 0, ready: false };
+        let mut reader = FrameReader::new();
+        loop {
+            match reader.step(&mut trickle, 1024).unwrap() {
+                ReadStep::Frame(f) => {
+                    assert_eq!(f.payload, b"split v2");
+                    assert_eq!(f.request_id, Some(0xDEAD_BEEF_u64));
+                    break;
+                }
+                ReadStep::Idle => continue,
+                ReadStep::Eof => panic!("hit EOF before the v2 frame completed"),
+            }
+        }
         assert!(reader.is_clean());
     }
 }

@@ -1,31 +1,50 @@
-//! The multi-threaded serving layer: acceptor, bounded request queue,
-//! worker pool, release store.
+//! The multiplexed serving layer: a non-blocking I/O core, bounded request
+//! queue, worker pool, release store.
 //!
 //! Architecture (the paper's Fig. 2 deployment model as a long-lived
 //! service):
 //!
 //! ```text
-//! clients ──TCP──▶ acceptor ──▶ connection threads ──▶ bounded queue
-//!                                                          │
-//!                                     workers (one ProtectionEngine each) ◀┘
-//!                                         │
-//!                                  release store (columns, mark, proof)
+//! clients ──TCP──▶ I/O core (readiness loop, owns every socket) ──▶ bounded queue
+//!                      ▲                                                │
+//!                      └── completions ◀── workers (one engine each) ◀──┘
+//!                                              │
+//!                                     release store (columns, mark, proof)
 //! ```
 //!
-//! * The **acceptor** hands each connection to a thread that reads
-//!   length-framed requests ([`crate::protocol`]); header parse errors,
-//!   oversized frames, `ping` and queue-full conditions are answered
-//!   inline so a sick request can never poison the pool.
+//! * The **I/O core** is one thread that owns the listener and every
+//!   accepted socket, all non-blocking. Each pass of its readiness loop
+//!   accepts new connections (up to [`ServeConfig::max_connections`]),
+//!   drains worker completions into per-connection write buffers, flushes
+//!   writes, and read-scans a bounded rotating slice of connections — so
+//!   the per-pass cost is constant no matter how many connections are
+//!   open, which is what keeps throughput flat from 1 to thousands of
+//!   clients. Header parse errors, oversized frames, `ping` and
+//!   queue-full conditions are answered inline; nothing sick ever reaches
+//!   the pool. (A true `epoll` readiness API needs `unsafe` syscalls the
+//!   workspace forbids; the bounded scan is the hermetic, `std`-only
+//!   equivalent and is the single swap point if that ever changes.)
+//! * **Pipelining**: v2 frames ([`crate::protocol`]) carry a request id,
+//!   so one connection can keep many requests in flight; replies are
+//!   written the moment their job completes, tagged with the id —
+//!   **out of order** is normal. v1 frames get per-connection sequence
+//!   numbers and their replies are reordered back into request order, so
+//!   a legacy one-at-a-time client sees exactly the old contract.
 //! * The **bounded queue** ([`ServeConfig::queue_depth`]) applies
 //!   back-pressure: when it is full the client gets a structured
-//!   `queue-full` reply immediately instead of an ever-growing buffer.
+//!   `queue-full` reply immediately instead of an ever-growing buffer. A
+//!   connection whose peer stops reading its replies accumulates a write
+//!   buffer; past a bound the core stops reading new requests from it
+//!   until the backlog drains (per-connection backpressure).
 //! * Each **worker** owns one [`ProtectionEngine`] built at startup — the
 //!   binning agent (with its AES key schedule), the watermarker and the
 //!   domain hierarchy trees are reused across every request the worker
 //!   serves, which is what amortizes per-request setup. Small `detect`
 //!   requests are **micro-batched**: a worker drains up to
 //!   [`ServeConfig::batch_max`] consecutive small detects in one queue
-//!   wake-up and shares one detection plan per release across the batch.
+//!   wake-up and shares one detection plan per release across the batch —
+//!   with pipelined clients, many connections' small detects coalesce
+//!   into one plan.
 //! * The **release store** ([`crate::store`]) retains what the data holder
 //!   keeps after `protect` (per-column binning state, the mark, the
 //!   ownership proof) so later `detect` / `resolve-ownership` calls need
@@ -42,8 +61,8 @@
 
 use crate::json::{obj, str_arr, Json};
 use crate::protocol::{
-    write_frame, Command, ErrorCode, FrameError, FrameReader, ReadStep, Request, RequestError,
-    Response, DEFAULT_MAX_FRAME_LEN,
+    encode_frame, Command, ErrorCode, Frame, FrameError, FrameReader, ReadStep, Request,
+    RequestError, Response, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use crate::store::{
     lock_unpoisoned, DurableStore, MemoryStore, ReleaseStore, StoreError, StoredRelease,
@@ -55,6 +74,7 @@ use medshield_metrics::mark_loss;
 use medshield_relation::{csv, ColumnRole, Table};
 use medshield_watermark::{DetectionReport, Mark, OwnershipProof};
 use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -105,6 +125,10 @@ pub struct ServeConfig {
     /// Body-size bound (bytes) under which a `detect` request counts as
     /// "small" and may join a micro-batch.
     pub batch_small_bytes: usize,
+    /// Most connections the I/O core keeps open at once. A connection
+    /// accepted past the limit is sent one structured `connection-limit`
+    /// error frame (best effort) and closed. Zero is rejected.
+    pub max_connections: usize,
     /// Default binning mode when a `protect` request does not say
     /// (`per-attribute=true|false`): per-attribute matches the CLI default.
     pub per_attribute_default: bool,
@@ -134,6 +158,7 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_secs(30),
             batch_max: 8,
             batch_small_bytes: 64 * 1024,
+            max_connections: 1024,
             per_attribute_default: true,
             data_dir: None,
             snapshot_every: 256,
@@ -188,12 +213,44 @@ struct Shared {
     counters: Counters,
 }
 
-/// One queued request: the parsed request plus the channel its reply goes
-/// back through.
+/// How a reply is correlated back to its request on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplyTag {
+    /// A v1 frame: no wire id. The core assigned a per-connection sequence
+    /// number so replies can be put back into request order before writing.
+    V1 {
+        /// Position of the request in the connection's v1 request stream.
+        seq: u64,
+    },
+    /// A v2 frame: the reply echoes the client-chosen request id and may be
+    /// written as soon as it is ready, in any order.
+    V2 {
+        /// The client's request id.
+        id: u64,
+    },
+}
+
+/// A finished request on its way back to the I/O core.
+struct Completion {
+    conn: u64,
+    tag: ReplyTag,
+    response: Response,
+}
+
+/// One queued request: the parsed request plus where its reply goes.
 struct Job {
     request: Request,
+    conn: u64,
+    tag: ReplyTag,
     enqueued: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: mpsc::Sender<Completion>,
+}
+
+impl Job {
+    /// Send the reply back to the I/O core (a no-op if the core is gone).
+    fn respond(&self, response: Response) {
+        let _ = self.reply.send(Completion { conn: self.conn, tag: self.tag, response });
+    }
 }
 
 /// A bounded MPMC queue: `try_push` fails fast when full (back-pressure),
@@ -295,7 +352,7 @@ pub struct ServeHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     queue: Arc<BoundedQueue<Job>>,
-    acceptor: Option<JoinHandle<()>>,
+    io_core: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -322,24 +379,25 @@ impl ServeHandle {
     }
 
     /// Block the current thread until the server stops (i.e. until another
-    /// thread triggers shutdown or the acceptor dies). The CLI `serve`
+    /// thread triggers shutdown or the I/O core dies). The CLI `serve`
     /// command parks here.
     pub fn wait(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(io_core) = self.io_core.take() {
+            let _ = io_core.join();
         }
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        // Connections are joined by the acceptor; only now is it safe to
-        // close the queue — nothing can push anymore, and the workers drain
-        // what is left before exiting.
+        // Closing the queue lets the workers drain what is queued and exit;
+        // their completions still flow to the I/O core, which stops reading,
+        // flushes every pending reply and only then exits. A push racing the
+        // close gets a structured shutting-down reply from the core.
         self.queue.close();
+        if let Some(io_core) = self.io_core.take() {
+            let _ = io_core.join();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -362,6 +420,9 @@ pub fn serve(config: ServeConfig, addr: impl ToSocketAddrs) -> Result<ServeHandl
     }
     if config.batch_max == 0 {
         return Err(ServeError::InvalidConfig("batch max must be at least 1".into()));
+    }
+    if config.max_connections == 0 {
+        return Err(ServeError::InvalidConfig("max connections must be at least 1".into()));
     }
     // Fail fast on an engine configuration the workers could not build
     // (e.g. engine_threads = 0 — the unified thread-count contract).
@@ -411,12 +472,12 @@ pub fn serve(config: ServeConfig, addr: impl ToSocketAddrs) -> Result<ServeHandl
         }
     };
 
-    let acceptor = {
+    let io_core = {
         let shared = Arc::clone(&shared);
-        let queue_for_acceptor = Arc::clone(&queue);
+        let queue_for_core = Arc::clone(&queue);
         let spawned = thread::Builder::new()
-            .name("medshield-acceptor".into())
-            .spawn(move || acceptor_loop(listener, &shared, &queue_for_acceptor));
+            .name("medshield-io".into())
+            .spawn(move || IoCore::new(listener, shared, queue_for_core).run());
         match spawned {
             Ok(handle) => handle,
             Err(e) => {
@@ -426,104 +487,427 @@ pub fn serve(config: ServeConfig, addr: impl ToSocketAddrs) -> Result<ServeHandl
         }
     };
 
-    Ok(ServeHandle { addr, shared, queue, acceptor: Some(acceptor), workers })
+    Ok(ServeHandle { addr, shared, queue, io_core: Some(io_core), workers })
 }
 
-fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>, queue: &Arc<BoundedQueue<Job>>) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let shared = Arc::clone(shared);
-                let queue = Arc::clone(queue);
-                if let Ok(handle) = thread::Builder::new()
-                    .name("medshield-conn".into())
-                    .spawn(move || connection_loop(stream, &shared, &queue))
-                {
-                    connections.push(handle);
+// Tuning constants of the readiness loop. The quotas bound the work of one
+// pass so its cost stays constant no matter how many connections are open —
+// the property that keeps throughput flat as connections grow.
+
+/// Most connections accepted in one pass.
+const ACCEPT_QUOTA: usize = 128;
+/// Connections read-scanned per pass (rotating, so every open connection is
+/// visited within `ceil(open / READ_SCAN_QUOTA)` passes).
+const READ_SCAN_QUOTA: usize = 64;
+/// Frames decoded from one connection per visit, so one firehose client
+/// cannot starve the rest of the scan slice.
+const FRAMES_PER_CONN_PER_VISIT: usize = 32;
+/// Per-connection backpressure: past this many unflushed reply bytes the
+/// core stops reading new requests from the connection until the peer
+/// drains its replies.
+const WRITE_BACKLOG_PAUSE: usize = 4 * 1024 * 1024;
+/// Fruitless passes the core burns (yielding) before it starts sleeping;
+/// covers a request/reply round trip so a ping-pong client never waits out
+/// a sleep.
+const SPIN_PASSES: u32 = 256;
+/// How long the idle core blocks on the completions channel between scans
+/// once the spin budget is exhausted.
+const IDLE_TICK: Duration = Duration::from_millis(1);
+/// At shutdown, once every in-flight job has completed, how long slow
+/// readers get to drain their buffered replies before the core gives up.
+const SHUTDOWN_FLUSH_GRACE: Duration = Duration::from_millis(500);
+
+/// One accepted socket and the state the I/O core keeps for it.
+struct Connection {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Encoded reply frames awaiting the socket; `written` marks how much
+    /// of the front has already left.
+    write_buf: Vec<u8>,
+    written: usize,
+    /// Sequence number the next v1 request on this connection will get.
+    next_v1_seq: u64,
+    /// Sequence number of the v1 reply that must be written next.
+    next_v1_write: u64,
+    /// v1 replies that completed out of order, parked until their turn.
+    pending_v1: BTreeMap<u64, Vec<u8>>,
+    /// Requests of this connection currently queued or on a worker.
+    in_flight: usize,
+    /// The stream can no longer be read (EOF, or an unsyncable frame
+    /// error); kept only until the buffered replies flush.
+    closing: bool,
+}
+
+impl Connection {
+    fn new(stream: TcpStream) -> io::Result<Connection> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Connection {
+            stream,
+            reader: FrameReader::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            next_v1_seq: 0,
+            next_v1_write: 0,
+            pending_v1: BTreeMap::new(),
+            in_flight: 0,
+            closing: false,
+        })
+    }
+
+    /// Unflushed reply bytes.
+    fn backlog(&self) -> usize {
+        self.write_buf.len().saturating_sub(self.written)
+    }
+
+    /// Append one encoded reply. v2 replies go out in completion order; a
+    /// v1 reply is parked until every earlier v1 reply has been appended,
+    /// restoring the request order legacy clients rely on.
+    fn enqueue_reply(&mut self, tag: ReplyTag, response: &Response) {
+        let payload = response.encode();
+        let id = match tag {
+            ReplyTag::V2 { id } => Some(id),
+            ReplyTag::V1 { .. } => None,
+        };
+        let frame = encode_frame(id, &payload).unwrap_or_else(|_| {
+            // The reply exceeds the 31-bit frame bound (needs a > 2 GiB
+            // payload); substitute a small structured error so the client
+            // is not left waiting forever. Encoding *that* cannot fail.
+            let fallback =
+                error_response(ErrorCode::Engine, "the reply exceeds the frame length bound");
+            encode_frame(id, &fallback.encode()).unwrap_or_default()
+        });
+        match tag {
+            ReplyTag::V2 { .. } => self.write_buf.extend_from_slice(&frame),
+            ReplyTag::V1 { seq } => {
+                self.pending_v1.insert(seq, frame);
+                while let Some(next) = self.pending_v1.remove(&self.next_v1_write) {
+                    self.write_buf.extend_from_slice(&next);
+                    self.next_v1_write = self.next_v1_write.wrapping_add(1);
                 }
-                // Opportunistically reap finished connection threads so a
-                // long-lived server does not accumulate handles.
-                connections.retain(|h| !h.is_finished());
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(20));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(20)),
         }
     }
-    for handle in connections {
-        let _ = handle.join();
+
+    /// Write as much of the backlog as the socket accepts right now.
+    /// Returns whether any bytes moved; an error means the peer is gone.
+    fn flush(&mut self) -> io::Result<bool> {
+        let mut progressed = false;
+        while let Some(rest) = self.write_buf.get(self.written..) {
+            if rest.is_empty() {
+                break;
+            }
+            match self.stream.write(rest) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.written = self.written.saturating_add(n);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.written > 0 && self.written == self.write_buf.len() {
+            self.write_buf.clear();
+            self.written = 0;
+        }
+        Ok(progressed)
     }
 }
 
-fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>, queue: &Arc<BoundedQueue<Job>>) {
-    // A short read timeout lets the thread poll the shutdown flag between
-    // frames; FrameReader keeps partial frames across timeouts.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let _ = stream.set_nodelay(true);
-    // How long a mid-frame client may keep stalling once shutdown begins.
-    // Without the deadline, one peer that sent half a frame and then went
-    // silent (without closing its socket) would wedge shutdown forever.
-    const SHUTDOWN_GRACE: Duration = Duration::from_millis(500);
-    let mut reader = FrameReader::new();
-    let mut shutdown_seen: Option<Instant> = None;
-    loop {
-        match reader.step(&mut stream, shared.config.max_frame_len) {
-            Ok(ReadStep::Frame(payload)) => {
-                let response = dispatch(&payload, shared, queue);
-                if write_frame(&mut stream, &response.encode()).is_err() {
+/// The readiness loop: one thread owning the listener and every accepted
+/// socket, feeding parsed requests to the bounded queue and muxing worker
+/// completions back onto the right connections.
+struct IoCore {
+    shared: Arc<Shared>,
+    queue: Arc<BoundedQueue<Job>>,
+    listener: TcpListener,
+    completions_tx: mpsc::Sender<Completion>,
+    completions_rx: mpsc::Receiver<Completion>,
+    conns: BTreeMap<u64, Connection>,
+    next_conn_id: u64,
+    /// Where the rotating read scan resumes on the next pass.
+    cursor: u64,
+    /// Jobs handed to the queue whose completions have not come back yet.
+    jobs_in_flight: usize,
+}
+
+impl IoCore {
+    fn new(listener: TcpListener, shared: Arc<Shared>, queue: Arc<BoundedQueue<Job>>) -> IoCore {
+        let (completions_tx, completions_rx) = mpsc::channel();
+        IoCore {
+            shared,
+            queue,
+            listener,
+            completions_tx,
+            completions_rx,
+            conns: BTreeMap::new(),
+            next_conn_id: 0,
+            cursor: 0,
+            jobs_in_flight: 0,
+        }
+    }
+
+    fn run(&mut self) {
+        let mut flush_deadline: Option<Instant> = None;
+        let mut fruitless: u32 = 0;
+        loop {
+            let shutting_down = self.shared.shutdown.load(Ordering::SeqCst);
+            let mut progressed = false;
+            if !shutting_down {
+                progressed |= self.accept_new();
+            }
+            progressed |= self.drain_completions();
+            progressed |= self.pump_connections(shutting_down);
+            if shutting_down && self.jobs_in_flight == 0 {
+                // Every accepted request has been answered; what remains is
+                // pushing buffered replies to slow readers, bounded by the
+                // flush grace so one stalled peer cannot wedge shutdown.
+                let deadline =
+                    *flush_deadline.get_or_insert_with(|| Instant::now() + SHUTDOWN_FLUSH_GRACE);
+                if self.conns.values().all(|c| c.backlog() == 0) || Instant::now() >= deadline {
                     break;
                 }
             }
-            Ok(ReadStep::Idle) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    if reader.is_clean() {
-                        break;
-                    }
-                    let since = shutdown_seen.get_or_insert_with(Instant::now);
-                    if since.elapsed() > SHUTDOWN_GRACE {
-                        break; // abandon the stalled partial frame
-                    }
+            if progressed {
+                fruitless = 0;
+            } else {
+                fruitless = fruitless.saturating_add(1);
+                if fruitless < SPIN_PASSES {
+                    thread::yield_now();
+                } else if let Ok(completion) = self.completions_rx.recv_timeout(IDLE_TICK) {
+                    // A finished job wakes the core immediately; a timeout
+                    // just re-scans the sockets.
+                    self.route(completion);
+                    fruitless = 0;
                 }
             }
-            Ok(ReadStep::Eof) => break,
-            Err(FrameError::Oversized { len, max }) => {
-                // A structured reply, not a dropped connection — then close:
-                // the announced payload was never read, so the stream cannot
-                // be resynchronized.
-                let response = error_response(
-                    ErrorCode::OversizedFrame,
-                    &format!("frame of {len} bytes exceeds the {max}-byte limit"),
-                );
-                let _ = write_frame(&mut stream, &response.encode());
-                break;
-            }
-            Err(_) => break,
         }
     }
-}
 
-/// Parse a frame and either answer it inline (parse errors, ping,
-/// back-pressure) or queue it for the worker pool and await the reply.
-fn dispatch(payload: &[u8], shared: &Arc<Shared>, queue: &Arc<BoundedQueue<Job>>) -> Response {
-    let request = match Request::parse(payload) {
-        Ok(request) => request,
-        Err(RequestError::UnknownCommand(name)) => {
-            return error_response(ErrorCode::UnknownCommand, &format!("unknown command: {name}"));
+    /// Accept up to a quota of new connections; past the configured limit a
+    /// connection gets one best-effort `connection-limit` error frame and
+    /// is closed.
+    fn accept_new(&mut self) -> bool {
+        let mut progressed = false;
+        for _ in 0..ACCEPT_QUOTA {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    progressed = true;
+                    if self.conns.len() >= self.shared.config.max_connections {
+                        refuse_connection(stream);
+                        continue;
+                    }
+                    if let Ok(conn) = Connection::new(stream) {
+                        self.conns.insert(self.next_conn_id, conn);
+                        self.next_conn_id = self.next_conn_id.wrapping_add(1);
+                    }
+                }
+                // WouldBlock (no pending connection) or a transient accept
+                // error: either way, retry on the next pass.
+                Err(_) => break,
+            }
         }
-        Err(e) => return error_response(ErrorCode::BadRequest, &e.to_string()),
-    };
-    if request.command == Command::Ping {
-        // Answered inline so health checks work even when the queue is full.
-        return ok_response(
+        progressed
+    }
+
+    fn drain_completions(&mut self) -> bool {
+        let mut progressed = false;
+        while let Ok(completion) = self.completions_rx.try_recv() {
+            progressed = true;
+            self.route(completion);
+        }
+        progressed
+    }
+
+    /// Deliver one finished job to its connection's write buffer.
+    fn route(&mut self, completion: Completion) {
+        self.jobs_in_flight = self.jobs_in_flight.saturating_sub(1);
+        let Some(conn) = self.conns.get_mut(&completion.conn) else {
+            return; // the connection went away while its request was in flight
+        };
+        conn.in_flight = conn.in_flight.saturating_sub(1);
+        conn.enqueue_reply(completion.tag, &completion.response);
+        if conn.flush().is_err() {
+            self.conns.remove(&completion.conn);
+        }
+    }
+
+    /// One rotating pass over (a bounded slice of) the connections: flush
+    /// backlogs, read and handle new frames, drop dead sockets.
+    fn pump_connections(&mut self, shutting_down: bool) -> bool {
+        if self.conns.is_empty() {
+            return false;
+        }
+        let mut ids: Vec<u64> =
+            self.conns.range(self.cursor..).map(|(&id, _)| id).take(READ_SCAN_QUOTA).collect();
+        if ids.len() < READ_SCAN_QUOTA {
+            let wrap = READ_SCAN_QUOTA - ids.len();
+            ids.extend(self.conns.range(..self.cursor).map(|(&id, _)| id).take(wrap));
+        }
+        self.cursor = ids.last().map_or(0, |&id| id.wrapping_add(1));
+        let mut progressed = false;
+        for id in ids {
+            progressed |= self.pump_one(id, shutting_down);
+        }
+        progressed
+    }
+
+    /// Flush + read one connection. Returns whether anything moved.
+    fn pump_one(&mut self, id: u64, shutting_down: bool) -> bool {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return false;
+        };
+        let Ok(mut progressed) = conn.flush() else {
+            self.conns.remove(&id);
+            return true;
+        };
+        if conn.closing {
+            if conn.in_flight == 0 && conn.backlog() == 0 {
+                self.conns.remove(&id);
+                progressed = true;
+            }
+            return progressed;
+        }
+        // Reading pauses while shutdown drains, and while the peer lets its
+        // replies pile up past the backlog bound (per-connection
+        // backpressure); unread bytes stay in the kernel buffer.
+        if shutting_down || conn.backlog() > WRITE_BACKLOG_PAUSE {
+            return progressed;
+        }
+        let max_len = self.shared.config.max_frame_len;
+        let mut frames = Vec::new();
+        for _ in 0..FRAMES_PER_CONN_PER_VISIT {
+            match conn.reader.step(&mut conn.stream, max_len) {
+                Ok(ReadStep::Frame(frame)) => frames.push(frame),
+                Ok(ReadStep::Idle) => break,
+                Ok(ReadStep::Eof) => {
+                    // The peer is done sending; keep the connection until
+                    // its in-flight replies are written, read nothing more.
+                    conn.closing = true;
+                    break;
+                }
+                Err(FrameError::Oversized { len, max }) => {
+                    // A structured reply, then stop reading: the announced
+                    // payload was never read, so the stream cannot be
+                    // resynchronized.
+                    let response = error_response(
+                        ErrorCode::OversizedFrame,
+                        &format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                    );
+                    let seq = conn.next_v1_seq;
+                    conn.next_v1_seq = conn.next_v1_seq.wrapping_add(1);
+                    conn.enqueue_reply(ReplyTag::V1 { seq }, &response);
+                    conn.closing = true;
+                    break;
+                }
+                Err(_) => {
+                    self.conns.remove(&id);
+                    return true;
+                }
+            }
+        }
+        progressed |= !frames.is_empty();
+        for frame in frames {
+            self.handle_frame(id, frame);
+        }
+        progressed
+    }
+
+    /// Parse one request frame and either answer it inline (parse errors,
+    /// `ping`, backpressure) or queue it for the worker pool.
+    fn handle_frame(&mut self, conn_id: u64, frame: Frame) {
+        let tag = match frame.request_id {
+            Some(id) => ReplyTag::V2 { id },
+            None => {
+                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                    return;
+                };
+                let seq = conn.next_v1_seq;
+                conn.next_v1_seq = conn.next_v1_seq.wrapping_add(1);
+                ReplyTag::V1 { seq }
+            }
+        };
+        let request = match Request::parse(&frame.payload) {
+            Ok(request) => request,
+            Err(RequestError::UnknownCommand(name)) => {
+                let response =
+                    error_response(ErrorCode::UnknownCommand, &format!("unknown command: {name}"));
+                return self.reply_inline(conn_id, tag, &response);
+            }
+            Err(e) => {
+                let response = error_response(ErrorCode::BadRequest, &e.to_string());
+                return self.reply_inline(conn_id, tag, &response);
+            }
+        };
+        if request.command == Command::Ping {
+            // Answered inline so health checks work even when the queue is
+            // full; reports the protocol version and the server's limits so
+            // clients can negotiate instead of discovering them via errors.
+            let response = self.ping_response();
+            return self.reply_inline(conn_id, tag, &response);
+        }
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            let response = error_response(ErrorCode::ShuttingDown, "the server is shutting down");
+            return self.reply_inline(conn_id, tag, &response);
+        }
+        let job = Job {
+            request,
+            conn: conn_id,
+            tag,
+            enqueued: Instant::now(),
+            reply: self.completions_tx.clone(),
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                self.jobs_in_flight = self.jobs_in_flight.saturating_add(1);
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.in_flight = conn.in_flight.saturating_add(1);
+                }
+            }
+            Err(TryPushError::Full(_)) => {
+                let response = error_response(
+                    ErrorCode::QueueFull,
+                    &format!(
+                        "the request queue is full ({} pending); retry later",
+                        self.shared.config.queue_depth
+                    ),
+                );
+                self.reply_inline(conn_id, tag, &response);
+            }
+            Err(TryPushError::Closed(_)) => {
+                let response =
+                    error_response(ErrorCode::ShuttingDown, "the server is shutting down");
+                self.reply_inline(conn_id, tag, &response);
+            }
+        }
+    }
+
+    /// Write a reply the core produced itself (no worker involved).
+    fn reply_inline(&mut self, conn_id: u64, tag: ReplyTag, response: &Response) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        conn.enqueue_reply(tag, response);
+        if conn.flush().is_err() {
+            self.conns.remove(&conn_id);
+        }
+    }
+
+    /// The inline `ping` reply: liveness, protocol version, the server's
+    /// limits, live counters.
+    fn ping_response(&self) -> Response {
+        let shared = &self.shared;
+        ok_response(
             vec![
                 ("pong", true.into()),
+                ("protocol", Json::Int(PROTOCOL_VERSION as i64)),
                 ("workers", shared.config.workers.into()),
                 ("queue_depth", shared.config.queue_depth.into()),
+                ("max_frame_len", shared.config.max_frame_len.into()),
+                ("max_connections", shared.config.max_connections.into()),
+                ("connections", self.conns.len().into()),
                 ("releases", shared.store.len().into()),
                 ("durable", shared.store.is_durable().into()),
                 ("served", Json::Int(shared.counters.served.load(Ordering::Relaxed) as i64)),
@@ -533,33 +917,19 @@ fn dispatch(payload: &[u8], shared: &Arc<Shared>, queue: &Arc<BoundedQueue<Job>>
                 ),
             ],
             None,
-        );
+        )
     }
-    if shared.shutdown.load(Ordering::SeqCst) {
-        return error_response(ErrorCode::ShuttingDown, "the server is shutting down");
-    }
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let job = Job { request, enqueued: Instant::now(), reply: reply_tx };
-    match queue.try_push(job) {
-        Ok(()) => {}
-        Err(TryPushError::Full(_)) => {
-            return error_response(
-                ErrorCode::QueueFull,
-                &format!(
-                    "the request queue is full ({} pending); retry later",
-                    shared.config.queue_depth
-                ),
-            );
-        }
-        Err(TryPushError::Closed(_)) => {
-            return error_response(ErrorCode::ShuttingDown, "the server is shutting down");
-        }
-    }
-    match reply_rx.recv() {
-        Ok(response) => response,
-        // The worker disappeared without replying (it cannot panic out of a
-        // job — handlers are unwind-caught — so this means the pool died).
-        Err(_) => error_response(ErrorCode::Engine, "the worker pool dropped the request"),
+}
+
+/// Tell a connection refused at the limit why, best effort, then close it.
+fn refuse_connection(mut stream: TcpStream) {
+    let response = error_response(
+        ErrorCode::ConnectionLimit,
+        "the server is at its connection limit; retry later",
+    );
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+    if let Ok(frame) = encode_frame(None, &response.encode()) {
+        let _ = stream.write_all(&frame);
     }
 }
 
@@ -637,7 +1007,7 @@ fn process_batch(shared: &Arc<Shared>, engine: &ProtectionEngine, batch: Vec<Job
                 }
             }
             shared.counters.served.fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(response);
+            job.respond(response);
         }
     }
     flush(&mut pending);
@@ -650,7 +1020,7 @@ fn expired(shared: &Arc<Shared>, job: &Job) -> bool {
     if waited <= shared.config.request_timeout {
         return false;
     }
-    let _ = job.reply.send(error_response(
+    job.respond(error_response(
         ErrorCode::Timeout,
         &format!(
             "request waited {}ms in the queue (limit {}ms)",
@@ -685,7 +1055,7 @@ fn handle_detect_group(shared: &Arc<Shared>, engine: &ProtectionEngine, group: V
     debug_assert_eq!(responses.len(), group.len());
     for (job, response) in group.iter().zip(responses) {
         shared.counters.served.fetch_add(1, Ordering::Relaxed);
-        let _ = job.reply.send(response);
+        job.respond(response);
     }
 }
 
@@ -1042,6 +1412,8 @@ mod tests {
         let bad = ServeConfig { workers: 0, ..ServeConfig::default() };
         assert!(matches!(serve(bad, "127.0.0.1:0"), Err(ServeError::InvalidConfig(_))));
         let bad = ServeConfig { queue_depth: 0, ..ServeConfig::default() };
+        assert!(matches!(serve(bad, "127.0.0.1:0"), Err(ServeError::InvalidConfig(_))));
+        let bad = ServeConfig { max_connections: 0, ..ServeConfig::default() };
         assert!(matches!(serve(bad, "127.0.0.1:0"), Err(ServeError::InvalidConfig(_))));
         // The unified thread-count contract reaches the serving layer too.
         let bad = ServeConfig { engine_threads: 0, ..ServeConfig::default() };

@@ -1,11 +1,12 @@
-//! Property test: a `protect` round-trip over loopback TCP is byte-identical
-//! to the in-process engine, whatever the table size (including 0 rows) or
-//! generator seed.
+//! Property tests over loopback TCP: a `protect` round-trip is
+//! byte-identical to the in-process engine whatever the table size or seed,
+//! and pipelined replies match their request ids under random interleavings
+//! of in-flight counts, worker counts and reply-claiming orders.
 
 use medshield_core::{ProtectionConfig, ProtectionEngine};
 use medshield_datagen::{DatasetConfig, MedicalDataset};
 use medshield_relation::csv;
-use medshield_serve::{serve, Client, ServeConfig};
+use medshield_serve::{serve, Client, Command, PipelinedClient, Request, ServeConfig};
 use proptest::prelude::*;
 
 fn engine_config() -> ProtectionConfig {
@@ -58,6 +59,55 @@ proptest! {
                 Some(expected_detection.selected_tuples as u64)
             );
         }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_replies_match_request_ids_under_random_interleavings(
+        n in 1usize..24,
+        perm_seed in 0u64..10_000,
+        workers in 1usize..4,
+    ) {
+        // Every request sleeps a unique number of milliseconds and the reply
+        // echoes it, so a reply delivered to the wrong id is unmissable.
+        // Workers finish in data-dependent order; replies are then claimed
+        // in a seed-randomized order, forcing `wait` to park and re-match.
+        let handle = serve(
+            ServeConfig {
+                engine: engine_config(),
+                workers,
+                debug_hooks: true,
+                ..ServeConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut client = PipelinedClient::connect(handle.addr()).unwrap();
+        let mut ids: Vec<(u64, u64)> = Vec::new();
+        for i in 0..n as u64 {
+            let id = client
+                .submit(&Request::new(Command::Sleep).param("ms", i.to_string()))
+                .unwrap();
+            ids.push((id, i));
+        }
+        // Fisher–Yates with an LCG: an arbitrary reply-claiming order.
+        let mut state = perm_seed;
+        for i in (1..ids.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            ids.swap(i, j);
+        }
+        for (id, ms) in ids {
+            let reply = client.wait(id).unwrap();
+            prop_assert!(reply.is_ok(), "{}", reply.json);
+            prop_assert!(
+                reply.u64_field("slept_ms") == Some(ms),
+                "reply for id {} answers a different request: {}",
+                id,
+                reply.json
+            );
+        }
+        prop_assert_eq!(client.pending(), 0);
         handle.shutdown();
     }
 }
