@@ -41,7 +41,7 @@ impl Attack for SubsetAddition {
         for col in table.schema().columns() {
             let mut distinct: Vec<Value> = table
                 .column_values(&col.name)
-                .map(|vs| vs.into_iter().cloned().collect::<std::collections::BTreeSet<_>>())
+                .map(|vs| vs.into_iter().collect::<std::collections::BTreeSet<_>>())
                 .unwrap_or_default()
                 .into_iter()
                 .collect();
@@ -105,7 +105,7 @@ mod tests {
         let t = table();
         let attacked = SubsetAddition::new(0.5, 9).apply(&t);
         let originals: std::collections::HashSet<_> =
-            t.column_values("ssn").unwrap().into_iter().cloned().collect();
+            t.column_values("ssn").unwrap().into_iter().collect();
         let added = attacked.iter().skip(t.len());
         for tuple in added {
             assert!(!originals.contains(&tuple.values[0]));
@@ -118,7 +118,7 @@ mod tests {
         let attacked = SubsetAddition::new(0.3, 2).apply(&t);
         let doctor_idx = t.schema().index_of("doctor").unwrap();
         let pool: std::collections::HashSet<_> =
-            t.column_values("doctor").unwrap().into_iter().cloned().collect();
+            t.column_values("doctor").unwrap().into_iter().collect();
         for tuple in attacked.iter().skip(t.len()) {
             assert!(pool.contains(&tuple.values[doctor_idx]));
         }

@@ -42,7 +42,7 @@ impl Attack for SubsetAlteration {
             .map(|c| {
                 let mut distinct: Vec<Value> = attacked
                     .column_values(c)
-                    .map(|vs| vs.into_iter().cloned().collect::<std::collections::BTreeSet<_>>())
+                    .map(|vs| vs.into_iter().collect::<std::collections::BTreeSet<_>>())
                     .unwrap_or_default()
                     .into_iter()
                     .collect();

@@ -75,7 +75,7 @@ impl Attack for SubsetDeletion {
                 // Sort the identifier values and delete contiguous runs until
                 // the requested number of tuples is gone.
                 let mut idents: Vec<_> = match attacked.column_values(&self.identifier_column) {
-                    Ok(vs) => vs.into_iter().cloned().collect(),
+                    Ok(vs) => vs.into_iter().collect(),
                     Err(_) => return attacked,
                 };
                 idents.sort();

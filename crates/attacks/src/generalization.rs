@@ -116,7 +116,7 @@ mod tests {
         let attacked = attack.apply(&ds.table);
         let tree = &ds.trees["symptom"];
         for v in attacked.column_values("symptom").unwrap() {
-            let node = tree.node_for_value(v).unwrap();
+            let node = tree.node_for_value(&v).unwrap();
             assert_eq!(node, tree.root());
         }
     }
@@ -129,7 +129,7 @@ mod tests {
         for column in ["doctor", "symptom", "prescription"] {
             let tree = &ds.trees[column];
             for v in attacked.column_values(column).unwrap() {
-                let node = tree.node_for_value(v).unwrap();
+                let node = tree.node_for_value(&v).unwrap();
                 assert!(tree.depth(node).unwrap() >= 1, "column {column} value {v}");
             }
         }
@@ -164,7 +164,7 @@ mod tests {
         let mut trees = BTreeMap::new();
         trees.insert("role".to_string(), role.clone());
         let attacked = GeneralizationAttack::new(1, trees).apply(&t);
-        assert_eq!(attacked.column_values("role").unwrap()[0], &Value::text("Medical Staff"));
+        assert_eq!(attacked.column_values("role").unwrap()[0], Value::text("Medical Staff"));
     }
 
     #[test]

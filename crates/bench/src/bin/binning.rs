@@ -142,6 +142,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"binning-search-throughput\",\n");
+    json.push_str(&format!("  \"layout\": \"{}\",\n", medshield_bench::TABLE_LAYOUT));
     json.push_str(&format!("  \"rows\": {tuples},\n"));
     json.push_str(&format!("  \"k\": {k},\n"));
     json.push_str(&format!("  \"candidates\": {candidates},\n"));
@@ -152,6 +153,10 @@ fn main() {
     ));
     json.push_str("  \"mode\": \"exhaustive\",\n");
     json.push_str("  \"equivalence_checked\": true,\n");
+    if let Some(kib) = medshield_bench::peak_rss_kib() {
+        json.push_str(&format!("  \"peak_rss_kib\": {kib},\n"));
+        eprintln!("peak RSS: {kib} KiB");
+    }
     json.push_str("  \"threads\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(

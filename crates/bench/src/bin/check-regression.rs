@@ -16,6 +16,10 @@
 //! its durable-store axis (`durable_requests_per_sec`) and the
 //! 1024-connection point of its connections axis, so neither the fsync path
 //! nor the multiplexed I/O core can regress behind the in-memory metric.
+//! Files that record a `layout` axis (the table layout the bench ran
+//! against, `columnar` since the column-store refactor) must match their
+//! baseline's layout, and a baseline layout can never silently disappear
+//! from the fresh file.
 //!
 //! Environment:
 //!
@@ -65,6 +69,25 @@ fn check(fresh_path: &Path, baseline_path: &Path, tolerance: f64) -> Result<Stri
                 ));
             }
         }
+    }
+    // The table layout is part of the workload: columnar rows/s are only
+    // comparable against a columnar baseline. A baseline that records a
+    // layout the fresh file no longer reports means the layout axis stopped
+    // reporting — the guard must never deactivate silently.
+    match (benchjson::top_string(&fresh, "layout"), benchjson::top_string(&baseline, "layout")) {
+        (Some(f), Some(b)) if f != b => {
+            return Err(format!(
+                "{name}: layout mismatch — fresh \"{f}\" vs baseline \"{b}\"; the throughput \
+                 floors below are calibrated per layout, regenerate the baseline"
+            ));
+        }
+        (None, Some(b)) => {
+            return Err(format!(
+                "{name}: the baseline records a \"{b}\" table layout but the fresh file \
+                 reports none — the layout axis of the bench stopped reporting"
+            ));
+        }
+        _ => {}
     }
     // Engine/binning benches report rows_per_sec; the serving-layer bench
     // reports requests_per_sec. Guard whichever the file carries.

@@ -124,6 +124,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"protection-engine-throughput\",\n");
+    json.push_str(&format!("  \"layout\": \"{}\",\n", medshield_bench::TABLE_LAYOUT));
     json.push_str(&format!("  \"rows\": {tuples},\n"));
     json.push_str(&format!("  \"iterations\": {iters},\n"));
     json.push_str(&format!(
@@ -131,6 +132,10 @@ fn main() {
         std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
     ));
     json.push_str("  \"equivalence_checked\": true,\n");
+    if let Some(kib) = medshield_bench::peak_rss_kib() {
+        json.push_str(&format!("  \"peak_rss_kib\": {kib},\n"));
+        eprintln!("peak RSS: {kib} KiB");
+    }
     json.push_str("  \"threads\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(

@@ -137,6 +137,20 @@ pub fn print_figure_header(figure: &str, caption: &str) {
     println!("==================================================================");
 }
 
+/// The table layout the benches run against, recorded as the `layout` axis
+/// of every `BENCH_*.json` so regression checks never compare columnar
+/// numbers against a row-major baseline (or vice versa).
+pub const TABLE_LAYOUT: &str = "columnar";
+
+/// Peak resident set size of this process in KiB, read from
+/// `/proc/self/status` (`VmHWM`). `None` where procfs is unavailable
+/// (non-Linux hosts); the benches then omit the field.
+pub fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Minimal readers for the `BENCH_*.json` files the bench binaries emit.
 ///
 /// The workspace is hermetic (no serde_json), and the files are produced by
@@ -190,6 +204,18 @@ pub mod benchjson {
         field_number(&json[..end], field)
     }
 
+    /// A top-level string field (e.g. `"layout"`), read from the prefix
+    /// before the `"threads"` array so per-thread fields can never shadow
+    /// it.
+    pub fn top_string<'a>(json: &'a str, field: &str) -> Option<&'a str> {
+        let end = json.find("\"threads\": [").unwrap_or(json.len());
+        let head = &json[..end];
+        let needle = format!("\"{field}\":");
+        let at = head.find(&needle)? + needle.len();
+        let rest = head[at..].trim_start().strip_prefix('"')?;
+        rest.split('"').next()
+    }
+
     /// The benchmark name (`"benchmark": "..."`), for log messages.
     pub fn benchmark_name(json: &str) -> Option<&str> {
         let at = json.find("\"benchmark\":")? + "\"benchmark\":".len();
@@ -232,6 +258,7 @@ mod tests {
     fn benchjson_reads_the_emitted_shape() {
         let json = r#"{
   "benchmark": "binning-search-throughput",
+  "layout": "columnar",
   "rows": 2000,
   "threads": [
     {"threads": 1, "rows_per_sec": 700.5, "candidates_per_sec": 17000.0},
@@ -267,5 +294,19 @@ mod tests {
         assert_eq!(benchjson::thread_metric(json, 1, "nope"), None);
         assert_eq!(benchjson::thread_metric("not json", 1, "rows_per_sec"), None);
         assert_eq!(benchjson::benchmark_name("{}"), None);
+        // String fields resolve from the prefix only, like top_metric.
+        assert_eq!(benchjson::top_string(json, "layout"), Some("columnar"));
+        assert_eq!(benchjson::top_string(json, "benchmark"), Some("binning-search-throughput"));
+        assert_eq!(benchjson::top_string(json, "rows"), None);
+        assert_eq!(benchjson::top_string(json, "nope"), None);
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        // The CI hosts are Linux, where /proc/self/status always carries a
+        // VmHWM line; elsewhere the benches simply omit the field.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kib().unwrap() > 0);
+        }
     }
 }

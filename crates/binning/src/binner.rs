@@ -373,7 +373,7 @@ mod tests {
             assert!(cb.minimal.is_at_or_below(tree, &cb.ultimate).unwrap());
             // Every value in the binned column is exactly an ultimate node's value.
             for v in outcome.table.column_values(&cb.column).unwrap() {
-                let node = tree.node_for_value(v).unwrap();
+                let node = tree.node_for_value(&v).unwrap();
                 assert!(
                     cb.ultimate.contains(node),
                     "column {} value {v} is not an ultimate generalization node",

@@ -196,6 +196,84 @@ fn undersized_bin_rows(
     }
 }
 
+/// Largest dense bin-key space the scratch counter will allocate (slots of
+/// `u32`); candidates whose per-column bin counts multiply past this fall
+/// back to the hashed key path.
+const DENSE_BIN_CAP: usize = 1 << 22;
+
+/// Reusable scratch state for the dense candidate-validity check, so the hot
+/// candidate loop performs no per-candidate allocation.
+#[derive(Default)]
+struct BinScratch {
+    /// Dense bin counts, grown to the largest key space seen; only the
+    /// `touched` slots are ever non-zero between candidates.
+    counts: Vec<u32>,
+    /// Keys dirtied by the current candidate (clearing is O(distinct bins),
+    /// not O(key space)).
+    touched: Vec<u32>,
+    /// Per-row packed bin keys, accumulated column by column.
+    keys: Vec<usize>,
+    /// Mixed-radix strides over the candidate's per-column bin counts.
+    strides: Vec<usize>,
+}
+
+/// True if every bin of the candidate (given as per-column option digits)
+/// holds at least `k` rows. The check is a branchless column scan: each
+/// column adds `bin_ix[leaf_ix] * stride` into the per-row key buffer, then
+/// a single counting pass over the packed keys tallies the dense scratch
+/// array. Equivalent to the hashed [`bins_satisfy_k`] (which remains as the
+/// overflow fallback for astronomically wide key spaces).
+fn candidate_satisfies_k(
+    plan: &SearchPlan,
+    leaves: &TableLeaves,
+    digits: &[usize],
+    k: usize,
+    scratch: &mut BinScratch,
+) -> bool {
+    let rows = leaves.rows();
+    if k <= 1 || rows == 0 {
+        return true;
+    }
+    scratch.strides.clear();
+    let mut total: usize = 1;
+    for (c, &d) in plan.columns.iter().zip(digits) {
+        scratch.strides.push(total);
+        total = total.saturating_mul(c.bin_counts[d].max(1));
+        if total > DENSE_BIN_CAP {
+            let covers: Vec<&[NodeId]> =
+                plan.columns.iter().zip(digits).map(|(c, &d)| c.covers[d].as_slice()).collect();
+            let strides = plan.packed_keys.then_some(plan.key_strides.as_slice());
+            return bins_satisfy_k(leaves, &covers, strides, k);
+        }
+    }
+    if scratch.counts.len() < total {
+        scratch.counts.resize(total, 0);
+    }
+    scratch.keys.clear();
+    scratch.keys.resize(rows, 0);
+    for (col, (c, &d)) in plan.columns.iter().zip(digits).enumerate() {
+        let bin_ix = &c.bin_ix[d];
+        let stride = scratch.strides[col];
+        for (key, &leaf_ix) in scratch.keys.iter_mut().zip(&leaves.row_leaf_ix[col]) {
+            *key += bin_ix[leaf_ix as usize] as usize * stride;
+        }
+    }
+    for &key in &scratch.keys {
+        let slot = &mut scratch.counts[key];
+        if *slot == 0 {
+            scratch.touched.push(key as u32);
+        }
+        *slot += 1;
+    }
+    let mut ok = true;
+    for &key in &scratch.touched {
+        ok &= scratch.counts[key as usize] >= k as u32;
+        scratch.counts[key as usize] = 0;
+    }
+    scratch.touched.clear();
+    ok
+}
+
 /// Best candidate of one contiguous linear-index range: the valid candidate
 /// with the lowest score, ties broken by the lowest index.
 fn best_in_range(
@@ -205,18 +283,20 @@ fn best_in_range(
     start: usize,
     end: usize,
 ) -> Option<(f64, usize)> {
-    let strides = plan.packed_keys.then_some(plan.key_strides.as_slice());
+    let mut scratch = BinScratch::default();
     let mut digits = plan.decode(start);
-    let mut covers: Vec<&[NodeId]> = Vec::with_capacity(plan.columns.len());
     let mut best: Option<(f64, usize)> = None;
     for idx in start..end {
-        covers.clear();
-        covers.extend(plan.columns.iter().zip(&digits).map(|(c, &d)| c.covers[d].as_slice()));
-        if bins_satisfy_k(leaves, &covers, strides, k) {
-            let score = plan.candidate_score(&digits);
-            if best.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
-                best = Some((score, idx));
-            }
+        // Score first: the score is a handful of table lookups while the
+        // validity check costs a full row scan, and a candidate whose score
+        // is not strictly below the running best can never replace it (ties
+        // go to the lower index, which this ascending scan saw first) — so
+        // the row scan is skipped for all but the descending-score chain.
+        let score = plan.candidate_score(&digits);
+        if best.as_ref().map(|(s, _)| score < *s).unwrap_or(true)
+            && candidate_satisfies_k(plan, leaves, &digits, k, &mut scratch)
+        {
+            best = Some((score, idx));
         }
         plan.advance(&mut digits);
     }

@@ -23,7 +23,7 @@ use crate::config::SelectionStrategy;
 use crate::error::BinningError;
 use crate::multi::ColumnContext;
 use medshield_dht::{DhtKind, DomainHierarchyTree, GeneralizationSet, NodeId};
-use medshield_relation::Table;
+use medshield_relation::{ColumnData, Table, Value};
 use std::collections::HashMap;
 
 /// Per-column leaf structure of the table: each row's leaf as a dense index
@@ -53,36 +53,77 @@ pub(crate) struct ColumnLeaves {
     pub entry_counts: Vec<usize>,
 }
 
-/// Resolve every row of `column` to its leaf node, memoizing the value→leaf
-/// lookup (distinct values are few compared to rows).
+/// The dense index of `leaf`, allocating a new slot in first-seen order.
+/// Distinct values can share a leaf (e.g. 10 and 12 both fall in [0,25)),
+/// so the dense index space dedupes by leaf.
+fn dense_leaf_ix(
+    leaf: NodeId,
+    leaf_memo: &mut HashMap<NodeId, u32>,
+    leaves: &mut Vec<NodeId>,
+    entry_counts: &mut Vec<usize>,
+) -> u32 {
+    *leaf_memo.entry(leaf).or_insert_with(|| {
+        leaves.push(leaf);
+        entry_counts.push(0);
+        (leaves.len() - 1) as u32
+    })
+}
+
+/// Resolve every row of `column` to its leaf node, reading the typed column
+/// storage directly: dictionary columns resolve each *code* once (the
+/// per-row work is a vector lookup), integer columns memoize per distinct
+/// `i64`. The dense index space is allocated in first-seen row order, so the
+/// result is identical to a row-by-row resolution.
 pub(crate) fn resolve_column_leaves(
     table: &Table,
     column: &str,
     tree: &DomainHierarchyTree,
 ) -> Result<ColumnLeaves, BinningError> {
-    let mut value_memo: HashMap<medshield_relation::Value, u32> = HashMap::new();
+    let col = table.schema().index_of(column)?;
     let mut leaf_memo: HashMap<NodeId, u32> = HashMap::new();
     let mut leaves: Vec<NodeId> = Vec::new();
     let mut entry_counts: Vec<usize> = Vec::new();
     let mut row_leaf_ix: Vec<u32> = Vec::with_capacity(table.len());
-    for v in table.column_values(column)? {
-        let ix = match value_memo.get(v) {
-            Some(&ix) => ix,
-            None => {
-                // Distinct values can share a leaf (e.g. 10 and 12 both fall
-                // in [0,25)), so the dense index space dedupes by leaf.
-                let leaf = tree.leaf_for_value(v).map_err(BinningError::Dht)?;
-                let ix = *leaf_memo.entry(leaf).or_insert_with(|| {
-                    leaves.push(leaf);
-                    entry_counts.push(0);
-                    (leaves.len() - 1) as u32
-                });
-                value_memo.insert(v.clone(), ix);
-                ix
+    match table.columns()[col].data() {
+        ColumnData::Int(values) => {
+            let mut value_memo: HashMap<i64, u32> = HashMap::new();
+            for &v in values {
+                let ix = match value_memo.get(&v) {
+                    Some(&ix) => ix,
+                    None => {
+                        let leaf =
+                            tree.leaf_for_value(&Value::Int(v)).map_err(BinningError::Dht)?;
+                        let ix =
+                            dense_leaf_ix(leaf, &mut leaf_memo, &mut leaves, &mut entry_counts);
+                        value_memo.insert(v, ix);
+                        ix
+                    }
+                };
+                entry_counts[ix as usize] += 1;
+                row_leaf_ix.push(ix);
             }
-        };
-        entry_counts[ix as usize] += 1;
-        row_leaf_ix.push(ix);
+        }
+        ColumnData::Dict { dict, codes } => {
+            // Lazily resolve codes as rows reference them: stale dictionary
+            // entries (never referenced) must not hit `leaf_for_value`, and
+            // lazy resolution preserves the first-seen dense ordering.
+            let mut per_code: Vec<Option<u32>> = vec![None; dict.len()];
+            for &code in codes {
+                let ix = match per_code[code as usize] {
+                    Some(ix) => ix,
+                    None => {
+                        let leaf =
+                            tree.leaf_for_value(&dict[code as usize]).map_err(BinningError::Dht)?;
+                        let ix =
+                            dense_leaf_ix(leaf, &mut leaf_memo, &mut leaves, &mut entry_counts);
+                        per_code[code as usize] = Some(ix);
+                        ix
+                    }
+                };
+                entry_counts[ix as usize] += 1;
+                row_leaf_ix.push(ix);
+            }
+        }
     }
     Ok(ColumnLeaves { leaves, row_leaf_ix, entry_counts })
 }
@@ -127,6 +168,14 @@ pub(crate) struct ColumnPlan {
     /// Per option: covering node of each occurring leaf, indexed by the
     /// column's dense leaf index.
     pub covers: Vec<Vec<NodeId>>,
+    /// Per option: each occurring leaf's covering bin as a dense index
+    /// `0..bin_counts[option]` (bins numbered in first-seen leaf order), so a
+    /// candidate's row keys pack into a scratch-array slot instead of a hash
+    /// map entry.
+    pub bin_ix: Vec<Vec<u32>>,
+    /// Per option: number of distinct covering bins over the occurring
+    /// leaves.
+    pub bin_counts: Vec<usize>,
     /// Per option: the column's selection score (lower is better).
     pub scores: Vec<f64>,
 }
@@ -173,6 +222,8 @@ impl SearchPlan {
             )
             .map_err(BinningError::Dht)?;
             let mut covers = Vec::with_capacity(options.len());
+            let mut bin_ix = Vec::with_capacity(options.len());
+            let mut bin_counts = Vec::with_capacity(options.len());
             let mut scores = Vec::with_capacity(options.len());
             for option in &options {
                 let mut cover = Vec::with_capacity(leaves.leaves[i].len());
@@ -186,9 +237,18 @@ impl SearchPlan {
                     &cover,
                     selection,
                 ));
+                // Relabel the covering nodes into dense bin indices.
+                let mut relabel: HashMap<NodeId, u32> = HashMap::new();
+                let mut ix = Vec::with_capacity(cover.len());
+                for &node in &cover {
+                    let next = relabel.len() as u32;
+                    ix.push(*relabel.entry(node).or_insert(next));
+                }
+                bin_counts.push(relabel.len());
+                bin_ix.push(ix);
                 covers.push(cover);
             }
-            plans.push(ColumnPlan { options, covers, scores });
+            plans.push(ColumnPlan { options, covers, bin_ix, bin_counts, scores });
         }
 
         let radices: Vec<usize> = plans.iter().map(|p| p.options.len()).collect();

@@ -12,12 +12,17 @@
 //! 1. the run-wide state (selector, resolved identity, extended mark, target
 //!    columns) is precomputed once as an
 //!    [`EmbedPlan`](medshield_watermark::EmbedPlan) /
-//!    [`DetectPlan`](medshield_watermark::DetectPlan);
-//! 2. the rows are split into `threads` contiguous chunks
-//!    (`chunks_mut` / `chunks`), one scoped worker per chunk
-//!    (`std::thread::scope` — no extra dependencies, no detached threads);
-//! 3. per-chunk results ([`EmbeddingReport`] counters, detection vote
-//!    tallies) are merged **in chunk order**.
+//!    [`DetectPlan`](medshield_watermark::DetectPlan), and the columnar
+//!    batch state (per-dictionary-code memos, identity codec, interned write
+//!    targets) once as an [`EmbedKernel`](medshield_watermark::EmbedKernel) /
+//!    [`DetectKernel`](medshield_watermark::DetectKernel);
+//! 2. the row index space is split into `threads` contiguous ranges, one
+//!    scoped worker per range (`std::thread::scope` — no extra dependencies,
+//!    no detached threads), every worker reading the same immutable columnar
+//!    table;
+//! 3. per-range results ([`EmbeddingReport`] counters plus edit lists,
+//!    detection vote tallies) are merged **in range order**; embedding edits
+//!    are written back on this thread by `EmbedKernel::apply`.
 //!
 //! Because every per-tuple decision is content-keyed and chunk results merge
 //! by exact integer arithmetic, the parallel output is byte-identical to the
@@ -34,7 +39,9 @@ use medshield_dht::{DomainHierarchyTree, GeneralizationSet};
 use medshield_relation::Table;
 use medshield_watermark::hierarchical::{DetectionTally, EmbeddingReport};
 use medshield_watermark::ownership::{self, OwnershipProof, OwnershipVerdict};
-use medshield_watermark::{DetectionReport, HierarchicalWatermarker, Mark, WatermarkError};
+use medshield_watermark::{
+    DetectionReport, EmbedChunk, HierarchicalWatermarker, Mark, WatermarkError,
+};
 use std::collections::BTreeMap;
 use std::thread;
 
@@ -259,37 +266,37 @@ impl ProtectionEngine {
             .plan_embed(binned_table.schema(), binning_columns, trees, mark)
             .map_err(PipelineError::Watermark)?;
         let mut table = binned_table.snapshot();
-        let rows = table.tuples_mut();
+        let kernel =
+            self.watermarker.prepare_embed(&plan, &mut table).map_err(PipelineError::Watermark)?;
+        let rows = table.len();
         // A 0-row table embeds nothing: return the empty report instead of
         // letting the chunking arithmetic below see a zero length (a served
         // endpoint must never panic on an empty submission).
-        if rows.is_empty() {
+        if rows == 0 {
             let report = EmbeddingReport::empty(plan.wmd_len());
             return Ok((table, report));
         }
-        let threads = self.threads.min(rows.len()).max(1);
-        if threads == 1 {
-            let report =
-                self.watermarker.embed_chunk(&plan, rows, 0).map_err(PipelineError::Watermark)?;
-            return Ok((table, report));
-        }
-        let chunk_size = rows.len().div_ceil(threads);
-        let watermarker = &self.watermarker;
-        let plan = &plan;
-        let results: Vec<Result<EmbeddingReport, WatermarkError>> = thread::scope(|scope| {
-            let workers: Vec<_> = rows
-                .chunks_mut(chunk_size)
-                .enumerate()
-                .map(|(i, chunk)| {
-                    scope.spawn(move || watermarker.embed_chunk(plan, chunk, i * chunk_size))
-                })
-                .collect();
-            workers.into_iter().map(|w| w.join().expect("embedding worker panicked")).collect()
-        });
-        let mut report = EmbeddingReport::empty(plan.wmd_len());
-        for chunk_report in results {
-            report.merge(&chunk_report.map_err(PipelineError::Watermark)?);
-        }
+        let threads = self.threads.min(rows).max(1);
+        let chunks: Vec<EmbedChunk> = if threads == 1 {
+            vec![kernel.run_range(&plan, &table, 0..rows).map_err(PipelineError::Watermark)?]
+        } else {
+            let chunk_size = rows.div_ceil(threads);
+            let kernel_ref = &kernel;
+            let plan_ref = &plan;
+            let table_ref = &table;
+            let results: Vec<Result<EmbedChunk, WatermarkError>> = thread::scope(|scope| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|i| {
+                        let start = (i * chunk_size).min(rows);
+                        let end = ((i + 1) * chunk_size).min(rows);
+                        scope.spawn(move || kernel_ref.run_range(plan_ref, table_ref, start..end))
+                    })
+                    .collect();
+                workers.into_iter().map(|w| w.join().expect("embedding worker panicked")).collect()
+            });
+            results.into_iter().collect::<Result<Vec<_>, _>>().map_err(PipelineError::Watermark)?
+        };
+        let report = kernel.apply(&plan, &mut table, chunks).map_err(PipelineError::Watermark)?;
         Ok((table, report))
     }
 
@@ -308,26 +315,28 @@ impl ProtectionEngine {
             .watermarker
             .plan_detect(table.schema(), columns, trees, mark_len)
             .map_err(PipelineError::Watermark)?;
-        let rows = table.tuples();
+        let rows = table.len();
         // A 0-row table carries no votes: an empty report, never a panic.
-        if rows.is_empty() {
+        if rows == 0 {
             return Ok(DetectionTally::new(plan.wmd_len()).into_report(mark_len));
         }
-        let threads = self.threads.min(rows.len()).max(1);
+        let kernel =
+            self.watermarker.prepare_detect(&plan, table).map_err(PipelineError::Watermark)?;
+        let threads = self.threads.min(rows).max(1);
         if threads == 1 {
             let tally =
-                self.watermarker.detect_chunk(&plan, rows, 0).map_err(PipelineError::Watermark)?;
+                kernel.run_range(&plan, table, 0..rows).map_err(PipelineError::Watermark)?;
             return Ok(tally.into_report(mark_len));
         }
-        let chunk_size = rows.len().div_ceil(threads);
-        let watermarker = &self.watermarker;
+        let chunk_size = rows.div_ceil(threads);
+        let kernel_ref = &kernel;
         let plan_ref = &plan;
         let results: Vec<Result<DetectionTally, WatermarkError>> = thread::scope(|scope| {
-            let workers: Vec<_> = rows
-                .chunks(chunk_size)
-                .enumerate()
-                .map(|(i, chunk)| {
-                    scope.spawn(move || watermarker.detect_chunk(plan_ref, chunk, i * chunk_size))
+            let workers: Vec<_> = (0..threads)
+                .map(|i| {
+                    let start = (i * chunk_size).min(rows);
+                    let end = ((i + 1) * chunk_size).min(rows);
+                    scope.spawn(move || kernel_ref.run_range(plan_ref, table, start..end))
                 })
                 .collect();
             workers.into_iter().map(|w| w.join().expect("detection worker panicked")).collect()

@@ -259,7 +259,7 @@ mod tests {
             let tree = &ds.trees[&cb.column];
             assert!(cb.ultimate.is_at_or_below(tree, &maximal[&cb.column]).unwrap());
             for v in release.table.column_values(&cb.column).unwrap() {
-                let node = tree.node_for_value(v).unwrap();
+                let node = tree.node_for_value(&v).unwrap();
                 assert!(maximal[&cb.column].covering_node(tree, node).is_ok());
             }
         }

@@ -7,6 +7,7 @@
 use crate::md5::Md5;
 use crate::sha1::Sha1;
 use crate::sha256::Sha256;
+use crate::HashAlgorithm;
 
 const BLOCK_LEN: usize = 64;
 const IPAD: u8 = 0x36;
@@ -50,6 +51,138 @@ macro_rules! impl_hmac {
 impl_hmac!(hmac_md5, Md5, 16, "HMAC-MD5 of `message` under `key` (16-byte tag).");
 impl_hmac!(hmac_sha1, Sha1, 20, "HMAC-SHA1 of `message` under `key` (20-byte tag).");
 impl_hmac!(hmac_sha256, Sha256, 32, "HMAC-SHA256 of `message` under `key` (32-byte tag).");
+
+/// Builds the ipad/opad-primed hasher pair for one hasher type: the RFC 2104
+/// key schedule run once, with the two hashers left positioned just past
+/// their 64-byte pad block.
+macro_rules! primed_pair {
+    ($hasher:ident, $digest_len:expr, $key:expr) => {{
+        let key: &[u8] = $key;
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let mut h = $hasher::new();
+            h.update(key);
+            let digest = h.finalize();
+            key_block[..$digest_len].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = key_block[i] ^ IPAD;
+            opad[i] = key_block[i] ^ OPAD;
+        }
+        let mut inner = $hasher::new();
+        inner.update(&ipad);
+        let mut outer = $hasher::new();
+        outer.update(&opad);
+        (inner, outer)
+    }};
+}
+
+/// The ipad/opad midstates for one algorithm: both hashers have already
+/// absorbed their exactly-one-block pad, so a per-message digest costs two
+/// hasher clones instead of a fresh key schedule.
+#[derive(Clone)]
+enum Midstate {
+    Md5 { inner: Md5, outer: Md5 },
+    Sha1 { inner: Sha1, outer: Sha1 },
+    Sha256 { inner: Sha256, outer: Sha256 },
+}
+
+/// A precomputed HMAC key schedule.
+///
+/// [`hmac_md5`]/[`hmac_sha1`]/[`hmac_sha256`] rebuild the padded key blocks
+/// and absorb them into fresh hashers on every call; in the watermarking hot
+/// loops that key schedule dominates the per-tuple cost because the messages
+/// themselves are short. `HmacKey` runs the schedule once at construction and
+/// caches the two primed hashers, producing tags byte-identical to the naive
+/// functions (pinned by tests).
+#[derive(Clone)]
+pub struct HmacKey {
+    algorithm: HashAlgorithm,
+    midstate: Midstate,
+}
+
+impl HmacKey {
+    /// Run the RFC 2104 key schedule for `key` under `algorithm` and cache
+    /// the resulting ipad/opad midstates.
+    pub fn new(algorithm: HashAlgorithm, key: &[u8]) -> Self {
+        let midstate = match algorithm {
+            HashAlgorithm::Md5 => {
+                let (inner, outer) = primed_pair!(Md5, 16, key);
+                Midstate::Md5 { inner, outer }
+            }
+            HashAlgorithm::Sha1 => {
+                let (inner, outer) = primed_pair!(Sha1, 20, key);
+                Midstate::Sha1 { inner, outer }
+            }
+            HashAlgorithm::Sha256 => {
+                let (inner, outer) = primed_pair!(Sha256, 32, key);
+                Midstate::Sha256 { inner, outer }
+            }
+        };
+        HmacKey { algorithm, midstate }
+    }
+
+    /// The hash algorithm this key schedule was built for.
+    pub fn algorithm(&self) -> HashAlgorithm {
+        self.algorithm
+    }
+
+    /// The HMAC tag of `message`, byte-identical to the corresponding
+    /// `hmac_*` function.
+    pub fn digest(&self, message: &[u8]) -> Vec<u8> {
+        self.digest_parts(&[message])
+    }
+
+    /// The HMAC tag of the concatenation of `parts`, without materializing
+    /// the concatenation. Streaming the parts through the inner hasher is
+    /// definitionally equal to hashing their concatenation, so
+    /// `digest_parts(&[a, b]) == digest(a ++ b)` byte for byte.
+    pub fn digest_parts(&self, parts: &[&[u8]]) -> Vec<u8> {
+        match &self.midstate {
+            Midstate::Md5 { inner, outer } => {
+                let mut h = inner.clone();
+                for part in parts {
+                    h.update(part);
+                }
+                let inner_digest = h.finalize();
+                let mut o = outer.clone();
+                o.update(&inner_digest);
+                o.finalize().to_vec()
+            }
+            Midstate::Sha1 { inner, outer } => {
+                let mut h = inner.clone();
+                for part in parts {
+                    h.update(part);
+                }
+                let inner_digest = h.finalize();
+                let mut o = outer.clone();
+                o.update(&inner_digest);
+                o.finalize().to_vec()
+            }
+            Midstate::Sha256 { inner, outer } => {
+                let mut h = inner.clone();
+                for part in parts {
+                    h.update(part);
+                }
+                let inner_digest = h.finalize();
+                let mut o = outer.clone();
+                o.update(&inner_digest);
+                o.finalize().to_vec()
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The midstates are key material; never print them.
+        f.debug_struct("HmacKey").field("algorithm", &self.algorithm).finish_non_exhaustive()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -114,5 +247,48 @@ mod tests {
         assert_ne!(hmac_sha256(b"k1", msg), hmac_sha256(b"k2", msg));
         assert_ne!(hmac_sha1(b"k1", msg), hmac_sha1(b"k2", msg));
         assert_ne!(hmac_md5(b"k1", msg), hmac_md5(b"k2", msg));
+    }
+
+    #[test]
+    fn cached_midstate_matches_naive_path() {
+        // The midstate-cached schedule must be byte-identical to the naive
+        // per-call functions for every algorithm, across the key-length cases
+        // RFC 2104 distinguishes (short, exactly block-sized, longer than a
+        // block) and messages spanning block boundaries.
+        let keys: [&[u8]; 4] = [b"", b"k1", &[0x0b; 64], &[0xaa; 131]];
+        let messages: [&[u8]; 4] = [b"", b"Hi There", &[0x42; 64], &[0x37; 200]];
+        for key in keys {
+            for msg in messages {
+                let md5_key = HmacKey::new(HashAlgorithm::Md5, key);
+                assert_eq!(md5_key.digest(msg), hmac_md5(key, msg).to_vec());
+                let sha1_key = HmacKey::new(HashAlgorithm::Sha1, key);
+                assert_eq!(sha1_key.digest(msg), hmac_sha1(key, msg).to_vec());
+                let sha256_key = HmacKey::new(HashAlgorithm::Sha256, key);
+                assert_eq!(sha256_key.digest(msg), hmac_sha256(key, msg).to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn digest_parts_equals_digest_of_concatenation() {
+        let key = HmacKey::new(HashAlgorithm::Sha256, b"k2");
+        let (a, b, c): (&[u8], &[u8], &[u8]) = (b"perm:age\x1f", b"ident-", b"bytes");
+        let mut concat = a.to_vec();
+        concat.extend_from_slice(b);
+        concat.extend_from_slice(c);
+        assert_eq!(key.digest_parts(&[a, b, c]), key.digest(&concat));
+        assert_eq!(key.digest_parts(&[&concat]), key.digest(&concat));
+        assert_eq!(key.digest_parts(&[]), key.digest(b""));
+    }
+
+    #[test]
+    fn cached_key_is_reusable_across_messages() {
+        // Reusing one HmacKey for many messages must not leak state between
+        // calls: each digest equals a fresh naive computation.
+        let key = HmacKey::new(HashAlgorithm::Sha256, b"watermark-key");
+        for i in 0..32u32 {
+            let msg = i.to_be_bytes();
+            assert_eq!(key.digest(&msg), hmac_sha256(b"watermark-key", &msg).to_vec());
+        }
     }
 }

@@ -57,7 +57,7 @@ pub mod sha256;
 
 pub use aes::{Aes128, AesBlock};
 pub use error::CryptoError;
-pub use hmac::{hmac_md5, hmac_sha1, hmac_sha256};
+pub use hmac::{hmac_md5, hmac_sha1, hmac_sha256, HmacKey};
 pub use prf::{KeyedPrf, PrfAlgorithm};
 
 /// The digest size, in bytes, of MD5.

@@ -11,6 +11,7 @@
 //! distribution assumptions of the paper (§6: "the use of hash function in the
 //! suitability selection step renders a uniform culling") hold everywhere.
 
+use crate::hmac::HmacKey;
 use crate::HashAlgorithm;
 
 /// Which keyed-hash construction backs the PRF.
@@ -27,10 +28,15 @@ impl Default for PrfAlgorithm {
 }
 
 /// A keyed PRF mapping byte strings to uniformly distributed `u64` values.
+///
+/// The HMAC ipad/opad key schedule is run once at construction and cached
+/// ([`HmacKey`]), so per-message derivations cost two midstate clones rather
+/// than a fresh key schedule — the difference dominates the watermarking hot
+/// loops, where messages are short tuple identifiers.
 #[derive(Debug, Clone)]
 pub struct KeyedPrf {
-    key: Vec<u8>,
     algorithm: PrfAlgorithm,
+    hmac: HmacKey,
 }
 
 impl KeyedPrf {
@@ -41,7 +47,10 @@ impl KeyedPrf {
 
     /// Create a PRF with an explicit algorithm.
     pub fn with_algorithm(key: impl AsRef<[u8]>, algorithm: PrfAlgorithm) -> Self {
-        KeyedPrf { key: key.as_ref().to_vec(), algorithm }
+        let hmac = match algorithm {
+            PrfAlgorithm::Hmac(h) => HmacKey::new(h, key.as_ref()),
+        };
+        KeyedPrf { algorithm, hmac }
     }
 
     /// The algorithm backing this PRF.
@@ -51,9 +60,14 @@ impl KeyedPrf {
 
     /// The full keyed digest of `data`.
     pub fn digest(&self, data: &[u8]) -> Vec<u8> {
-        match self.algorithm {
-            PrfAlgorithm::Hmac(h) => h.keyed_digest(&self.key, data),
-        }
+        self.hmac.digest(data)
+    }
+
+    /// The full keyed digest of the concatenation of `parts`, streamed so the
+    /// caller never materializes the concatenated message. Byte-identical to
+    /// `digest` of the concatenation.
+    pub fn digest_parts(&self, parts: &[&[u8]]) -> Vec<u8> {
+        self.hmac.digest_parts(parts)
     }
 
     /// Map `data` to a `u64` by taking the first eight bytes of the keyed
@@ -124,6 +138,41 @@ impl KeyedPrf {
             return 0;
         }
         (self.value_wide(&Self::labeled_message(label, data)) % u128::from(modulus)) as u64
+    }
+
+    /// The domain-separation prefix for `label`: the label bytes plus the
+    /// unit separator. Hoist this out of a hot loop and pass it to
+    /// [`KeyedPrf::prefixed_value_wide`] to avoid re-formatting the label and
+    /// concatenating the message per call.
+    pub fn label_prefix(label: &str) -> Vec<u8> {
+        let mut prefix = Vec::with_capacity(label.len() + 1);
+        prefix.extend_from_slice(label.as_bytes());
+        prefix.push(0x1f);
+        prefix
+    }
+
+    /// The wide (128-bit) value of the domain-separated message, given a
+    /// prefix precomputed by [`KeyedPrf::label_prefix`]. Equal to
+    /// `value_wide(label ++ 0x1f ++ data)` — the parts are streamed through
+    /// the cached HMAC midstate instead of concatenated.
+    pub fn prefixed_value_wide(&self, prefix: &[u8], data: &[u8]) -> u128 {
+        let digest = self.digest_parts(&[prefix, data]);
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(&digest[..16]);
+        u128::from_be_bytes(bytes)
+    }
+
+    /// Reduce a wide value obtained from [`KeyedPrf::value_wide`] or
+    /// [`KeyedPrf::prefixed_value_wide`] modulo `modulus`, with the same
+    /// zero-modulus convention as [`KeyedPrf::value_mod`]. Splitting the
+    /// digest from the reduction lets batch kernels evaluate one HMAC per
+    /// (identity, column) and reuse the wide value across every per-level
+    /// modulus: `reduce_wide(value_wide(m), n) == value_mod(m, n)` exactly.
+    pub fn reduce_wide(wide: u128, modulus: u64) -> u64 {
+        if modulus == 0 {
+            return 0;
+        }
+        (wide % u128::from(modulus)) as u64
     }
 }
 
@@ -221,6 +270,47 @@ mod tests {
                 prf.labeled_value_mod("perm", b"t", m),
                 (prf.value_wide(&msg) % u128::from(m)) as u64
             );
+        }
+    }
+
+    #[test]
+    fn prefixed_wide_value_matches_labeled_path() {
+        // The batch kernels derive one wide value per (ident, column) via the
+        // precomputed label prefix and reduce it per level; every reduction
+        // must equal the per-call labeled_value_mod it replaces.
+        for algorithm in [
+            PrfAlgorithm::Hmac(HashAlgorithm::Md5),
+            PrfAlgorithm::Hmac(HashAlgorithm::Sha1),
+            PrfAlgorithm::Hmac(HashAlgorithm::Sha256),
+        ] {
+            let prf = KeyedPrf::with_algorithm(b"k2", algorithm);
+            let prefix = KeyedPrf::label_prefix("perm:diagnosis");
+            for i in 0..16u32 {
+                let ident = i.to_be_bytes();
+                let wide = prf.prefixed_value_wide(&prefix, &ident);
+                for m in [0u64, 1, 2, 3, 7, 10, 255, u64::MAX] {
+                    assert_eq!(
+                        KeyedPrf::reduce_wide(wide, m),
+                        prf.labeled_value_mod("perm:diagnosis", &ident, m)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn digest_matches_naive_hmac() {
+        // KeyedPrf now caches the HMAC key schedule; its digests must stay
+        // byte-identical to the from-scratch hmac_* functions.
+        use crate::hmac::{hmac_md5, hmac_sha1, hmac_sha256};
+        for key in [&b"k"[..], &[0xaa; 131][..]] {
+            let msg = b"tuple-ident";
+            let md5 = KeyedPrf::with_algorithm(key, PrfAlgorithm::Hmac(HashAlgorithm::Md5));
+            assert_eq!(md5.digest(msg), hmac_md5(key, msg).to_vec());
+            let sha1 = KeyedPrf::with_algorithm(key, PrfAlgorithm::Hmac(HashAlgorithm::Sha1));
+            assert_eq!(sha1.digest(msg), hmac_sha1(key, msg).to_vec());
+            let sha256 = KeyedPrf::with_algorithm(key, PrfAlgorithm::Hmac(HashAlgorithm::Sha256));
+            assert_eq!(sha256.digest(msg), hmac_sha256(key, msg).to_vec());
         }
     }
 

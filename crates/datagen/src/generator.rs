@@ -200,7 +200,7 @@ mod tests {
             let tree = d.tree(&column).unwrap();
             for v in d.table.column_values(&column).unwrap() {
                 assert!(
-                    tree.leaf_for_value(v).is_ok(),
+                    tree.leaf_for_value(&v).is_ok(),
                     "column {column} value {v} not in the tree domain"
                 );
             }

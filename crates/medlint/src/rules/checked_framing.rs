@@ -27,7 +27,13 @@ fn is_lenish(word: &str) -> bool {
 }
 
 fn in_scope(rel: &str) -> bool {
-    rel == "crates/serve/src/protocol.rs" || rel == "crates/core/src/codec.rs"
+    rel == "crates/serve/src/protocol.rs"
+        || rel == "crates/core/src/codec.rs"
+        // The columnar table core: dictionary codes and row indices flow
+        // between `u32` storage and `usize` addressing, and the CSV boundary
+        // feeds it externally-supplied data.
+        || rel == "crates/relation/src/column.rs"
+        || rel == "crates/relation/src/csv.rs"
 }
 
 impl Rule for CheckedFraming {
@@ -161,10 +167,12 @@ mod tests {
     }
 
     #[test]
-    fn scope_is_protocol_and_codec_only() {
+    fn scope_is_protocol_codec_and_column_store() {
         let src = "fn f(v: &[u8]) -> u32 { v.len() as u32 }\n";
         assert!(diags("crates/serve/src/server.rs", src).is_empty());
         assert!(!diags("crates/serve/src/protocol.rs", src).is_empty());
+        assert!(!diags("crates/relation/src/column.rs", src).is_empty());
+        assert!(!diags("crates/relation/src/csv.rs", src).is_empty());
     }
 
     #[test]

@@ -15,12 +15,18 @@
 //!
 //! * [`Value`] — a typed cell value (integer, text, half-open interval, null).
 //! * [`ColumnRole`] / [`ColumnDef`] / [`Schema`] — schema with privacy roles.
-//! * [`Table`] / [`Tuple`] / [`TupleId`] — a row store with stable tuple ids,
-//!   insertion, per-column access, predicate-based deletion, and iteration.
+//! * [`Table`] / [`Tuple`] / [`TupleId`] — a columnar store with stable tuple
+//!   ids, insertion, per-column access, predicate-based deletion, and a
+//!   row-materializing compatibility view.
+//! * [`Column`] / [`ColumnData`] — the typed column vectors behind the table:
+//!   native `i64` vectors for integers, dictionary-encoded code vectors for
+//!   categorical/generalized data; the batch kernels of the binning and
+//!   watermarking crates read these directly.
 //! * [`Predicate`] — a tiny predicate language sufficient for the attack
 //!   models (`DELETE FROM R WHERE ssn > lo AND ssn < hi`).
-//! * [`stats`] — per-column statistics (value counts, bin sizes, group-by over
-//!   quasi-identifier combinations) used by the metrics crate.
+//! * [`stats`] — per-column statistics (value counts, one-pass min/max/
+//!   distinct, bin sizes, group-by over quasi-identifier combinations) used
+//!   by the metrics crate.
 //! * [`csv`] — plain-text import/export for inspection of generated data.
 //!
 //! ```
@@ -34,12 +40,13 @@
 //! let mut table = Table::new(schema);
 //! table.insert(vec![Value::text("123-45-6789"), Value::int(42)]).unwrap();
 //! assert_eq!(table.len(), 1);
-//! assert_eq!(table.column_values("age").unwrap(), vec![&Value::int(42)]);
+//! assert_eq!(table.column_values("age").unwrap(), vec![Value::int(42)]);
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod column;
 pub mod csv;
 pub mod error;
 pub mod predicate;
@@ -48,6 +55,7 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use column::{Column, ColumnData, DictColumn};
 pub use error::RelationError;
 pub use predicate::Predicate;
 pub use schema::{ColumnDef, ColumnRole, Schema};

@@ -1,11 +1,19 @@
-//! The row-store table.
+//! The columnar table.
 //!
-//! A [`Table`] is an append-oriented row store with stable [`TupleId`]s. The
-//! id survives deletions of other tuples, which matters for the attack models
+//! A [`Table`] is an append-oriented store with stable [`TupleId`]s. The id
+//! survives deletions of other tuples, which matters for the attack models
 //! (the attacker deletes or alters tuples, the detector must still find the
 //! watermarked survivors) and for the interference analysis (§6), which tracks
 //! how individual bins gain or lose members.
+//!
+//! Storage is column-major: one typed [`Column`] per schema column (native
+//! `i64` vectors for integer data, dictionary-encoded code vectors for
+//! everything else — see the [`column`](crate::column) module), plus one id
+//! vector. The row-major [`Tuple`] remains as a materialized view for callers
+//! that want whole rows ([`Table::get`], [`Table::iter`], [`Table::tuples`]);
+//! the hot paths read [`Table::columns`] directly.
 
+use crate::column::Column;
 use crate::error::RelationError;
 use crate::predicate::Predicate;
 use crate::schema::Schema;
@@ -22,7 +30,10 @@ impl std::fmt::Display for TupleId {
     }
 }
 
-/// A single row: a tuple id plus one value per schema column.
+/// A single materialized row: a tuple id plus one value per schema column.
+///
+/// With the columnar core this is a *view*, produced on demand; mutating a
+/// `Tuple` does not write back to the table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tuple {
     /// Stable id of this tuple.
@@ -38,18 +49,20 @@ impl Tuple {
     }
 }
 
-/// An in-memory relational table.
+/// An in-memory relational table with columnar storage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
     schema: Schema,
-    rows: Vec<Tuple>,
+    ids: Vec<TupleId>,
+    columns: Vec<Column>,
     next_id: u64,
 }
 
 impl Table {
     /// Create an empty table with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new(), next_id: 0 }
+        let columns = (0..schema.arity()).map(|_| Column::new()).collect();
+        Table { schema, ids: Vec::new(), columns, next_id: 0 }
     }
 
     /// The table's schema.
@@ -59,12 +72,29 @@ impl Table {
 
     /// Number of tuples currently stored.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.ids.len()
     }
 
     /// True if the table holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.ids.is_empty()
+    }
+
+    /// The typed column vectors, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// One typed column by schema index.
+    pub fn column(&self, index: usize) -> Option<&Column> {
+        self.columns.get(index)
+    }
+
+    /// Mutable access to one typed column by schema index, for batch kernels
+    /// that intern dictionary values or apply code edits. Callers must not
+    /// change the column's row count.
+    pub fn column_mut(&mut self, index: usize) -> Option<&mut Column> {
+        self.columns.get_mut(index)
     }
 
     /// Insert a tuple, returning its assigned id.
@@ -80,7 +110,10 @@ impl Table {
         }
         let id = TupleId(self.next_id);
         self.next_id += 1;
-        self.rows.push(Tuple { id, values });
+        self.ids.push(id);
+        for (column, value) in self.columns.iter_mut().zip(&values) {
+            column.push(value);
+        }
         Ok(id)
     }
 
@@ -96,45 +129,56 @@ impl Table {
         Ok(ids)
     }
 
-    /// Iterate over all tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.rows.iter()
+    /// Materialize the row at position `row` (not id) as a [`Tuple`].
+    pub fn row(&self, row: usize) -> Option<Tuple> {
+        let id = *self.ids.get(row)?;
+        let values = self.columns.iter().map(|c| c.value(row)).collect();
+        Some(Tuple { id, values })
     }
 
-    /// All tuples as a slice, in insertion order. Row chunks handed to
-    /// parallel workers are sub-slices of this.
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.rows
+    /// The position of tuple `id`, if present.
+    pub fn row_of(&self, id: TupleId) -> Option<usize> {
+        self.ids.iter().position(|&t| t == id)
     }
 
-    /// All tuples as a mutable slice, in insertion order. The chunk-parallel
-    /// protection engine splits this with `chunks_mut` so each worker edits a
-    /// disjoint row range in place. Callers must preserve each tuple's arity
-    /// (as with [`Table::iter_mut`]).
-    pub fn tuples_mut(&mut self) -> &mut [Tuple] {
-        &mut self.rows
+    /// The value at (`row` position, `column` index), materialized.
+    pub fn value_at(&self, row: usize, column: usize) -> Option<Value> {
+        let c = self.columns.get(column)?;
+        if row < c.len() {
+            Some(c.value(row))
+        } else {
+            None
+        }
     }
 
-    /// Iterate mutably over all tuples.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Tuple> {
-        self.rows.iter_mut()
+    /// Iterate over all tuples in insertion order, materializing each row.
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.len()).map(|row| {
+            let values = self.columns.iter().map(|c| c.value(row)).collect();
+            Tuple { id: self.ids[row], values }
+        })
     }
 
-    /// Fetch a tuple by id.
-    pub fn get(&self, id: TupleId) -> Option<&Tuple> {
-        self.rows.iter().find(|t| t.id == id)
+    /// All tuples materialized as rows, in insertion order.
+    ///
+    /// This is the row-major compatibility view; it clones every cell. Hot
+    /// paths (binning, watermark kernels, the engine) read
+    /// [`Table::columns`] instead — medlint's `no-tuple-materialization`
+    /// rule enforces that in the migrated modules.
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.iter().collect()
     }
 
-    /// Fetch a tuple mutably by id.
-    pub fn get_mut(&mut self, id: TupleId) -> Option<&mut Tuple> {
-        self.rows.iter_mut().find(|t| t.id == id)
+    /// Fetch a tuple by id, materialized.
+    pub fn get(&self, id: TupleId) -> Option<Tuple> {
+        self.row(self.row_of(id)?)
     }
 
-    /// Read the value of column `column` in tuple `id`.
-    pub fn value(&self, id: TupleId, column: &str) -> Result<&Value, RelationError> {
+    /// Read the value of column `column` in tuple `id`, materialized.
+    pub fn value(&self, id: TupleId, column: &str) -> Result<Value, RelationError> {
         let idx = self.schema.index_of(column)?;
-        let tuple = self.get(id).ok_or(RelationError::UnknownTuple(id.0))?;
-        Ok(&tuple.values[idx])
+        let row = self.row_of(id).ok_or(RelationError::UnknownTuple(id.0))?;
+        Ok(self.columns[idx].value(row))
     }
 
     /// Overwrite the value of column `column` in tuple `id`.
@@ -145,22 +189,23 @@ impl Table {
         value: Value,
     ) -> Result<(), RelationError> {
         let idx = self.schema.index_of(column)?;
-        let tuple = self.get_mut(id).ok_or(RelationError::UnknownTuple(id.0))?;
-        tuple.values[idx] = value;
+        let row = self.row_of(id).ok_or(RelationError::UnknownTuple(id.0))?;
+        self.columns[idx].set(row, &value);
         Ok(())
     }
 
-    /// All values of one column, in row order.
-    pub fn column_values(&self, column: &str) -> Result<Vec<&Value>, RelationError> {
+    /// All values of one column, materialized in row order.
+    pub fn column_values(&self, column: &str) -> Result<Vec<Value>, RelationError> {
         let idx = self.schema.index_of(column)?;
-        Ok(self.rows.iter().map(|t| &t.values[idx]).collect())
+        let c = &self.columns[idx];
+        Ok((0..c.len()).map(|row| c.value(row)).collect())
     }
 
     /// Ids of tuples satisfying `predicate`.
     pub fn select(&self, predicate: &Predicate) -> Result<Vec<TupleId>, RelationError> {
         let mut out = Vec::new();
-        for tuple in &self.rows {
-            if predicate.matches(&self.schema, tuple)? {
+        for tuple in self.iter() {
+            if predicate.matches(&self.schema, &tuple)? {
                 out.push(tuple.id);
             }
         }
@@ -172,23 +217,32 @@ impl Table {
     /// attack of §7.2.
     pub fn delete_where(&mut self, predicate: &Predicate) -> Result<usize, RelationError> {
         let victims = self.select(predicate)?;
-        let victim_set: std::collections::HashSet<TupleId> = victims.iter().copied().collect();
-        let before = self.rows.len();
-        self.rows.retain(|t| !victim_set.contains(&t.id));
-        Ok(before - self.rows.len())
+        Ok(self.delete_ids(&victims))
     }
 
     /// Delete specific tuples by id; returns the number removed.
     pub fn delete_ids(&mut self, ids: &[TupleId]) -> usize {
         let victim_set: std::collections::HashSet<TupleId> = ids.iter().copied().collect();
-        let before = self.rows.len();
-        self.rows.retain(|t| !victim_set.contains(&t.id));
-        before - self.rows.len()
+        let keep: Vec<bool> = self.ids.iter().map(|id| !victim_set.contains(id)).collect();
+        let removed = keep.iter().filter(|&&k| !k).count();
+        if removed == 0 {
+            return 0;
+        }
+        for column in &mut self.columns {
+            column.retain_rows(&keep);
+        }
+        let mut row = 0;
+        self.ids.retain(|_| {
+            let k = keep[row];
+            row += 1;
+            k
+        });
+        removed
     }
 
     /// All tuple ids in row order.
     pub fn ids(&self) -> Vec<TupleId> {
-        self.rows.iter().map(|t| t.id).collect()
+        self.ids.clone()
     }
 
     /// A deep copy of the table with the same ids (used to snapshot the
@@ -201,6 +255,7 @@ impl Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::column::ColumnData;
     use crate::schema::{ColumnDef, ColumnRole};
 
     fn small_table() -> Table {
@@ -246,9 +301,9 @@ mod tests {
     #[test]
     fn value_access_and_update() {
         let mut t = small_table();
-        assert_eq!(t.value(TupleId(1), "age").unwrap(), &Value::int(61));
+        assert_eq!(t.value(TupleId(1), "age").unwrap(), Value::int(61));
         t.set_value(TupleId(1), "age", Value::interval(60, 70)).unwrap();
-        assert_eq!(t.value(TupleId(1), "age").unwrap(), &Value::interval(60, 70));
+        assert_eq!(t.value(TupleId(1), "age").unwrap(), Value::interval(60, 70));
         assert!(t.value(TupleId(1), "nope").is_err());
         assert!(t.value(TupleId(99), "age").is_err());
         assert!(t.set_value(TupleId(99), "age", Value::Null).is_err());
@@ -260,6 +315,18 @@ mod tests {
         let ages: Vec<i64> =
             t.column_values("age").unwrap().iter().map(|v| v.as_int().unwrap()).collect();
         assert_eq!(ages, vec![34, 61, 29]);
+    }
+
+    #[test]
+    fn columnar_layout_is_typed() {
+        let t = small_table();
+        // Integer data stays native; categorical data is dictionary-coded.
+        assert!(matches!(t.column(1).unwrap().data(), ColumnData::Int([34, 61, 29])));
+        let ColumnData::Dict { dict, codes } = t.column(2).unwrap().data() else {
+            panic!("categorical column should be dictionary-encoded");
+        };
+        assert_eq!(dict.len(), 2, "two distinct doctors interned once");
+        assert_eq!(codes, &[0, 1, 0]);
     }
 
     #[test]
@@ -297,23 +364,36 @@ mod tests {
         let mut t = small_table();
         let snap = t.snapshot();
         t.set_value(TupleId(0), "age", Value::int(99)).unwrap();
-        assert_eq!(snap.value(TupleId(0), "age").unwrap(), &Value::int(34));
-        assert_eq!(t.value(TupleId(0), "age").unwrap(), &Value::int(99));
+        assert_eq!(snap.value(TupleId(0), "age").unwrap(), Value::int(34));
+        assert_eq!(t.value(TupleId(0), "age").unwrap(), Value::int(99));
     }
 
     #[test]
-    fn tuple_slices_expose_rows_in_order() {
-        let mut t = small_table();
+    fn materialized_views_expose_rows_in_order() {
+        let t = small_table();
         let ids: Vec<TupleId> = t.tuples().iter().map(|tp| tp.id).collect();
         assert_eq!(ids, t.ids());
-        // Mutating through a chunk of the slice edits the table in place.
-        let mid = t.len() / 2;
-        let (_, back) = t.tuples_mut().split_at_mut(mid);
-        for tuple in back {
-            tuple.values[1] = Value::int(0);
+        for (row, tuple) in t.iter().enumerate() {
+            assert_eq!(t.row(row).unwrap(), tuple);
+            for (col, value) in tuple.values.iter().enumerate() {
+                assert_eq!(t.value_at(row, col).as_ref(), Some(value));
+            }
         }
-        assert_eq!(t.value(TupleId(2), "age").unwrap(), &Value::int(0));
-        assert_eq!(t.value(TupleId(0), "age").unwrap(), &Value::int(34));
+        assert!(t.row(3).is_none());
+        assert!(t.value_at(0, 9).is_none());
+        assert!(t.value_at(9, 0).is_none());
+    }
+
+    #[test]
+    fn code_edits_write_through_to_values() {
+        // The embed kernel's write path: intern a replacement value, then
+        // overwrite rows by dictionary code.
+        let mut t = small_table();
+        let dict = t.column_mut(2).unwrap().promote();
+        let nurse = dict.intern(&Value::text("Nurse"));
+        dict.set_code(0, nurse);
+        assert_eq!(t.value(TupleId(0), "doctor").unwrap(), Value::text("Nurse"));
+        assert_eq!(t.value(TupleId(1), "doctor").unwrap(), Value::text("Pharmacist"));
     }
 
     #[test]

@@ -1104,10 +1104,14 @@ fn detect_group_responses(
         };
         // The shared plan applies when the suspect's schema matches the one
         // it was built from; otherwise fall back to the engine's own path.
+        // The per-suspect detect kernel memoizes each distinct cell value's
+        // tree walk, so every suspect still pays only one PRF per selected
+        // (tuple, column).
         let report: Result<DetectionReport, PipelineError> = match (&plan, &plan_schema) {
             (Some(plan), Some(schema)) if table.schema() == schema && !table.is_empty() => engine
                 .watermarker()
-                .detect_chunk(plan, table.tuples(), 0)
+                .prepare_detect(plan, table)
+                .and_then(|kernel| kernel.run_range(plan, table, 0..table.len()))
                 .map(|tally| tally.into_report(mark_len))
                 .map_err(PipelineError::Watermark),
             _ => engine.detect(table, &stored.columns, &shared.trees),

@@ -19,13 +19,13 @@
 //! replicated copies inside `wmd` are folded by majority into the final mark.
 
 use crate::error::WatermarkError;
+use crate::kernel::{hierarchical_cell_vote, DetectKernel, EmbedKernel, EmbedStyle};
 use crate::key::{Mark, WatermarkConfig};
 use crate::plan::{DetectPlan, EmbedPlan};
-use crate::select::{set_parity, Selector};
-use crate::voting::{level_weights, majority, weighted_majority, VoteAccumulator};
+use crate::voting::VoteAccumulator;
 use medshield_binning::{BinningOutcome, ColumnBinning};
 use medshield_dht::{DomainHierarchyTree, GeneralizationSet, NodeId};
-use medshield_relation::{Table, Tuple};
+use medshield_relation::Table;
 use std::collections::BTreeMap;
 
 /// Statistics of an embedding run (or of one row chunk of a run; chunk
@@ -176,75 +176,19 @@ impl HierarchicalWatermarker {
         EmbedPlan::build(&self.config, schema, binning_columns, trees, mark)
     }
 
-    /// Embed the planned mark into one chunk of rows, in place.
-    ///
-    /// `row_offset` is the absolute index of `rows[0]` in the full table. The
-    /// hierarchical scheme keys every per-tuple decision on the tuple's
-    /// *content* (Eq. 5), never on its position — which is exactly why
-    /// chunked runs reproduce the sequential output — so the offset does not
-    /// influence this kernel; it is part of the signature so position-keyed
-    /// schemes can slot in behind the same chunk interface.
-    pub fn embed_chunk(
+    /// Prepare the columnar embedding kernel for `plan` against `table`:
+    /// promote the target columns to dictionary encoding, intern every
+    /// ultimate node's value, and memoize the per-distinct-value tree
+    /// resolution. The kernel is immutable; workers call
+    /// [`EmbedKernel::run_range`] over disjoint row ranges of the shared
+    /// table and the caller writes the resulting edit lists back with
+    /// [`EmbedKernel::apply`].
+    pub fn prepare_embed(
         &self,
         plan: &EmbedPlan<'_>,
-        rows: &mut [Tuple],
-        row_offset: usize,
-    ) -> Result<EmbeddingReport, WatermarkError> {
-        let _ = row_offset;
-        let mut report = EmbeddingReport::empty(plan.wmd.len());
-        let Some(identity) = &plan.core.identity else {
-            // Embedding plans always resolve an identity (plan_embed rejects
-            // missing columns); guard anyway so a detect plan misused for
-            // embedding cannot panic.
-            return Ok(report);
-        };
-        for tuple in rows.iter_mut() {
-            let ident = identity.bytes(tuple);
-            if !plan.core.selector.selects(&ident) {
-                continue;
-            }
-            report.selected_tuples += 1;
-            for pc in &plan.core.columns {
-                let column = &pc.binning.column;
-                let value = &tuple.values[pc.index];
-                if value.is_null() {
-                    report.skipped_cells += 1;
-                    continue;
-                }
-                let Ok(target) = pc.binning.ultimate.node_for_value(pc.tree, value) else {
-                    report.skipped_cells += 1;
-                    continue;
-                };
-                let max_node = pc
-                    .binning
-                    .maximal
-                    .covering_node(pc.tree, target)
-                    .map_err(WatermarkError::Dht)?;
-                if pc.binning.ultimate.contains(max_node) {
-                    // No gap at this cell: permuting here would exceed the
-                    // usage metrics (§5.1 special case), so skip it.
-                    report.skipped_cells += 1;
-                    continue;
-                }
-                let bit = plan.wmd[plan.core.selector.bit_index(&ident, column, plan.wmd.len())];
-                let new_node = descend_with_bit(
-                    pc.tree,
-                    &pc.binning.ultimate,
-                    max_node,
-                    &plan.core.selector,
-                    &ident,
-                    column,
-                    bit,
-                )?;
-                let new_value = pc.tree.node_value(new_node).map_err(WatermarkError::Dht)?;
-                report.embedded_cells += 1;
-                if &new_value != value {
-                    report.changed_cells += 1;
-                }
-                tuple.values[pc.index] = new_value;
-            }
-        }
-        Ok(report)
+        table: &mut Table,
+    ) -> Result<EmbedKernel, WatermarkError> {
+        EmbedKernel::prepare(plan, table, EmbedStyle::Hierarchical)
     }
 
     /// `Embedding(tbl, tr, maxgends, ultigends, k1, k2, η, wm)`: watermark the
@@ -272,7 +216,9 @@ impl HierarchicalWatermarker {
     ) -> Result<(Table, EmbeddingReport), WatermarkError> {
         let plan = self.plan_embed(binned_table.schema(), binning_columns, trees, mark)?;
         let mut table = binned_table.snapshot();
-        let report = self.embed_chunk(&plan, table.tuples_mut(), 0)?;
+        let kernel = self.prepare_embed(&plan, &mut table)?;
+        let chunk = kernel.run_range(&plan, &table, 0..table.len())?;
+        let report = kernel.apply(&plan, &mut table, vec![chunk])?;
         Ok((table, report))
     }
 
@@ -292,51 +238,20 @@ impl HierarchicalWatermarker {
         DetectPlan::build(&self.config, schema, columns, trees, mark_len)
     }
 
-    /// Collect detection votes from one chunk of rows into a fresh
-    /// [`DetectionTally`]. See [`HierarchicalWatermarker::embed_chunk`] for
-    /// the `row_offset` contract.
-    pub fn detect_chunk(
+    /// Prepare the columnar detection kernel for `plan` against `table`:
+    /// memoize each distinct cell value's climb-and-vote once, so the row
+    /// loop is a code lookup plus one PRF per (selected tuple, column).
+    /// Workers call [`DetectKernel::run_range`] over disjoint row ranges and
+    /// merge the tallies.
+    pub fn prepare_detect(
         &self,
         plan: &DetectPlan<'_>,
-        rows: &[Tuple],
-        row_offset: usize,
-    ) -> Result<DetectionTally, WatermarkError> {
-        let _ = row_offset;
-        let mut tally = DetectionTally::new(plan.wmd_len);
-        let Some(identity) = &plan.core.identity else {
-            // The suspect table lost the virtual-key columns: no tuple can be
-            // re-identified, so the run legitimately collects zero votes.
-            return Ok(tally);
-        };
-        for tuple in rows {
-            let ident = identity.bytes(tuple);
-            if !plan.core.selector.selects(&ident) {
-                continue;
-            }
-            tally.selected_tuples += 1;
-            for pc in &plan.core.columns {
-                let value = &tuple.values[pc.index];
-                if value.is_null() {
-                    continue;
-                }
-                // Attacker garbage: no vote.
-                let Ok(node) = pc.tree.node_for_value(value) else { continue };
-                let Some(level_bits) = climb_and_read(pc.tree, &pc.binning.maximal, node)? else {
-                    continue;
-                };
-                if level_bits.is_empty() {
-                    continue;
-                }
-                let bit = if self.config.weighted_voting {
-                    weighted_majority(&level_bits, &level_weights(level_bits.len()))?
-                } else {
-                    majority(&level_bits)
-                };
-                let pos = plan.core.selector.bit_index(&ident, &pc.binning.column, plan.wmd_len);
-                tally.votes.vote(pos, bit, 1.0)?;
-            }
-        }
-        Ok(tally)
+        table: &Table,
+    ) -> Result<DetectKernel, WatermarkError> {
+        let weighted = self.config.weighted_voting;
+        DetectKernel::prepare(plan, table, move |pc, value| {
+            hierarchical_cell_vote(pc, value, weighted)
+        })
     }
 
     /// `Detection(tbl, tr, maxgends, ultigends, k1, k2, η)`: recover the mark
@@ -350,37 +265,9 @@ impl HierarchicalWatermarker {
         mark_len: usize,
     ) -> Result<DetectionReport, WatermarkError> {
         let plan = self.plan_detect(table.schema(), columns, trees, mark_len)?;
-        let tally = self.detect_chunk(&plan, table.tuples(), 0)?;
+        let kernel = self.prepare_detect(&plan, table)?;
+        let tally = kernel.run_range(&plan, table, 0..table.len())?;
         Ok(tally.into_report(mark_len))
-    }
-}
-
-/// Walk down from `start` (a maximal generalization node), at each level
-/// picking the child whose sorted-set index parity equals `bit`, until an
-/// ultimate generalization node is reached.
-fn descend_with_bit(
-    tree: &DomainHierarchyTree,
-    ultimate: &GeneralizationSet,
-    start: NodeId,
-    selector: &Selector,
-    ident: &[u8],
-    column: &str,
-    bit: bool,
-) -> Result<NodeId, WatermarkError> {
-    let mut node = start;
-    loop {
-        let children = tree.children(node).map_err(WatermarkError::Dht)?;
-        if children.is_empty() {
-            // Defensive: we reached a leaf that is not an ultimate node. This
-            // cannot happen for consistent binning state, but never loop.
-            return Ok(node);
-        }
-        let raw = selector.permutation_index(ident, column, children.len());
-        let idx = set_parity(raw, bit, children.len());
-        node = children[idx];
-        if ultimate.contains(node) {
-            return Ok(node);
-        }
     }
 }
 
@@ -388,7 +275,7 @@ fn descend_with_bit(
 /// the index parity at each level (bottom-up). Returns `None` when the node
 /// is not covered by the maximal set (e.g. the attacker replaced the value by
 /// something above the usage metrics), in which case no vote is cast.
-fn climb_and_read(
+pub(crate) fn climb_and_read(
     tree: &DomainHierarchyTree,
     maximal: &GeneralizationSet,
     node: NodeId,
@@ -506,7 +393,7 @@ mod tests {
         for cb in &binned.columns {
             let tree = &ds.trees[&cb.column];
             for v in marked.column_values(&cb.column).unwrap() {
-                let node = tree.node_for_value(v).unwrap();
+                let node = tree.node_for_value(&v).unwrap();
                 // Every value sits at or below a maximal generalization node
                 // (never above the usage metrics)...
                 assert!(cb.maximal.covering_node(tree, node).is_ok());

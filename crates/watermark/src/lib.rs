@@ -25,6 +25,11 @@
 //! * [`plan`] — precomputed per-run state ([`plan::EmbedPlan`] /
 //!   [`plan::DetectPlan`]) shared by workers processing disjoint row chunks;
 //!   the foundation of the chunk-parallel protection engine.
+//! * [`kernel`] — the columnar batch kernels behind both schemes: per-run
+//!   identity codecs, per-dictionary-code memoization of the tree walks, and
+//!   one wide midstate-cached PRF per (tuple, column) reduced per level.
+//!   Workers scan disjoint row ranges of a shared `&Table`; embedding emits
+//!   edit lists applied on the caller's thread.
 //! * [`voting`] — plain and level-weighted majority voting used in detection.
 //! * [`ownership`] — the rightful-ownership protocol of §5.4: the mark is
 //!   `F(v)` for a statistic `v` of the clear-text identifying column, so the
@@ -49,6 +54,7 @@
 
 pub mod error;
 pub mod hierarchical;
+pub mod kernel;
 pub mod key;
 pub mod ownership;
 pub mod plan;
@@ -58,6 +64,7 @@ pub mod voting;
 
 pub use error::WatermarkError;
 pub use hierarchical::{DetectionReport, DetectionTally, EmbeddingReport, HierarchicalWatermarker};
+pub use kernel::{DetectKernel, EmbedChunk, EmbedKernel};
 pub use key::{Mark, WatermarkConfig, WatermarkKey};
 pub use ownership::{OwnershipProof, OwnershipVerdict};
 pub use plan::{DetectPlan, EmbedPlan};

@@ -118,7 +118,7 @@ pub fn recompute_statistic(
     };
     for v in column {
         let Value::Text(cipher) = v else { continue };
-        if let Some(clear) = decrypt(cipher) {
+        if let Some(clear) = decrypt(&cipher) {
             values.push(numeric_projection(&clear));
         }
     }

@@ -147,6 +147,15 @@ impl Selector {
         self.permutation.labeled_value_mod(&format!("perm:{column}"), ident, set_len as u64)
             as usize
     }
+
+    /// The permutation/bit-index PRF, for batch kernels that hoist the label
+    /// prefix out of the row loop and reduce one wide PRF value per level
+    /// ([`KeyedPrf::prefixed_value_wide`] + [`KeyedPrf::reduce_wide`] —
+    /// bit-identical to [`Selector::bit_index`] /
+    /// [`Selector::permutation_index`]).
+    pub(crate) fn permutation_prf(&self) -> &KeyedPrf {
+        &self.permutation
+    }
 }
 
 /// `SetµBit`: force the least significant bit of a permutation index to the
@@ -207,7 +216,7 @@ mod tests {
         let t = table();
         let id = TupleIdentity::IdentifyingColumns;
         let first = t.iter().next().unwrap();
-        let bytes = id.bytes(&t, first).unwrap();
+        let bytes = id.bytes(&t, &first).unwrap();
         assert_eq!(bytes, framed(&Value::text("ssn-0")));
     }
 
@@ -216,16 +225,16 @@ mod tests {
         let t = table();
         let id = TupleIdentity::VirtualKey(vec!["age".into(), "doctor".into()]);
         let first = t.iter().next().unwrap();
-        let bytes = id.bytes(&t, first).unwrap();
+        let bytes = id.bytes(&t, &first).unwrap();
         let mut expected = framed(&Value::int(30));
         expected.extend_from_slice(&framed(&Value::text("Surgeon")));
         assert_eq!(bytes, expected);
         // Unknown virtual column is an error.
         let bad = TupleIdentity::VirtualKey(vec!["nope".into()]);
-        assert!(bad.bytes(&t, first).is_err());
+        assert!(bad.bytes(&t, &first).is_err());
         // Empty virtual key is rejected.
         let empty = TupleIdentity::VirtualKey(vec![]);
-        assert!(matches!(empty.bytes(&t, first), Err(WatermarkError::NoIdentity)));
+        assert!(matches!(empty.bytes(&t, &first), Err(WatermarkError::NoIdentity)));
     }
 
     #[test]
@@ -237,7 +246,7 @@ mod tests {
             Err(WatermarkError::DuplicateIdentityColumn(c)) if c == "age"
         ));
         let first = t.iter().next().unwrap();
-        assert!(dup.bytes(&t, first).is_err());
+        assert!(dup.bytes(&t, &first).is_err());
     }
 
     #[test]
@@ -265,7 +274,7 @@ mod tests {
             t.insert(vec![a, b]).unwrap();
         }
         let resolved = TupleIdentity::IdentifyingColumns.resolve(t.schema()).unwrap();
-        let identities: Vec<Vec<u8>> = t.iter().map(|tp| resolved.bytes(tp)).collect();
+        let identities: Vec<Vec<u8>> = t.iter().map(|tp| resolved.bytes(&tp)).collect();
         for i in 0..identities.len() {
             for j in (i + 1)..identities.len() {
                 assert_ne!(
@@ -283,7 +292,7 @@ mod tests {
         let resolved = id.resolve(t.schema()).unwrap();
         assert_eq!(resolved.indices(), &[2, 1]);
         for tuple in t.iter() {
-            assert_eq!(resolved.bytes(tuple), id.bytes(&t, tuple).unwrap());
+            assert_eq!(resolved.bytes(&tuple), id.bytes(&t, &tuple).unwrap());
         }
     }
 
@@ -294,7 +303,7 @@ mod tests {
         t.insert(vec![Value::int(1)]).unwrap();
         let id = TupleIdentity::IdentifyingColumns;
         let first = t.iter().next().unwrap();
-        assert!(matches!(id.bytes(&t, first), Err(WatermarkError::NoIdentity)));
+        assert!(matches!(id.bytes(&t, &first), Err(WatermarkError::NoIdentity)));
     }
 
     #[test]

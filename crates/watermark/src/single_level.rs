@@ -12,13 +12,12 @@
 //! ablation experiment.
 
 use crate::error::WatermarkError;
-use crate::hierarchical::DetectionTally;
+use crate::kernel::{single_level_cell_vote, DetectKernel, EmbedKernel, EmbedStyle};
 use crate::key::{Mark, WatermarkConfig};
 use crate::plan::{DetectPlan, EmbedPlan};
-use crate::select::{set_parity, Selector};
 use medshield_binning::{BinningOutcome, ColumnBinning};
-use medshield_dht::{DomainHierarchyTree, GeneralizationSet, NodeId};
-use medshield_relation::{Table, Tuple};
+use medshield_dht::DomainHierarchyTree;
+use medshield_relation::Table;
 use std::collections::BTreeMap;
 
 /// The single-level watermarking agent (baseline).
@@ -45,52 +44,14 @@ impl SingleLevelWatermarker {
         EmbedPlan::build(&self.config, schema, binning_columns, trees, mark)
     }
 
-    /// Embed the planned mark into one chunk of rows, in place. Per-tuple
-    /// decisions are content-keyed, so `row_offset` (the absolute index of
-    /// `rows[0]`) does not influence the result; see
-    /// [`HierarchicalWatermarker::embed_chunk`](crate::HierarchicalWatermarker::embed_chunk).
-    pub fn embed_chunk(
+    /// Prepare the columnar embedding kernel; see
+    /// [`HierarchicalWatermarker::prepare_embed`](crate::HierarchicalWatermarker::prepare_embed).
+    pub fn prepare_embed(
         &self,
         plan: &EmbedPlan<'_>,
-        rows: &mut [Tuple],
-        row_offset: usize,
-    ) -> Result<(), WatermarkError> {
-        let _ = row_offset;
-        let Some(identity) = &plan.core.identity else {
-            return Ok(());
-        };
-        for tuple in rows.iter_mut() {
-            let ident = identity.bytes(tuple);
-            if !plan.core.selector.selects(&ident) {
-                continue;
-            }
-            for pc in &plan.core.columns {
-                let column = &pc.binning.column;
-                let value = &tuple.values[pc.index];
-                if value.is_null() {
-                    continue;
-                }
-                let Ok(node) = pc.binning.ultimate.node_for_value(pc.tree, value) else {
-                    continue;
-                };
-                let bit = plan.wmd[plan.core.selector.bit_index(&ident, column, plan.wmd.len())];
-                let Some(new_node) = permute_at_level(
-                    pc.tree,
-                    &pc.binning.ultimate,
-                    node,
-                    &plan.core.selector,
-                    &ident,
-                    column,
-                    bit,
-                )?
-                else {
-                    continue;
-                };
-                tuple.values[pc.index] =
-                    pc.tree.node_value(new_node).map_err(WatermarkError::Dht)?;
-            }
-        }
-        Ok(())
+        table: &mut Table,
+    ) -> Result<EmbedKernel, WatermarkError> {
+        EmbedKernel::prepare(plan, table, EmbedStyle::SingleLevel)
     }
 
     /// Embed the mark by permuting each selected value within the sibling set
@@ -103,7 +64,9 @@ impl SingleLevelWatermarker {
     ) -> Result<Table, WatermarkError> {
         let plan = self.plan_embed(binned.table.schema(), &binned.columns, trees, mark)?;
         let mut table = binned.table.snapshot();
-        self.embed_chunk(&plan, table.tuples_mut(), 0)?;
+        let kernel = self.prepare_embed(&plan, &mut table)?;
+        let chunk = kernel.run_range(&plan, &table, 0..table.len())?;
+        kernel.apply(&plan, &mut table, vec![chunk])?;
         Ok(table)
     }
 
@@ -119,46 +82,14 @@ impl SingleLevelWatermarker {
         DetectPlan::build(&self.config, schema, columns, trees, mark_len)
     }
 
-    /// Collect single-level detection votes from one chunk of rows.
-    pub fn detect_chunk(
+    /// Prepare the columnar detection kernel; see
+    /// [`HierarchicalWatermarker::prepare_detect`](crate::HierarchicalWatermarker::prepare_detect).
+    pub fn prepare_detect(
         &self,
         plan: &DetectPlan<'_>,
-        rows: &[Tuple],
-        row_offset: usize,
-    ) -> Result<DetectionTally, WatermarkError> {
-        let _ = row_offset;
-        let mut tally = DetectionTally::new(plan.wmd_len());
-        let Some(identity) = &plan.core.identity else {
-            // No virtual-key columns in the suspect table: zero votes.
-            return Ok(tally);
-        };
-        for tuple in rows {
-            let ident = identity.bytes(tuple);
-            if !plan.core.selector.selects(&ident) {
-                continue;
-            }
-            tally.note_selected();
-            for pc in &plan.core.columns {
-                let value = &tuple.values[pc.index];
-                let Ok(node) = pc.tree.node_for_value(value) else { continue };
-                if !pc.binning.ultimate.contains(node) {
-                    // The value no longer sits at the ultimate level: the
-                    // single-level bit is gone.
-                    continue;
-                }
-                let siblings = pc.tree.siblings(node).map_err(WatermarkError::Dht)?;
-                if siblings.len() <= 1 {
-                    // A singleton sibling set carries no information (the
-                    // embedder skipped it too).
-                    continue;
-                }
-                let Some(idx) = DomainHierarchyTree::index_in(node, &siblings) else { continue };
-                let bit = idx % 2 == 1;
-                let pos = plan.core.selector.bit_index(&ident, &pc.binning.column, plan.wmd_len());
-                tally.vote(pos, bit, 1.0)?;
-            }
-        }
-        Ok(tally)
+        table: &Table,
+    ) -> Result<DetectKernel, WatermarkError> {
+        DetectKernel::prepare(plan, table, single_level_cell_vote)
     }
 
     /// Detect the mark by reading the parity of each selected value's
@@ -173,47 +104,9 @@ impl SingleLevelWatermarker {
         mark_len: usize,
     ) -> Result<Vec<bool>, WatermarkError> {
         let plan = self.plan_detect(table.schema(), columns, trees, mark_len)?;
-        let tally = self.detect_chunk(&plan, table.tuples(), 0)?;
+        let kernel = self.prepare_detect(&plan, table)?;
+        let tally = kernel.run_range(&plan, table, 0..table.len())?;
         Ok(tally.into_report(mark_len).mark)
-    }
-}
-
-/// Permute `node` within its sibling set so that the chosen sibling's index
-/// parity encodes `bit`; if the chosen sibling is not an ultimate
-/// generalization node, continue downward among its children until one is
-/// reached. Returns `None` if the sibling set is a singleton (no bandwidth).
-fn permute_at_level(
-    tree: &DomainHierarchyTree,
-    ultimate: &GeneralizationSet,
-    node: NodeId,
-    selector: &Selector,
-    ident: &[u8],
-    column: &str,
-    bit: bool,
-) -> Result<Option<NodeId>, WatermarkError> {
-    let siblings = tree.siblings(node).map_err(WatermarkError::Dht)?;
-    if siblings.len() <= 1 {
-        return Ok(None);
-    }
-    let raw = selector.permutation_index(ident, column, siblings.len());
-    let idx = set_parity(raw, bit, siblings.len());
-    let mut target = siblings[idx];
-    // Descend until we land on an ultimate generalization node, so the value
-    // remains a valid binned value.
-    loop {
-        if ultimate.contains(target) {
-            return Ok(Some(target));
-        }
-        let children = tree.children(target).map_err(WatermarkError::Dht)?;
-        if children.is_empty() {
-            // The sibling's subtree holds no ultimate node (it lies above the
-            // ultimate level); give up on this cell rather than emit an
-            // invalid value.
-            return Ok(None);
-        }
-        let raw = selector.permutation_index(ident, column, children.len());
-        let idx = set_parity(raw, bit, children.len());
-        target = children[idx];
     }
 }
 
@@ -223,6 +116,7 @@ mod tests {
     use crate::key::WatermarkKey;
     use medshield_binning::{BinningAgent, BinningConfig};
     use medshield_datagen::{DatasetConfig, MedicalDataset};
+    use medshield_dht::GeneralizationSet;
     use medshield_metrics::mark_loss;
 
     fn binned(n: usize, k: usize) -> (MedicalDataset, BinningOutcome) {
@@ -262,7 +156,7 @@ mod tests {
         for cb in &outcome.columns {
             let tree = &ds.trees[&cb.column];
             for v in marked.column_values(&cb.column).unwrap() {
-                let node = tree.node_for_value(v).unwrap();
+                let node = tree.node_for_value(&v).unwrap();
                 assert!(cb.ultimate.contains(node));
             }
         }

@@ -37,8 +37,13 @@ fn full_pipeline_guarantees_privacy_and_ownership() {
     }
 
     // The identifying column is encrypted: no original SSN appears anywhere.
-    let originals: std::collections::HashSet<&str> =
-        ds.table.column_values("ssn").unwrap().into_iter().filter_map(|v| v.as_text()).collect();
+    let originals: std::collections::HashSet<String> = ds
+        .table
+        .column_values("ssn")
+        .unwrap()
+        .into_iter()
+        .filter_map(|v| v.as_text().map(str::to_owned))
+        .collect();
     for v in release.table.column_values("ssn").unwrap() {
         assert!(!originals.contains(v.as_text().unwrap()));
     }
