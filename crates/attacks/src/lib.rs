@@ -17,6 +17,9 @@
 //!   binned data: re-generalize every value one or more levels up the domain
 //!   hierarchy tree. It defeats single-level watermarking but not the
 //!   hierarchical scheme.
+//! * [`collusion`] — recipients of the same release majority-mix their
+//!   per-recipient fingerprinted copies cell-wise, trying to erase every
+//!   individual fingerprint; traitor tracing must still name a colluder.
 //! * [`mixed`] — compositions of the above for stress testing.
 //!
 //! ```
@@ -33,12 +36,14 @@
 
 pub mod addition;
 pub mod alteration;
+pub mod collusion;
 pub mod deletion;
 pub mod generalization;
 pub mod mixed;
 
 pub use addition::SubsetAddition;
 pub use alteration::SubsetAlteration;
+pub use collusion::CollusionAttack;
 pub use deletion::SubsetDeletion;
 pub use generalization::GeneralizationAttack;
 pub use mixed::MixedAttack;

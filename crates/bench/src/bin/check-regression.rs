@@ -13,13 +13,19 @@
 //! bench — because the sharding speedup depends on the host's core count,
 //! while single-thread throughput is the stable per-commit signal the
 //! trajectory is tracked by. The serving-layer bench additionally guards
-//! its durable-store axis (`durable_requests_per_sec`) and the
-//! 1024-connection point of its connections axis, so neither the fsync path
-//! nor the multiplexed I/O core can regress behind the in-memory metric.
-//! Files that record a `layout` axis (the table layout the bench ran
-//! against, `columnar` since the column-store refactor) must match their
-//! baseline's layout, and a baseline layout can never silently disappear
-//! from the fresh file.
+//! its durable-store axis (`durable_requests_per_sec`), the
+//! 1024-connection point of its connections axis, and the 16-recipient
+//! point of its recipients axis (`protect_for_per_sec` /
+//! `resolve_leaker_per_sec`), so neither the fsync path, the multiplexed
+//! I/O core, nor the traitor-tracing path can regress behind the in-memory
+//! metric. Files that record a `layout` axis (the table layout the bench
+//! ran against, `columnar` since the column-store refactor) must match
+//! their baseline's layout, and a baseline layout can never silently
+//! disappear from the fresh file. Every bench also records the host's
+//! logical-CPU count (`host_parallelism`); a fresh file generated on a
+//! host with a different core count than the baseline is refused outright —
+//! the floors are calibrated per host and a cross-core comparison would
+//! quietly turn the guard into noise.
 //!
 //! Environment:
 //!
@@ -69,6 +75,31 @@ fn check(fresh_path: &Path, baseline_path: &Path, tolerance: f64) -> Result<Stri
                 ));
             }
         }
+    }
+    // The host's core count is part of the calibration: thread scheduling,
+    // group-commit batching and the readiness loop all price differently
+    // across core counts, so the floors only mean something against a
+    // baseline regenerated on the same class of host. A baseline that
+    // records the count while the fresh file reports none means the bench
+    // stopped recording it — the guard must never deactivate silently.
+    match (
+        benchjson::top_metric(&fresh, "host_parallelism"),
+        benchjson::top_metric(&baseline, "host_parallelism"),
+    ) {
+        (Some(f), Some(b)) if f != b => {
+            return Err(format!(
+                "{name}: host core-count mismatch — fresh host_parallelism={f} vs baseline \
+                 host_parallelism={b}; throughput floors are not comparable across core \
+                 counts, regenerate the baseline on this host"
+            ));
+        }
+        (None, Some(b)) => {
+            return Err(format!(
+                "{name}: the baseline records host_parallelism={b} but the fresh file \
+                 reports none — the bench stopped recording the host core count"
+            ));
+        }
+        _ => {}
     }
     // The table layout is part of the workload: columnar rows/s are only
     // comparable against a columnar baseline. A baseline that records a
@@ -166,6 +197,38 @@ fn check(fresh_path: &Path, baseline_path: &Path, tolerance: f64) -> Result<Stri
             ));
         }
         _ => {}
+    }
+    // The serving-layer bench also carries a recipients axis: protect-for
+    // and resolve-leaker throughput at 16 registered recipients is the
+    // traitor-tracing path's at-scale signal — fingerprint scoring grows
+    // with the candidate set, and a slowdown there must not hide behind the
+    // single-mark metrics. Same rule as above: a baseline that carries the
+    // entries while the fresh file does not is itself a failure.
+    for tracing_metric in ["protect_for_per_sec", "resolve_leaker_per_sec"] {
+        match (
+            benchjson::axis_metric(&fresh, "recipients", 16, tracing_metric),
+            benchjson::axis_metric(&baseline, "recipients", 16, tracing_metric),
+        ) {
+            (Some(fresh_r), Some(base_r)) => {
+                let floor_r = base_r * (1.0 - tolerance);
+                line.push_str(&format!(
+                    "; 16-recipient {tracing_metric} {fresh_r:.0} vs {base_r:.0} \
+                     ({:.0}%, floor {floor_r:.0})",
+                    fresh_r / base_r * 100.0
+                ));
+                if fresh_r < floor_r {
+                    return Err(format!("REGRESSION (recipients axis) — {line}"));
+                }
+            }
+            (None, Some(_)) => {
+                return Err(format!(
+                    "{name}: the baseline carries a 16-recipient {tracing_metric} entry but \
+                     the fresh file does not — the recipients axis of the bench stopped \
+                     reporting"
+                ));
+            }
+            _ => {}
+        }
     }
     Ok(line)
 }

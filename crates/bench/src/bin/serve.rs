@@ -24,6 +24,15 @@
 //! 1024 mostly-idle connections must not tax the 64-connection figure —
 //! reported as `flatness_1024_vs_64` and guarded by `check-regression`.
 //!
+//! After the connections axis, a **recipients axis** prices the
+//! traitor-tracing path: one release with 1, 4 and 16 registered
+//! recipients, measuring `protect-for` (fingerprinted copy issuance) and
+//! `resolve-leaker` (ranking every recipient against a leaked copy)
+//! throughput at each count. Before any timing, a leaked copy must resolve
+//! to its true recipient — the numbers can never come from a tracer that
+//! stopped tracing. The 16-recipient point is guarded by
+//! `check-regression`.
+//!
 //! Environment:
 //!
 //! * `MEDSHIELD_SERVE_TABLES` — number of submitted tables (default 12,
@@ -35,6 +44,8 @@
 //! * `MEDSHIELD_SERVE_CONN_REQUESTS` — total detect requests per point of
 //!   the connections axis (default 4096: enough steady state that the
 //!   one-time cost of reading the initial burst amortizes away).
+//! * `MEDSHIELD_SERVE_RECIPIENT_REQUESTS` — timed requests per command per
+//!   point of the recipients axis (default 48).
 //! * `MEDSHIELD_BENCH_OUT` — output path (default `BENCH_serve.json`).
 
 #![forbid(unsafe_code)]
@@ -74,6 +85,12 @@ const CONN_DRIVER_THREADS: usize = 16;
 struct ConnResult {
     connections: usize,
     requests_per_sec: f64,
+}
+
+struct RecipientResult {
+    recipients: usize,
+    protect_for_per_sec: f64,
+    resolve_leaker_per_sec: f64,
 }
 
 struct WorkerResult {
@@ -215,6 +232,7 @@ fn main() {
     let rows = env_usize("MEDSHIELD_SERVE_ROWS", 120).max(1);
     let detect_rounds = env_usize("MEDSHIELD_SERVE_DETECT_ROUNDS", 2).max(1);
     let conn_requests = env_usize("MEDSHIELD_SERVE_CONN_REQUESTS", 4096).max(1);
+    let recipient_requests = env_usize("MEDSHIELD_SERVE_RECIPIENT_REQUESTS", 48).max(1);
     let out_path =
         std::env::var("MEDSHIELD_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
 
@@ -414,6 +432,101 @@ fn main() {
     };
     let flatness_1024_vs_64 = conn_metric(1024) / conn_metric(64);
 
+    // Recipients axis: the traitor-tracing path at 1, 4 and 16 registered
+    // recipients of one release. protect-for prices fingerprinted copy
+    // issuance (roughly flat in the recipient count: one derivation + one
+    // embed per request), resolve-leaker prices the full trace (one detect
+    // plus a fingerprint scoring per registered recipient, so the candidate
+    // set is the load knob). Each point gates on correctness before the
+    // clock starts: a leaked copy must resolve to its true recipient.
+    let recipient_counts = [1usize, 4, 16];
+    let recipient_workers = 4usize;
+    let mut recipient_results = Vec::new();
+    for &recipients in &recipient_counts {
+        let config = ServeConfig {
+            engine: engine_config(),
+            workers: recipient_workers,
+            ..ServeConfig::default()
+        };
+        let handle = serve(config, "127.0.0.1:0").expect("bind the recipients-axis server");
+        let addr = handle.addr();
+        let mut setup = Client::connect(addr).expect("connect");
+        let reply = setup.protect(&submissions[0]).expect("protect reply");
+        assert!(reply.is_ok(), "recipients-axis protect failed: {}", reply.json);
+        let release_id = reply.release_id().expect("release id");
+        let released_csv = reply.body.clone().expect("release body");
+        // Register the N recipients (untimed) and keep each copy's bytes —
+        // re-issuing a registered recipient's copy is idempotent, so the
+        // timed protect-for phase below holds the recipient set at exactly N.
+        let names: Vec<String> = (0..recipients).map(|i| format!("clinic-{i:02}")).collect();
+        let mut copies = Vec::with_capacity(recipients);
+        for name in &names {
+            let issued = setup
+                .protect_for_release(&release_id, name, &released_csv)
+                .expect("protect-for reply");
+            assert!(issued.is_ok(), "recipients-axis protect-for failed: {}", issued.json);
+            copies.push(issued.body.clone().expect("copy body"));
+        }
+        // Correctness gate: a leaked copy traces to its true recipient.
+        let leaked_index = recipients / 2;
+        let verdict =
+            setup.resolve_leaker(&release_id, &copies[leaked_index]).expect("resolve-leaker reply");
+        assert!(verdict.is_ok(), "recipients-axis resolve-leaker failed: {}", verdict.json);
+        assert_eq!(
+            verdict.str_field("leaker").as_deref(),
+            Some(names[leaked_index].as_str()),
+            "{recipients}-recipient axis traced the wrong leaker"
+        );
+        drop(setup);
+
+        let protect_for_jobs: Vec<BenchJob> = (0..recipient_requests)
+            .map(|i| {
+                let release_id = release_id.clone();
+                let name = names[i % names.len()].clone();
+                let released = released_csv.clone();
+                Box::new(move |client: &mut Client| {
+                    let reply = client
+                        .protect_for_release(&release_id, &name, &released)
+                        .expect("timed protect-for reply");
+                    assert!(reply.is_ok(), "timed protect-for failed: {}", reply.json);
+                }) as BenchJob
+            })
+            .collect();
+        let protect_for_secs = run_phase(addr, recipient_workers, protect_for_jobs);
+
+        let resolve_jobs: Vec<BenchJob> = (0..recipient_requests)
+            .map(|i| {
+                let release_id = release_id.clone();
+                let leaked = copies[i % copies.len()].clone();
+                let expected = names[i % names.len()].clone();
+                Box::new(move |client: &mut Client| {
+                    let reply = client
+                        .resolve_leaker(&release_id, &leaked)
+                        .expect("timed resolve-leaker reply");
+                    assert!(reply.is_ok(), "timed resolve-leaker failed: {}", reply.json);
+                    assert_eq!(
+                        reply.str_field("leaker").as_deref(),
+                        Some(expected.as_str()),
+                        "timed resolve-leaker traced the wrong recipient"
+                    );
+                }) as BenchJob
+            })
+            .collect();
+        let resolve_secs = run_phase(addr, recipient_workers, resolve_jobs);
+        handle.shutdown();
+
+        let result = RecipientResult {
+            recipients,
+            protect_for_per_sec: recipient_requests as f64 / protect_for_secs,
+            resolve_leaker_per_sec: recipient_requests as f64 / resolve_secs,
+        };
+        eprintln!(
+            "{:>2} recipient(s): protect-for {:>8.1} req/s, resolve-leaker {:>8.1} req/s",
+            recipients, result.protect_for_per_sec, result.resolve_leaker_per_sec,
+        );
+        recipient_results.push(result);
+    }
+
     let speedup_4w = results
         .iter()
         .find(|r| r.workers == 4)
@@ -455,6 +568,17 @@ fn main() {
             r.connections,
             r.requests_per_sec,
             if i + 1 == conn_results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"recipients\": [\n");
+    for (i, r) in recipient_results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"recipients\": {}, \"protect_for_per_sec\": {:.1}, \"resolve_leaker_per_sec\": {:.1}}}{}\n",
+            r.recipients,
+            r.protect_for_per_sec,
+            r.resolve_leaker_per_sec,
+            if i + 1 == recipient_results.len() { "" } else { "," }
         ));
     }
     json.push_str("  ],\n");

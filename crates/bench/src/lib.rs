@@ -15,8 +15,8 @@
 //! | `all_experiments` | runs everything above in sequence |
 //! | `throughput` | engine throughput at 1/2/4/8 threads → `BENCH_throughput.json` |
 //! | `binning` | sharded `GenUltiNd` search throughput at 1/2/4/8 threads → `BENCH_binning.json` |
-//! | `serve` | loopback serving-layer requests/sec at 1/2/4/8 pool workers and 1/64/1024 pipelined connections → `BENCH_serve.json` |
-//! | `check-regression` | CI guard: fresh `BENCH_*.json` vs `baselines/`, fails on >25% 1-thread (or 1024-connection) drop |
+//! | `serve` | loopback serving-layer requests/sec at 1/2/4/8 pool workers, 1/64/1024 pipelined connections and 1/4/16 registered recipients → `BENCH_serve.json` |
+//! | `check-regression` | CI guard: fresh `BENCH_*.json` vs `baselines/`, fails on >25% 1-thread (or 1024-connection / 16-recipient) drop, refuses cross-core-count comparisons |
 //!
 //! The experiments default to the paper's scale (20,000 tuples); set the
 //! environment variable `MEDSHIELD_TUPLES` to run them smaller or larger.

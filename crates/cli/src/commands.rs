@@ -1,10 +1,12 @@
-//! The four CLI commands: `generate`, `protect`, `detect`, `attack`.
+//! The CLI commands: `generate`, `protect`, `protect-for`, `detect`,
+//! `resolve-leaker`, `attack`, `serve`.
 
 use crate::args::Options;
 use medshield_attacks::{
-    Attack, GeneralizationAttack, SubsetAddition, SubsetAlteration, SubsetDeletion,
+    Attack, CollusionAttack, GeneralizationAttack, SubsetAddition, SubsetAlteration, SubsetDeletion,
 };
 use medshield_core::metrics::mark_loss;
+use medshield_core::watermark::{score_recipients, FingerprintDeriver};
 use medshield_core::{ProtectionConfig, ProtectionEngine};
 use medshield_datagen::{ontology, DatasetConfig, MedicalDataset};
 use medshield_relation::{csv, Table};
@@ -19,12 +21,18 @@ USAGE:
   medshield protect  --input FILE.csv [--k K] [--eta ETA] [--duplication L]
                      [--enc-secret S1] [--wm-secret S2] [--mark-text T]
                      [--per-attribute true] [--threads N] --out RELEASE.csv
+  medshield protect-for --input FILE.csv --recipient NAME --out COPY.csv
+                     [same options as protect]
   medshield detect   --original FILE.csv --suspect SUSPECT.csv
                      [--k K] [--eta ETA] [--duplication L]
                      [--enc-secret S1] [--wm-secret S2] [--mark-text T]
                      [--per-attribute true] [--threads N]
-  medshield attack   --input RELEASE.csv --kind alteration|addition|deletion|generalization
-                     [--fraction F] [--levels N] [--seed S] --out ATTACKED.csv
+  medshield resolve-leaker --original FILE.csv --suspect LEAKED.csv
+                     --recipients NAME1,NAME2,... [same options as detect]
+  medshield attack   --input RELEASE.csv
+                     --kind alteration|addition|deletion|generalization|collusion
+                     [--fraction F] [--levels N] [--seed S]
+                     [--accomplices COPY1.csv,COPY2.csv] --out ATTACKED.csv
   medshield serve    [--addr HOST:PORT] [--threads N] [--queue-depth D]
                      [--engine-threads N] [--request-timeout-ms MS]
                      [--batch-max N] [--max-connections N]
@@ -36,6 +44,12 @@ USAGE:
 The CSV files use the schema R(ssn, age, zip_code, doctor, symptom, prescription)
 and the built-in domain ontologies. Detection re-derives the binning state from
 the original CSV and the same parameters, so no extra state file is needed.
+`protect-for` writes a per-recipient fingerprinted copy of the release: the
+recipient's mark is derived from the watermark secret and the recipient name,
+so `resolve-leaker` can later rank any set of recipient names against a leaked
+CSV and name the copy it came from — even after deletion, alteration, or a
+collusion (`attack --kind collusion --accomplices ...`) that mixes several
+recipients' copies cell-wise.
 --threads N shards the multi-attribute binning search AND watermark
 embedding/detection over N worker threads; the output is byte-identical for
 every N. `serve` runs the long-lived data-owner service: protect/embed/detect/
@@ -131,6 +145,97 @@ pub fn protect(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `medshield protect-for`: protect an input CSV and write a per-recipient
+/// fingerprinted copy. The release itself (owner's mark) is identical to what
+/// `protect` would produce; the copy re-embeds the recipient's derived mark
+/// over the same keyed selection, so the owner's detection still works on it.
+pub fn protect_for(options: &Options) -> Result<(), String> {
+    let input = options.required("input")?;
+    let out = options.required("out")?;
+    let recipient = options.required("recipient")?;
+    if recipient.is_empty() {
+        return Err("--recipient must not be empty".to_string());
+    }
+    let table = read_table(input)?;
+    let trees = ontology::all_trees();
+    let engine = engine_from(options)?;
+    let release = if per_attribute(options)? {
+        engine.protect_per_attribute(&table, &trees)
+    } else {
+        engine.protect(&table, &trees)
+    }
+    .map_err(|e| format!("protection failed: {e}"))?;
+    let fingerprint =
+        FingerprintDeriver::new(&engine.config().watermark.key, engine.config().mark_len)
+            .derive(recipient);
+    let (copy, report) = engine
+        .embed(&release.table, &release.binning.columns, &trees, &fingerprint)
+        .map_err(|e| format!("fingerprint embedding failed: {e}"))?;
+    write_table(out, &copy)?;
+    println!(
+        "protected {} tuples and fingerprinted the copy for `{recipient}`: \
+         {} tuples watermarked, {} cells changed",
+        copy.len(),
+        report.selected_tuples,
+        report.changed_cells,
+    );
+    println!("recipient fingerprint: {fingerprint}");
+    for warning in &release.binning.warnings {
+        println!("note: {warning}");
+    }
+    println!("recipient copy written to {out}");
+    Ok(())
+}
+
+/// `medshield resolve-leaker`: re-derive the binning state from the original
+/// CSV, extract the mark carried by the leaked CSV, and rank the named
+/// recipients by fingerprint agreement. Traitor tracing: the top rank names
+/// the leaker, or a member of the colluding set.
+pub fn resolve_leaker(options: &Options) -> Result<(), String> {
+    let original = read_table(options.required("original")?)?;
+    let suspect = read_table(options.required("suspect")?)?;
+    let recipients = options.required("recipients")?;
+    let names: Vec<&str> = recipients.split(',').filter(|s| !s.is_empty()).collect();
+    if names.is_empty() {
+        return Err("--recipients must name at least one recipient".to_string());
+    }
+    let trees = ontology::all_trees();
+    let engine = engine_from(options)?;
+    let release = if per_attribute(options)? {
+        engine.protect_per_attribute(&original, &trees)
+    } else {
+        engine.protect(&original, &trees)
+    }
+    .map_err(|e| format!("re-deriving the binning state failed: {e}"))?;
+    let detection = engine
+        .detect(&suspect, &release.binning.columns, &trees)
+        .map_err(|e| format!("detection failed: {e}"))?;
+    let deriver = FingerprintDeriver::new(&engine.config().watermark.key, engine.config().mark_len);
+    let marks: Vec<(String, medshield_core::watermark::Mark)> =
+        names.iter().map(|n| (n.to_string(), deriver.derive(n))).collect();
+    let ranking = score_recipients(&detection.mark, marks.iter().map(|(n, m)| (n.as_str(), m)));
+    println!(
+        "extracted {} mark bits from {} tuples ({} selected)",
+        detection.mark.len(),
+        suspect.len(),
+        detection.selected_tuples,
+    );
+    for score in &ranking {
+        println!(
+            "  {:<24} {:>5.1}% agreement ({}/{} bits)",
+            score.name,
+            score.score * 100.0,
+            score.matching_bits,
+            score.compared_bits,
+        );
+    }
+    match ranking.first() {
+        Some(top) => println!("verdict: the leaked copy traces to `{}`", top.name),
+        None => println!("verdict: no recipient could be scored"),
+    }
+    Ok(())
+}
+
 /// `medshield detect`: re-derive the binning state from the original CSV and
 /// check whether the suspect CSV carries the owner's mark.
 pub fn detect(options: &Options) -> Result<(), String> {
@@ -183,6 +288,18 @@ pub fn attack(options: &Options) -> Result<(), String> {
             options.parse_or("levels", 1)?,
             ontology::all_trees(),
         )),
+        "collusion" => {
+            let accomplices = options.required("accomplices")?;
+            let copies: Vec<Table> = accomplices
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(read_table)
+                .collect::<Result<_, _>>()?;
+            if copies.is_empty() {
+                return Err("--accomplices must name at least one other recipient copy".to_string());
+            }
+            Box::new(CollusionAttack::new(copies, seed))
+        }
         other => return Err(format!("unknown attack kind: {other}")),
     };
     let attacked = attack.apply(&table);
@@ -302,6 +419,68 @@ mod tests {
             ("eta", "5"),
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn protect_for_collusion_resolve_leaker_roundtrip() {
+        let dir = std::env::temp_dir().join("medshield-cli-traitor");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let copy_a = dir.join("copy-a.csv");
+        let copy_b = dir.join("copy-b.csv");
+        let mixed = dir.join("mixed.csv");
+        generate(&opts(&[("tuples", "400"), ("seed", "13"), ("out", data.to_str().unwrap())]))
+            .unwrap();
+        for (recipient, out) in [("clinic-a", &copy_a), ("clinic-b", &copy_b)] {
+            protect_for(&opts(&[
+                ("input", data.to_str().unwrap()),
+                ("out", out.to_str().unwrap()),
+                ("recipient", recipient),
+                ("k", "5"),
+                ("eta", "5"),
+            ]))
+            .unwrap();
+        }
+        // Distinct recipients must get distinct copies.
+        assert_ne!(
+            std::fs::read_to_string(&copy_a).unwrap(),
+            std::fs::read_to_string(&copy_b).unwrap(),
+        );
+        attack(&opts(&[
+            ("input", copy_a.to_str().unwrap()),
+            ("out", mixed.to_str().unwrap()),
+            ("kind", "collusion"),
+            ("accomplices", copy_b.to_str().unwrap()),
+        ]))
+        .unwrap();
+        resolve_leaker(&opts(&[
+            ("original", data.to_str().unwrap()),
+            ("suspect", mixed.to_str().unwrap()),
+            ("recipients", "clinic-a,clinic-b,clinic-c"),
+            ("k", "5"),
+            ("eta", "5"),
+        ]))
+        .unwrap();
+        // Argument errors stay clean errors.
+        assert!(protect_for(&opts(&[
+            ("input", data.to_str().unwrap()),
+            ("out", copy_a.to_str().unwrap()),
+            ("recipient", ""),
+        ]))
+        .is_err());
+        assert!(resolve_leaker(&opts(&[
+            ("original", data.to_str().unwrap()),
+            ("suspect", mixed.to_str().unwrap()),
+            ("recipients", ","),
+        ]))
+        .is_err());
+        assert!(attack(&opts(&[
+            ("input", copy_a.to_str().unwrap()),
+            ("out", mixed.to_str().unwrap()),
+            ("kind", "collusion"),
+            ("accomplices", ""),
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -42,7 +42,9 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => commands::generate(&options),
         "protect" => commands::protect(&options),
+        "protect-for" => commands::protect_for(&options),
         "detect" => commands::detect(&options),
+        "resolve-leaker" => commands::resolve_leaker(&options),
         "attack" => commands::attack(&options),
         "serve" => commands::serve(&options),
         "help" | "--help" | "-h" => {

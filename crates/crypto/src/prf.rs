@@ -140,6 +140,16 @@ impl KeyedPrf {
         (self.value_wide(&Self::labeled_message(label, data)) % u128::from(modulus)) as u64
     }
 
+    /// The full keyed digest of the domain-separated message
+    /// `label ++ 0x1f ++ data`, streamed through the cached HMAC midstate.
+    /// Byte-identical to `digest` of the labeled message. This is the
+    /// derivation primitive behind per-recipient fingerprints: the owner key
+    /// plus a recipient identity as the label yields an independent digest
+    /// without storing any new key material.
+    pub fn labeled_digest(&self, label: &str, data: &[u8]) -> Vec<u8> {
+        self.hmac.digest_parts(&[label.as_bytes(), &[0x1f], data])
+    }
+
     /// The domain-separation prefix for `label`: the label bytes plus the
     /// unit separator. Hoist this out of a hot loop and pass it to
     /// [`KeyedPrf::prefixed_value_wide`] to avoid re-formatting the label and
@@ -242,6 +252,23 @@ mod tests {
     fn labels_decorrelate() {
         let prf = KeyedPrf::new(b"k2");
         assert_ne!(prf.labeled_value("perm", b"tuple"), prf.labeled_value("bit", b"tuple"));
+    }
+
+    #[test]
+    fn labeled_digest_matches_labeled_message_digest() {
+        let prf = KeyedPrf::new(b"owner-key");
+        let naive = {
+            let mut msg = b"fingerprint".to_vec();
+            msg.push(0x1f);
+            msg.extend_from_slice(b"clinic-a");
+            prf.digest(&msg)
+        };
+        assert_eq!(prf.labeled_digest("fingerprint", b"clinic-a"), naive);
+        // Label and data boundaries must not be confusable.
+        assert_ne!(
+            prf.labeled_digest("fingerprint", b"clinic-a"),
+            prf.labeled_digest("fingerprint:clinic", b"-a")
+        );
     }
 
     #[test]

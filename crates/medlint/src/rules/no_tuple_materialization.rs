@@ -2,8 +2,8 @@
 //!
 //! `Table::tuples()` clones every cell of every row into owned `Tuple`s —
 //! exactly the per-row allocation the columnar refactor removed from the
-//! binning leaf resolution, the watermark plan/kernels, and the
-//! chunk-parallel engine. A call creeping back into one of those modules
+//! binning leaf resolution, the watermark plan/kernels, the per-recipient
+//! fingerprint kernels, and the chunk-parallel engine. A call creeping back into one of those modules
 //! silently reverts the hot path to row-at-a-time work while every
 //! equivalence test keeps passing, so the regression only shows up as a
 //! throughput cliff. This rule turns it into a lint failure instead: inside
@@ -25,6 +25,7 @@ fn in_scope(rel: &str) -> bool {
     rel == "crates/binning/src/plan.rs"
         || rel == "crates/watermark/src/plan.rs"
         || rel == "crates/watermark/src/kernel.rs"
+        || rel == "crates/watermark/src/fingerprint.rs"
         || rel == "crates/core/src/engine.rs"
 }
 
@@ -87,6 +88,7 @@ mod tests {
             "crates/binning/src/plan.rs",
             "crates/watermark/src/plan.rs",
             "crates/watermark/src/kernel.rs",
+            "crates/watermark/src/fingerprint.rs",
             "crates/core/src/engine.rs",
         ] {
             let found = diags(path, src);

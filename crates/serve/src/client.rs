@@ -113,6 +113,47 @@ impl Client {
         )
     }
 
+    /// `protect-for` an original CSV table: create the release and return
+    /// the fingerprinted copy for `recipient`.
+    pub fn protect_for(
+        &mut self,
+        recipient: &str,
+        table_csv: &str,
+    ) -> Result<Response, ClientError> {
+        self.call(&Request::new(Command::ProtectFor).param("recipient", recipient).body(table_csv))
+    }
+
+    /// `protect-for` against an existing release: fingerprint the released
+    /// (binned) CSV for one more recipient.
+    pub fn protect_for_release(
+        &mut self,
+        release: &str,
+        recipient: &str,
+        released_csv: &str,
+    ) -> Result<Response, ClientError> {
+        self.call(
+            &Request::new(Command::ProtectFor)
+                .param("release", release)
+                .param("recipient", recipient)
+                .body(released_csv),
+        )
+    }
+
+    /// `list-recipients` registered for `release`.
+    pub fn list_recipients(&mut self, release: &str) -> Result<Response, ClientError> {
+        self.call(&Request::new(Command::ListRecipients).param("release", release))
+    }
+
+    /// `resolve-leaker`: rank the recipients of `release` against a leaked
+    /// CSV table; the reply's `leaker` field names the best match.
+    pub fn resolve_leaker(
+        &mut self,
+        release: &str,
+        leaked_csv: &str,
+    ) -> Result<Response, ClientError> {
+        self.call(&Request::new(Command::ResolveLeaker).param("release", release).body(leaked_csv))
+    }
+
     /// `detect` the mark of `release` in a suspect CSV table.
     pub fn detect(&mut self, release: &str, suspect_csv: &str) -> Result<Response, ClientError> {
         self.call(&Request::new(Command::Detect).param("release", release).body(suspect_csv))
@@ -301,6 +342,12 @@ impl Response {
     /// A string field of the JSON report.
     pub fn str_field(&self, key: &str) -> Option<String> {
         json::get_str(&self.json, key)
+    }
+
+    /// A string-array field of the JSON report (e.g. `recipients`,
+    /// `ranking`).
+    pub fn str_array_field(&self, key: &str) -> Option<Vec<String>> {
+        json::get_str_array(&self.json, key)
     }
 
     /// The error message of an error reply.

@@ -29,8 +29,9 @@
 //! 000-00-0001,34,10301,...\n
 //! ```
 //!
-//! The header names the command (`protect`, `embed`, `detect`,
-//! `resolve-ownership`, `ping`) plus space-separated `key=value` parameters;
+//! The header names the command (`protect`, `protect-for`, `embed`,
+//! `detect`, `list-recipients`, `resolve-ownership`, `resolve-leaker`,
+//! `ping`) plus space-separated `key=value` parameters;
 //! the body — everything after the first newline — is a CSV table in the
 //! exact format the rest of the framework reads and writes.
 //!
@@ -69,6 +70,14 @@ pub enum Command {
     /// and replies with a release id, the embedding report and the release
     /// CSV.
     Protect,
+    /// Fingerprint a copy for `recipient=<name>`. Without `release=<id>`,
+    /// bins the CSV body into a new release first; with it, fingerprints a
+    /// further copy of the stored release from the original CSV body. The
+    /// recipient's mark is derived from the owner key (recipient name as
+    /// derivation label), registered durably, and embedded; the reply
+    /// carries the release id, the embedding report and the recipient's
+    /// copy.
+    ProtectFor,
     /// Re-embed the retained mark of `release=<id>` into the (already
     /// binned) CSV body; replies with the embedding report and the marked
     /// CSV.
@@ -76,9 +85,17 @@ pub enum Command {
     /// Detect the mark of `release=<id>` in the (possibly attacked) CSV
     /// body; replies with the detection report and the mark loss.
     Detect,
+    /// List the registered recipients of `release=<id>`; replies with the
+    /// recipient names in registration order.
+    ListRecipients,
     /// Run the §5.4 dispute protocol for `release=<id>` over the CSV body;
     /// replies with the court's verdict.
     ResolveOwnership,
+    /// Trace the leaker of `release=<id>`: detect the fingerprint bits in
+    /// the (possibly attacked) CSV body and rank the release's recipients
+    /// by agreement; replies with the ranking and the top match. An
+    /// optional `suspects=<a,b,...>` restricts the candidate set.
+    ResolveLeaker,
     /// Liveness probe; replies with server statistics.
     Ping,
     /// Hold a worker for `ms=<n>` milliseconds. Only honored when the server
@@ -98,9 +115,12 @@ impl Command {
     pub fn name(&self) -> &'static str {
         match self {
             Command::Protect => "protect",
+            Command::ProtectFor => "protect-for",
             Command::Embed => "embed",
             Command::Detect => "detect",
+            Command::ListRecipients => "list-recipients",
             Command::ResolveOwnership => "resolve-ownership",
+            Command::ResolveLeaker => "resolve-leaker",
             Command::Ping => "ping",
             Command::Sleep => "sleep",
             Command::Panic => "panic",
@@ -110,9 +130,12 @@ impl Command {
     fn parse(name: &str) -> Option<Command> {
         Some(match name {
             "protect" => Command::Protect,
+            "protect-for" => Command::ProtectFor,
             "embed" => Command::Embed,
             "detect" => Command::Detect,
+            "list-recipients" => Command::ListRecipients,
             "resolve-ownership" => Command::ResolveOwnership,
+            "resolve-leaker" => Command::ResolveLeaker,
             "ping" => Command::Ping,
             "sleep" => Command::Sleep,
             "panic" => Command::Panic,
@@ -242,6 +265,12 @@ pub enum ErrorCode {
     /// The named release carries no ownership proof, so the §5.4 dispute
     /// protocol cannot run (protect with `mark-from-statistic` enabled).
     NoOwnershipProof,
+    /// The named release has no registered recipients, so there is no
+    /// candidate set for `resolve-leaker` to rank.
+    NoRecipients,
+    /// A named recipient (e.g. in `suspects=`) is not registered for the
+    /// release.
+    UnknownRecipient,
     /// The protection engine rejected the submission.
     Engine,
     /// The durable release store could not persist or sync the release.
@@ -264,6 +293,8 @@ impl ErrorCode {
             ErrorCode::MissingParameter => "missing-parameter",
             ErrorCode::UnknownRelease => "unknown-release",
             ErrorCode::NoOwnershipProof => "no-ownership-proof",
+            ErrorCode::NoRecipients => "no-recipients",
+            ErrorCode::UnknownRecipient => "unknown-recipient",
             ErrorCode::Engine => "engine",
             ErrorCode::Storage => "storage",
             ErrorCode::ShuttingDown => "shutting-down",

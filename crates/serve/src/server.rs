@@ -65,14 +65,17 @@ use crate::protocol::{
     RequestError, Response, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use crate::store::{
-    lock_unpoisoned, DurableStore, MemoryStore, ReleaseStore, StoreError, StoredRelease,
+    lock_unpoisoned, DurableStore, MemoryStore, ReleaseStore, StoreError, StoredRecipient,
+    StoredRelease,
 };
 use medshield_core::{PipelineError, ProtectionConfig, ProtectionEngine};
 use medshield_datagen::ontology;
 use medshield_dht::DomainHierarchyTree;
 use medshield_metrics::mark_loss;
 use medshield_relation::{csv, ColumnRole, Table};
-use medshield_watermark::{DetectionReport, Mark, OwnershipProof};
+use medshield_watermark::{
+    derive_recipient_mark, score_recipients, DetectionReport, Mark, OwnershipProof,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -990,7 +993,9 @@ fn process_batch(shared: &Arc<Shared>, engine: &ProtectionEngine, batch: Vec<Job
             // draining workers). A protect that failed before appending —
             // malformed CSV, engine rejection — has nothing to sync and
             // keeps its own error. The in-memory store's sync is a no-op.
-            if job.request.command == Command::Protect && response.is_ok() {
+            if matches!(job.request.command, Command::Protect | Command::ProtectFor)
+                && response.is_ok()
+            {
                 if let Err(e) = shared.store.sync() {
                     // The durable store fail-stops on an fsync failure:
                     // whether this record reached disk is unknowable until a
@@ -1144,6 +1149,9 @@ fn detect_response(stored: &StoredRelease, rows: usize, report: &DetectionReport
 fn handle_request(shared: &Arc<Shared>, engine: &ProtectionEngine, request: &Request) -> Response {
     match request.command {
         Command::Protect => handle_protect(shared, engine, request),
+        Command::ProtectFor => handle_protect_for(shared, engine, request),
+        Command::ListRecipients => handle_list_recipients(shared, request),
+        Command::ResolveLeaker => handle_resolve_leaker(shared, engine, request),
         Command::Embed => handle_embed(shared, engine, request),
         Command::Detect => {
             // A detect that arrives here was not batched; run it as its own
@@ -1210,6 +1218,7 @@ fn handle_protect(shared: &Arc<Shared>, engine: &ProtectionEngine, request: &Req
         columns: release.binning.columns.clone(),
         mark: release.mark.clone(),
         ownership: release.ownership.clone(),
+        recipients: Vec::new(),
     }) {
         Ok(id) => id,
         Err(e) => {
@@ -1235,6 +1244,245 @@ fn handle_protect(shared: &Arc<Shared>, engine: &ProtectionEngine, request: &Req
             ("warnings", str_arr(&release.binning.warnings)),
         ],
         Some(body),
+    )
+}
+
+/// `protect-for`: produce a per-recipient fingerprinted copy of a release.
+///
+/// Without a `release` parameter the body is an original table: it is
+/// protected exactly like `protect` (creating the release record), then the
+/// recipient's fingerprint — derived from the owner key with the recipient id
+/// as PRF label — is embedded over the released table and the reply body is
+/// that copy. With `release=rN` the body is the already-released (binned)
+/// table and only the recipient copy is produced. Selection depends only on
+/// tuple identity, so re-embedding overwrites the owner's bits cell for cell
+/// and all copies stay detection-equivalent for the owner.
+fn handle_protect_for(
+    shared: &Arc<Shared>,
+    engine: &ProtectionEngine,
+    request: &Request,
+) -> Response {
+    let Some(recipient_name) = request.params.get("recipient").cloned() else {
+        return error_response(ErrorCode::MissingParameter, "the recipient parameter is required");
+    };
+    if recipient_name.is_empty() {
+        return error_response(ErrorCode::MissingParameter, "the recipient name must not be empty");
+    }
+    let recipient_mark = derive_recipient_mark(
+        &engine.watermarker().config().key,
+        &recipient_name,
+        engine.config().mark_len,
+    );
+    if request.params.contains_key("release") {
+        // Fingerprint an additional recipient copy of an existing release.
+        let stored = match release_param(shared, request) {
+            Ok(stored) => stored,
+            Err(response) => return response,
+        };
+        let id = match release_id_param(request) {
+            Ok(id) => id,
+            Err(response) => return response,
+        };
+        let table = match parse_body(request) {
+            Ok(table) => table,
+            Err(response) => return response,
+        };
+        let (copy, report) =
+            match engine.embed(&table, &stored.columns, &shared.trees, &recipient_mark) {
+                Ok(v) => v,
+                Err(e) => return error_response(ErrorCode::Engine, &e.to_string()),
+            };
+        let recipients = match register_recipient(shared, id, &recipient_name, &recipient_mark) {
+            Ok(count) => count,
+            Err(response) => return response,
+        };
+        ok_response(
+            vec![
+                ("release", format!("r{id}").into()),
+                ("recipient", recipient_name.into()),
+                ("recipients", recipients.into()),
+                ("rows", copy.len().into()),
+                ("selected_tuples", report.selected_tuples.into()),
+                ("embedded_cells", report.embedded_cells.into()),
+                ("changed_cells", report.changed_cells.into()),
+                ("skipped_cells", report.skipped_cells.into()),
+                ("wmd_len", report.wmd_len.into()),
+            ],
+            Some(csv::to_csv(&copy)),
+        )
+    } else {
+        let table = match parse_body(request) {
+            Ok(table) => table,
+            Err(response) => return response,
+        };
+        let per_attribute =
+            match param(request, "per-attribute", shared.config.per_attribute_default) {
+                Ok(v) => v,
+                Err(response) => return response,
+            };
+        let result = if per_attribute {
+            engine.protect_per_attribute(&table, &shared.trees)
+        } else {
+            engine.protect(&table, &shared.trees)
+        };
+        let release = match result {
+            Ok(release) => release,
+            Err(e) => return error_response(ErrorCode::Engine, &e.to_string()),
+        };
+        let copied =
+            engine.embed(&release.table, &release.binning.columns, &shared.trees, &recipient_mark);
+        let (copy, report) = match copied {
+            Ok(v) => v,
+            Err(e) => return error_response(ErrorCode::Engine, &e.to_string()),
+        };
+        let id = match shared.store.append(StoredRelease {
+            columns: release.binning.columns.clone(),
+            mark: release.mark.clone(),
+            ownership: release.ownership.clone(),
+            recipients: Vec::new(),
+        }) {
+            Ok(id) => id,
+            Err(e) => {
+                return error_response(
+                    ErrorCode::Storage,
+                    &format!("the release could not be stored: {e}"),
+                );
+            }
+        };
+        let recipients = match register_recipient(shared, id, &recipient_name, &recipient_mark) {
+            Ok(count) => count,
+            Err(response) => return response,
+        };
+        ok_response(
+            vec![
+                ("release", format!("r{id}").into()),
+                ("recipient", recipient_name.into()),
+                ("recipients", recipients.into()),
+                ("rows", copy.len().into()),
+                ("selected_tuples", report.selected_tuples.into()),
+                ("embedded_cells", report.embedded_cells.into()),
+                ("changed_cells", report.changed_cells.into()),
+                ("skipped_cells", report.skipped_cells.into()),
+                ("wmd_len", report.wmd_len.into()),
+                ("satisfied", release.binning.satisfied.into()),
+                ("has_ownership_proof", release.ownership.is_some().into()),
+                ("warnings", str_arr(&release.binning.warnings)),
+            ],
+            Some(csv::to_csv(&copy)),
+        )
+    }
+}
+
+/// Register `name` as a recipient of release `id`, returning the recipient
+/// count afterwards. Idempotent per name: re-issuing a copy to a recipient
+/// already on file succeeds (the fingerprint is deterministic, so the copy is
+/// identical).
+fn register_recipient(
+    shared: &Arc<Shared>,
+    id: u64,
+    name: &str,
+    mark: &Mark,
+) -> Result<usize, Response> {
+    match shared
+        .store
+        .add_recipient(id, StoredRecipient { name: name.to_string(), mark: mark.clone() })
+    {
+        Ok(Some(stored)) => Ok(stored.recipients.len()),
+        Ok(None) => Err(error_response(
+            ErrorCode::UnknownRelease,
+            &format!("no release named r{id} is stored"),
+        )),
+        Err(e) => Err(error_response(
+            ErrorCode::Storage,
+            &format!("the recipient could not be stored: {e}"),
+        )),
+    }
+}
+
+/// `list-recipients`: enumerate the recipients registered for a release, in
+/// registration order.
+fn handle_list_recipients(shared: &Arc<Shared>, request: &Request) -> Response {
+    let stored = match release_param(shared, request) {
+        Ok(stored) => stored,
+        Err(response) => return response,
+    };
+    let names: Vec<String> = stored.recipients.iter().map(|r| r.name.clone()).collect();
+    ok_response(vec![("count", names.len().into()), ("recipients", str_arr(&names))], None)
+}
+
+/// `resolve-leaker`: traitor tracing. Detect the mark carried by a leaked
+/// table, rank every registered recipient (or the `suspects` subset) by
+/// fingerprint agreement, and name the best match. Under collusion the top
+/// rank is a member of the colluding set: positions where colluders agree
+/// survive their mixing, so a colluder still outranks every innocent
+/// recipient in expectation.
+fn handle_resolve_leaker(
+    shared: &Arc<Shared>,
+    engine: &ProtectionEngine,
+    request: &Request,
+) -> Response {
+    let stored = match release_param(shared, request) {
+        Ok(stored) => stored,
+        Err(response) => return response,
+    };
+    if stored.recipients.is_empty() {
+        return error_response(
+            ErrorCode::NoRecipients,
+            "the release has no registered recipients (issue copies with protect-for)",
+        );
+    }
+    let candidates: Vec<&StoredRecipient> = match request.params.get("suspects") {
+        None => stored.recipients.iter().collect(),
+        Some(raw) => {
+            let mut suspects = Vec::new();
+            for name in raw.split(',').filter(|s| !s.is_empty()) {
+                match stored.recipient(name) {
+                    Some(recipient) => suspects.push(recipient),
+                    None => {
+                        return error_response(
+                            ErrorCode::UnknownRecipient,
+                            &format!("no recipient named {name} is registered for the release"),
+                        );
+                    }
+                }
+            }
+            if suspects.is_empty() {
+                return error_response(
+                    ErrorCode::NoRecipients,
+                    "the suspects parameter names no recipients",
+                );
+            }
+            suspects
+        }
+    };
+    let table = match parse_body(request) {
+        Ok(table) => table,
+        Err(response) => return response,
+    };
+    let report = match engine.detect(&table, &stored.columns, &shared.trees) {
+        Ok(report) => report,
+        Err(e) => return error_response(ErrorCode::Engine, &e.to_string()),
+    };
+    let ranking =
+        score_recipients(&report.mark, candidates.iter().map(|r| (r.name.as_str(), &r.mark)));
+    let Some(top) = ranking.first() else {
+        // Unreachable: the candidate list is non-empty by construction.
+        return error_response(ErrorCode::Engine, "no candidate could be scored");
+    };
+    let names: Vec<String> = ranking.iter().map(|s| s.name.clone()).collect();
+    let runner_up = ranking.get(1).map(|s| s.score).unwrap_or(0.0);
+    ok_response(
+        vec![
+            ("rows", table.len().into()),
+            ("selected_tuples", report.selected_tuples.into()),
+            ("wmd_len", report.wmd_len.into()),
+            ("candidates", ranking.len().into()),
+            ("leaker", top.name.clone().into()),
+            ("leaker_score", top.score.into()),
+            ("runner_up_score", runner_up.into()),
+            ("ranking", str_arr(&names)),
+        ],
+        None,
     )
 }
 
@@ -1333,15 +1581,19 @@ fn parse_body(request: &Request) -> Result<Table, Response> {
     })
 }
 
-fn release_param(shared: &Arc<Shared>, request: &Request) -> Result<Arc<StoredRelease>, Response> {
+fn release_id_param(request: &Request) -> Result<u64, Response> {
     let raw = request.params.get("release").ok_or_else(|| {
         error_response(ErrorCode::MissingParameter, "the release parameter is required")
     })?;
-    let id: u64 = raw.strip_prefix('r').unwrap_or(raw).parse().map_err(|_| {
+    raw.strip_prefix('r').unwrap_or(raw).parse().map_err(|_| {
         error_response(ErrorCode::MissingParameter, &format!("invalid release id: {raw}"))
-    })?;
+    })
+}
+
+fn release_param(shared: &Arc<Shared>, request: &Request) -> Result<Arc<StoredRelease>, Response> {
+    let id = release_id_param(request)?;
     shared.store.get(id).ok_or_else(|| {
-        error_response(ErrorCode::UnknownRelease, &format!("no release named {raw} is stored"))
+        error_response(ErrorCode::UnknownRelease, &format!("no release named r{id} is stored"))
     })
 }
 

@@ -32,6 +32,12 @@
 //!   durable before a `protect` reply is released, and concurrent workers
 //!   waiting on the same sync share one `fdatasync` call instead of queuing
 //!   one each.
+//! * **Recipient records:** `protect-for` appends a dedicated WAL record
+//!   per registered recipient (release id, name, fingerprint mark) instead
+//!   of rewriting the release; snapshots fold the recipients back into
+//!   their release's record. Pre-refactor (v1) stores decode unchanged —
+//!   their releases simply recover with empty recipient lists, and
+//!   recipient-less releases are still *written* in the v1 byte format.
 //! * **Id stability:** ids are assigned in WAL order under the log lock and
 //!   `next id` is restored on recovery as one past the highest durable id —
 //!   a release id handed to a client is never reassigned across restarts,
@@ -54,11 +60,34 @@ pub struct StoredRelease {
     /// Per-column binning state (maximal/minimal/ultimate node sets), in
     /// schema order of the quasi columns.
     pub columns: Vec<ColumnBinning>,
-    /// The embedded mark.
+    /// The release's own mark — the owner's single-mark copy (`protect`).
     pub mark: Mark,
     /// The §5.4 ownership proof, when the release was protected with
     /// `mark_from_statistic` enabled.
     pub ownership: Option<OwnershipProof>,
+    /// The recipients this release was fingerprinted for (`protect-for`),
+    /// in registration order. Empty for single-mark releases, including
+    /// every release recovered from a pre-refactor (v1) store.
+    pub recipients: Vec<StoredRecipient>,
+}
+
+impl StoredRelease {
+    /// The registered recipient with the given name, if any.
+    pub fn recipient(&self, name: &str) -> Option<&StoredRecipient> {
+        self.recipients.iter().find(|r| r.name == name)
+    }
+}
+
+/// One recipient copy of a release: the identity the fingerprint was derived
+/// from and the derived mark itself (stored so `resolve-leaker` can score
+/// recipients without re-deriving, and so the evidence survives a key
+/// rotation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRecipient {
+    /// The recipient's identity — the fingerprint derivation label.
+    pub name: String,
+    /// The fingerprint mark embedded into this recipient's copy.
+    pub mark: Mark,
 }
 
 /// Errors from a release store.
@@ -113,10 +142,21 @@ pub trait ReleaseStore: Send + Sync {
     /// never reused, in memory or across restarts.
     fn append(&self, release: StoredRelease) -> Result<u64, StoreError>;
 
+    /// Register a recipient copy of release `id`. Returns the updated
+    /// release, or `None` when no such release exists. Idempotent per name:
+    /// re-registering an existing recipient returns the release unchanged
+    /// (fingerprints are deterministic, so the mark cannot differ), and
+    /// durable stores write no duplicate WAL record for it.
+    fn add_recipient(
+        &self,
+        id: u64,
+        recipient: StoredRecipient,
+    ) -> Result<Option<Arc<StoredRelease>>, StoreError>;
+
     /// Make every release appended so far durable. Called by the server
-    /// once per mutating queue drain *before* the `protect` reply is
-    /// released; concurrent callers share one fsync (group commit). A
-    /// no-op for in-memory stores.
+    /// once per mutating queue drain *before* the `protect` or `protect-for`
+    /// reply is released; concurrent callers share one fsync (group
+    /// commit). A no-op for in-memory stores.
     fn sync(&self) -> Result<(), StoreError>;
 
     /// The release with the given id, if stored.
@@ -177,6 +217,23 @@ impl ReleaseStore for MemoryStore {
         Ok(id)
     }
 
+    fn add_recipient(
+        &self,
+        id: u64,
+        recipient: StoredRecipient,
+    ) -> Result<Option<Arc<StoredRelease>>, StoreError> {
+        let mut map = lock_unpoisoned(&self.map);
+        let Some(existing) = map.get(&id) else { return Ok(None) };
+        if existing.recipient(&recipient.name).is_some() {
+            return Ok(Some(Arc::clone(existing)));
+        }
+        let mut updated = (**existing).clone();
+        updated.recipients.push(recipient);
+        let updated = Arc::new(updated);
+        map.insert(id, Arc::clone(&updated));
+        Ok(Some(updated))
+    }
+
     fn sync(&self) -> Result<(), StoreError> {
         Ok(())
     }
@@ -219,8 +276,21 @@ const SNAPSHOT_MAGIC: &[u8; 8] = b"MSSNP\x01\r\n";
 /// a few hundred bytes).
 const MAX_RECORD_LEN: usize = 64 * 1024 * 1024;
 
-/// Version tag of the release-record payload encoding.
-const RELEASE_RECORD_VERSION: u8 = 1;
+/// Version tags of the record payload encodings (the first payload byte).
+///
+/// * Tag 1 is the pre-refactor single-mark release record. It is still
+///   **written** whenever a release has no recipients, so a store that never
+///   sees `protect-for` stays byte-identical to one produced before the
+///   per-recipient refactor — and a v1 store recovers without rewriting.
+/// * Tag 2 is a release record with its recipient list folded in (snapshots
+///   always fold; the WAL holds one when a `protect-for` created the
+///   release).
+/// * Tag 3 is the recipient-add record appended by
+///   [`ReleaseStore::add_recipient`]; replaying it folds the recipient onto
+///   its release.
+const RELEASE_RECORD_V1: u8 = 1;
+const RELEASE_RECORD_V2: u8 = 2;
+const RECIPIENT_RECORD: u8 = 3;
 
 /// The sequencing state of the write-ahead log; guarded by one mutex so WAL
 /// bytes and release ids are appended in the same order.
@@ -460,6 +530,58 @@ impl ReleaseStore for DurableStore {
         Ok(id)
     }
 
+    fn add_recipient(
+        &self,
+        id: u64,
+        recipient: StoredRecipient,
+    ) -> Result<Option<Arc<StoredRelease>>, StoreError> {
+        if lock_unpoisoned(&self.sync_state).failed {
+            return Err(StoreError::Io(std::io::Error::other(
+                "the store fail-stopped after an fsync failure; restart to recover",
+            )));
+        }
+        // The WAL lock orders the existence check, the record bytes and the
+        // map update against concurrent appends, exactly like `append`.
+        let mut wal = lock_unpoisoned(&self.wal);
+        {
+            let map = lock_unpoisoned(&self.map);
+            match map.get(&id) {
+                None => return Ok(None),
+                Some(existing) if existing.recipient(&recipient.name).is_some() => {
+                    // Idempotent re-registration: the fingerprint is
+                    // deterministic, so there is nothing new to log.
+                    return Ok(Some(Arc::clone(existing)));
+                }
+                Some(_) => {}
+            }
+        }
+        let frame = frame_record(&encode_recipient_record(id, &recipient)?);
+        if let Err(e) = wal.file.write_all(&frame) {
+            let len = wal.len;
+            let _ = wal.file.set_len(len);
+            let _ = wal.file.seek(SeekFrom::Start(len));
+            return Err(StoreError::Io(e));
+        }
+        wal.len += frame.len() as u64;
+        self.written.fetch_add(1, Ordering::Release);
+        let updated = {
+            let mut map = lock_unpoisoned(&self.map);
+            fold_recipient(&mut map, id, recipient);
+            map.get(&id).cloned()
+        };
+        wal.since_snapshot += 1;
+        if self.snapshot_every > 0 && wal.since_snapshot >= self.snapshot_every {
+            // Same rationale as in `append`: compaction failure must never
+            // fail a durably logged mutation.
+            if self.snapshot_locked(&mut wal).is_err() {
+                if let Ok(end) = wal.file.seek(SeekFrom::End(0)) {
+                    wal.len = end;
+                }
+            }
+        }
+        Ok(updated)
+    }
+
     fn sync(&self) -> Result<(), StoreError> {
         let target = self.written.load(Ordering::Acquire);
         let mut state = lock_unpoisoned(&self.sync_state);
@@ -547,10 +669,13 @@ fn frame_record(payload: &[u8]) -> Vec<u8> {
     frame
 }
 
-/// Encode one release record payload (version, id, columns, mark, proof).
+/// Encode one release record payload (version, id, columns, mark, proof,
+/// and — under v2 — the recipient list). Recipient-less releases are
+/// written in the v1 format so pre-refactor stores round-trip byte-for-byte.
 fn encode_release_record(id: u64, release: &StoredRelease) -> Result<Vec<u8>, CodecError> {
     let mut w = Writer::new();
-    w.u8(RELEASE_RECORD_VERSION);
+    let version = if release.recipients.is_empty() { RELEASE_RECORD_V1 } else { RELEASE_RECORD_V2 };
+    w.u8(version);
     w.u64(id);
     w.count_u32(release.columns.len());
     for column in &release.columns {
@@ -564,14 +689,60 @@ fn encode_release_record(id: u64, release: &StoredRelease) -> Result<Vec<u8>, Co
             codec::write_ownership_proof(&mut w, proof);
         }
     }
+    if version == RELEASE_RECORD_V2 {
+        w.count_u32(release.recipients.len());
+        for recipient in &release.recipients {
+            w.str(&recipient.name);
+            codec::write_mark(&mut w, &recipient.mark);
+        }
+    }
     w.into_bytes()
 }
 
-/// Decode one release record payload.
+/// Encode one recipient-add record payload (version, release id, name, mark).
+fn encode_recipient_record(id: u64, recipient: &StoredRecipient) -> Result<Vec<u8>, CodecError> {
+    let mut w = Writer::new();
+    w.u8(RECIPIENT_RECORD);
+    w.u64(id);
+    w.str(&recipient.name);
+    codec::write_mark(&mut w, &recipient.mark);
+    w.into_bytes()
+}
+
+/// One decoded WAL/snapshot record.
+enum StoreRecord {
+    /// A full release (v1 without recipients, v2 with).
+    Release(u64, StoredRelease),
+    /// A recipient added to an existing release.
+    Recipient(u64, StoredRecipient),
+}
+
+/// Decode one record payload, dispatching on the leading version tag.
+fn decode_record(payload: &[u8]) -> Result<StoreRecord, CodecError> {
+    match payload.first().copied() {
+        Some(RELEASE_RECORD_V1) | Some(RELEASE_RECORD_V2) => {
+            let (id, release) = decode_release_record(payload)?;
+            Ok(StoreRecord::Release(id, release))
+        }
+        Some(RECIPIENT_RECORD) => {
+            let mut r = Reader::new(payload);
+            let _version = r.u8()?;
+            let id = r.u64()?;
+            let name = r.str()?.to_string();
+            let mark = codec::read_mark(&mut r)?;
+            r.finish()?;
+            Ok(StoreRecord::Recipient(id, StoredRecipient { name, mark }))
+        }
+        Some(version) => Err(CodecError::Invalid(format!("unknown record version {version}"))),
+        None => Err(CodecError::Truncated),
+    }
+}
+
+/// Decode one release record payload (v1 or v2).
 fn decode_release_record(payload: &[u8]) -> Result<(u64, StoredRelease), CodecError> {
     let mut r = Reader::new(payload);
     let version = r.u8()?;
-    if version != RELEASE_RECORD_VERSION {
+    if version != RELEASE_RECORD_V1 && version != RELEASE_RECORD_V2 {
         return Err(CodecError::Invalid(format!("unknown release record version {version}")));
     }
     let id = r.u64()?;
@@ -593,8 +764,41 @@ fn decode_release_record(payload: &[u8]) -> Result<(u64, StoredRelease), CodecEr
         1 => Some(codec::read_ownership_proof(&mut r)?),
         tag => return Err(CodecError::Invalid(format!("unknown ownership tag {tag}"))),
     };
+    let recipients = if version == RELEASE_RECORD_V2 {
+        let count = r.u32()? as usize;
+        // A minimal encoded recipient is 9 bytes (name length + mark
+        // length); same preallocation cap rationale as the columns above.
+        if count.saturating_mul(9) > payload.len() {
+            return Err(CodecError::Truncated);
+        }
+        let mut recipients = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = r.str()?.to_string();
+            let mark = codec::read_mark(&mut r)?;
+            recipients.push(StoredRecipient { name, mark });
+        }
+        recipients
+    } else {
+        Vec::new()
+    };
     r.finish()?;
-    Ok((id, StoredRelease { columns, mark, ownership }))
+    Ok((id, StoredRelease { columns, mark, ownership, recipients }))
+}
+
+/// Fold a recipient-add record onto its release (clone-on-write of the
+/// shared [`Arc`]). Idempotent by name, so replaying a WAL record whose
+/// recipient the snapshot already folded in cannot duplicate it. A record
+/// naming a release the map does not hold is ignored: recipient records are
+/// only ever appended after their release's record, so the release must have
+/// been dropped by an earlier (torn-tail) truncation.
+fn fold_recipient(map: &mut HashMap<u64, Arc<StoredRelease>>, id: u64, recipient: StoredRecipient) {
+    let Some(existing) = map.get(&id) else { return };
+    if existing.recipient(&recipient.name).is_some() {
+        return;
+    }
+    let mut updated = (**existing).clone();
+    updated.recipients.push(recipient);
+    map.insert(id, Arc::new(updated));
 }
 
 /// Replay WAL records into `map`, returning the byte length of the valid
@@ -611,9 +815,16 @@ fn replay_wal(bytes: &[u8], map: &mut HashMap<u64, Arc<StoredRelease>>, next: &m
         if codec::crc32(payload) != crc {
             break;
         }
-        let Ok((id, release)) = decode_release_record(payload) else { break };
-        map.insert(id, Arc::new(release));
-        *next = (*next).max(id + 1);
+        match decode_record(payload) {
+            Ok(StoreRecord::Release(id, release)) => {
+                map.insert(id, Arc::new(release));
+                *next = (*next).max(id + 1);
+            }
+            Ok(StoreRecord::Recipient(id, recipient)) => {
+                fold_recipient(map, id, recipient);
+            }
+            Err(_) => break,
+        }
         at += 8 + len;
     }
     at as u64
@@ -690,7 +901,12 @@ mod tests {
             ownership: seed
                 .is_multiple_of(2)
                 .then(|| OwnershipProof { statistic: f64::from(seed) * 1.5, mark_len: 20 }),
+            recipients: Vec::new(),
         }
+    }
+
+    fn recipient(name: &str) -> StoredRecipient {
+        StoredRecipient { name: name.into(), mark: Mark::from_bytes(name.as_bytes(), 20) }
     }
 
     #[test]
@@ -704,6 +920,122 @@ mod tests {
         assert_eq!(store.get(1).unwrap().mark, Mark::from_bytes(&[1], 20));
         assert!(store.get(3).is_none());
         store.sync().unwrap();
+    }
+
+    #[test]
+    fn memory_store_registers_recipients_idempotently() {
+        let store = MemoryStore::new();
+        let id = store.append(release(1)).unwrap();
+        assert!(store.add_recipient(99, recipient("clinic-a")).unwrap().is_none());
+        let updated = store.add_recipient(id, recipient("clinic-a")).unwrap().unwrap();
+        assert_eq!(updated.recipients.len(), 1);
+        let updated = store.add_recipient(id, recipient("clinic-b")).unwrap().unwrap();
+        assert_eq!(updated.recipients.len(), 2);
+        // Re-registering an existing name changes nothing.
+        let again = store.add_recipient(id, recipient("clinic-a")).unwrap().unwrap();
+        assert_eq!(*again, *updated);
+        assert_eq!(store.get(id).unwrap().recipient("clinic-b"), Some(&recipient("clinic-b")));
+    }
+
+    #[test]
+    fn durable_recipient_records_recover_from_the_wal() {
+        let dir = test_dir("recipients-wal");
+        {
+            let store = DurableStore::open(&dir, 0).unwrap();
+            let id = store.append(release(1)).unwrap();
+            store.append(release(2)).unwrap();
+            store.add_recipient(id, recipient("clinic-a")).unwrap().unwrap();
+            store.add_recipient(id, recipient("clinic-b")).unwrap().unwrap();
+            assert!(store.add_recipient(77, recipient("ghost")).unwrap().is_none());
+            store.sync().unwrap();
+        }
+        let store = DurableStore::open(&dir, 0).unwrap();
+        // Recipient records are not releases: they restore onto release 1
+        // and do not advance the id sequence.
+        assert_eq!(store.recovered_releases(), 2);
+        assert_eq!(store.next_id(), 3);
+        let restored = store.get(1).unwrap();
+        assert_eq!(
+            restored.recipients,
+            vec![recipient("clinic-a"), recipient("clinic-b")],
+            "registration order survives recovery"
+        );
+        assert!(store.get(2).unwrap().recipients.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_folds_recipients_into_the_release_record() {
+        let dir = test_dir("recipients-snap");
+        {
+            let store = DurableStore::open(&dir, 0).unwrap();
+            let id = store.append(release(1)).unwrap();
+            store.add_recipient(id, recipient("clinic-a")).unwrap().unwrap();
+            store.compact().unwrap();
+            // Post-snapshot mutation: lives only in the WAL.
+            store.add_recipient(id, recipient("clinic-b")).unwrap().unwrap();
+            store.sync().unwrap();
+        }
+        let store = DurableStore::open(&dir, 0).unwrap();
+        let restored = store.get(1).unwrap();
+        assert_eq!(restored.recipients, vec![recipient("clinic-a"), recipient("clinic-b")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replaying_a_recipient_already_folded_into_the_snapshot_is_idempotent() {
+        let dir = test_dir("recipients-idem");
+        {
+            let store = DurableStore::open(&dir, 0).unwrap();
+            let id = store.append(release(1)).unwrap();
+            store.add_recipient(id, recipient("clinic-a")).unwrap().unwrap();
+            store.compact().unwrap();
+            store.sync().unwrap();
+        }
+        // Simulate the crash window where the snapshot was renamed but the
+        // WAL truncation never hit the disk: the WAL still carries the
+        // recipient record the snapshot already folded in.
+        let frame = frame_record(&encode_recipient_record(1, &recipient("clinic-a")).unwrap());
+        let wal_path = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        bytes.extend_from_slice(&frame);
+        std::fs::write(&wal_path, &bytes).unwrap();
+        let store = DurableStore::open(&dir, 0).unwrap();
+        assert_eq!(store.get(1).unwrap().recipients, vec![recipient("clinic-a")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recipient_records_trigger_the_snapshot_threshold() {
+        let dir = test_dir("recipients-trigger");
+        let store = DurableStore::open(&dir, 3).unwrap();
+        let id = store.append(release(1)).unwrap();
+        store.add_recipient(id, recipient("a")).unwrap().unwrap();
+        store.add_recipient(id, recipient("b")).unwrap().unwrap();
+        // Three mutations since the last snapshot: the trigger fired and the
+        // WAL is back to its bare magic.
+        let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        assert_eq!(wal_len, WAL_MAGIC.len() as u64);
+        drop(store);
+        let store = DurableStore::open(&dir, 3).unwrap();
+        assert_eq!(store.get(1).unwrap().recipients.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recipient_release_records_roundtrip_through_the_codec() {
+        let mut with = release(3);
+        with.recipients = vec![recipient("clinic-a"), recipient("clinic-b")];
+        let payload = encode_release_record(9, &with).unwrap();
+        assert_eq!(payload[0], RELEASE_RECORD_V2);
+        let (id, decoded) = decode_release_record(&payload).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(decoded, with);
+        // Recipient-less releases still encode in the v1 format.
+        let without = release(3);
+        let payload = encode_release_record(9, &without).unwrap();
+        assert_eq!(payload[0], RELEASE_RECORD_V1);
+        assert_eq!(decode_release_record(&payload).unwrap().1, without);
     }
 
     #[test]

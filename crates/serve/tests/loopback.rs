@@ -441,6 +441,153 @@ fn debug_commands_stay_disabled_by_default() {
 }
 
 #[test]
+fn protect_for_list_recipients_and_resolve_leaker_trace_the_leak() {
+    use medshield_attacks::{Attack, CollusionAttack, SubsetAlteration};
+
+    let handle = serve(serve_config(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let ds = dataset(400);
+    let reply = client.protect(&csv::to_csv(&ds.table)).unwrap();
+    assert!(reply.is_ok(), "{}", reply.json);
+    let release_id = reply.release_id().unwrap();
+    let release_csv = reply.body.clone().unwrap();
+
+    // Before any copy is issued, tracing has nothing to rank against.
+    let bare = client.resolve_leaker(&release_id, &release_csv).unwrap();
+    assert_eq!(bare.code().as_deref(), Some("no-recipients"), "{}", bare.json);
+    let list = client.list_recipients(&release_id).unwrap();
+    assert_eq!(list.u64_field("count"), Some(0), "{}", list.json);
+
+    // Issue three per-recipient copies of the same release.
+    let names = ["clinic-a", "clinic-b", "clinic-c"];
+    let mut copies = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let copy = client.protect_for_release(&release_id, name, &release_csv).unwrap();
+        assert!(copy.is_ok(), "{}", copy.json);
+        assert_eq!(copy.str_field("recipient").as_deref(), Some(*name), "{}", copy.json);
+        assert_eq!(copy.u64_field("recipients"), Some(i as u64 + 1), "{}", copy.json);
+        copies.push(copy.body.clone().unwrap());
+    }
+    for i in 0..copies.len() {
+        for j in i + 1..copies.len() {
+            assert_ne!(copies[i], copies[j], "copies {i} and {j} are identical");
+        }
+    }
+    // Re-issuing to a known recipient is idempotent: same copy, same count.
+    let again = client.protect_for_release(&release_id, "clinic-a", &release_csv).unwrap();
+    assert!(again.is_ok(), "{}", again.json);
+    assert_eq!(again.u64_field("recipients"), Some(3), "{}", again.json);
+    assert_eq!(again.body.as_deref(), Some(copies[0].as_str()));
+    let list = client.list_recipients(&release_id).unwrap();
+    assert_eq!(list.u64_field("count"), Some(3), "{}", list.json);
+    assert_eq!(
+        list.str_array_field("recipients"),
+        Some(names.iter().map(std::string::ToString::to_string).collect()),
+        "{}",
+        list.json
+    );
+
+    // A clean leak of clinic-b's copy traces to clinic-b exactly.
+    let verdict = client.resolve_leaker(&release_id, &copies[1]).unwrap();
+    assert!(verdict.is_ok(), "{}", verdict.json);
+    assert_eq!(verdict.str_field("leaker").as_deref(), Some("clinic-b"), "{}", verdict.json);
+    assert_eq!(verdict.f64_field("leaker_score"), Some(1.0), "{}", verdict.json);
+    assert_eq!(verdict.u64_field("candidates"), Some(3), "{}", verdict.json);
+    assert_eq!(
+        verdict.str_array_field("ranking").and_then(|r| r.first().cloned()).as_deref(),
+        Some("clinic-b")
+    );
+
+    // …and still traces after a subset deletion of the leaked copy…
+    let deleted = drop_tail_rows(&copies[1], 80);
+    let verdict = client.resolve_leaker(&release_id, &deleted).unwrap();
+    assert!(verdict.is_ok(), "{}", verdict.json);
+    assert_eq!(verdict.str_field("leaker").as_deref(), Some("clinic-b"), "{}", verdict.json);
+
+    // …and after a subset alteration.
+    let copy_b = csv::from_csv(&copies[1], &medshield_serve::MEDICAL_ROLES).unwrap();
+    let altered = SubsetAlteration::new(0.15, 7).apply(&copy_b);
+    let verdict = client.resolve_leaker(&release_id, &csv::to_csv(&altered)).unwrap();
+    assert!(verdict.is_ok(), "{}", verdict.json);
+    assert_eq!(verdict.str_field("leaker").as_deref(), Some("clinic-b"), "{}", verdict.json);
+
+    // A 2-party collusion of clinic-b and clinic-c majority-mixing their
+    // copies must still convict a member of the colluding set, never the
+    // innocent clinic-a.
+    let copy_c = csv::from_csv(&copies[2], &medshield_serve::MEDICAL_ROLES).unwrap();
+    let mixed = CollusionAttack::new(vec![copy_c], 11).apply(&copy_b);
+    let verdict = client.resolve_leaker(&release_id, &csv::to_csv(&mixed)).unwrap();
+    assert!(verdict.is_ok(), "{}", verdict.json);
+    let leaker = verdict.str_field("leaker").unwrap();
+    assert!(
+        leaker == "clinic-b" || leaker == "clinic-c",
+        "collusion must convict a colluder, got {leaker}: {}",
+        verdict.json
+    );
+
+    // The suspects filter narrows the candidate set…
+    let verdict = client
+        .call(
+            &Request::new(Command::ResolveLeaker)
+                .param("release", release_id.as_str())
+                .param("suspects", "clinic-a,clinic-b")
+                .body(copies[1].as_str()),
+        )
+        .unwrap();
+    assert!(verdict.is_ok(), "{}", verdict.json);
+    assert_eq!(verdict.u64_field("candidates"), Some(2), "{}", verdict.json);
+    assert_eq!(verdict.str_field("leaker").as_deref(), Some("clinic-b"), "{}", verdict.json);
+    // …and an unregistered suspect is a structured error.
+    let unknown = client
+        .call(
+            &Request::new(Command::ResolveLeaker)
+                .param("release", release_id.as_str())
+                .param("suspects", "clinic-z")
+                .body(copies[1].as_str()),
+        )
+        .unwrap();
+    assert_eq!(unknown.code().as_deref(), Some("unknown-recipient"), "{}", unknown.json);
+
+    // A missing recipient parameter on protect-for is a structured error too.
+    let missing = client
+        .call(
+            &Request::new(Command::ProtectFor)
+                .param("release", release_id.as_str())
+                .body(release_csv.as_str()),
+        )
+        .unwrap();
+    assert_eq!(missing.code().as_deref(), Some("missing-parameter"), "{}", missing.json);
+    handle.shutdown();
+}
+
+#[test]
+fn one_shot_protect_for_creates_the_release_and_registers_the_recipient() {
+    let handle = serve(serve_config(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let ds = dataset(300);
+    let reply = client.protect_for("clinic-x", &csv::to_csv(&ds.table)).unwrap();
+    assert!(reply.is_ok(), "{}", reply.json);
+    let release_id = reply.release_id().unwrap();
+    assert_eq!(reply.str_field("recipient").as_deref(), Some("clinic-x"), "{}", reply.json);
+    assert_eq!(reply.u64_field("recipients"), Some(1), "{}", reply.json);
+    assert_eq!(reply.bool_field("has_ownership_proof"), Some(true), "{}", reply.json);
+    let copy_csv = reply.body.clone().unwrap();
+
+    // The copy carries clinic-x's fingerprint: tracing names it.
+    let verdict = client.resolve_leaker(&release_id, &copy_csv).unwrap();
+    assert!(verdict.is_ok(), "{}", verdict.json);
+    assert_eq!(verdict.str_field("leaker").as_deref(), Some("clinic-x"), "{}", verdict.json);
+    assert_eq!(verdict.f64_field("leaker_score"), Some(1.0), "{}", verdict.json);
+
+    // The detection structure over the copy matches the owner's release: the
+    // same tuples are selected by the owner key.
+    let detect = client.detect(&release_id, &copy_csv).unwrap();
+    assert!(detect.is_ok(), "{}", detect.json);
+    assert!(detect.u64_field("selected_tuples").unwrap_or(0) > 0, "{}", detect.json);
+    handle.shutdown();
+}
+
+#[test]
 fn durable_server_restart_serves_byte_identical_replies_and_fresh_ids() {
     let dir =
         std::env::temp_dir().join(format!("medshield-loopback-durable-{}", std::process::id()));
@@ -469,7 +616,11 @@ fn durable_server_restart_serves_byte_identical_replies_and_fresh_ids() {
         assert!(detect.is_ok(), "{}", detect.json);
         let resolve = client.resolve_ownership(&id, &release_csv).unwrap();
         assert!(resolve.is_ok(), "{}", resolve.json);
-        stored.push((id, release_csv, detect, resolve));
+        // Register a recipient copy: the recipient record must survive the
+        // restart exactly like the release record.
+        let copy = client.protect_for_release(&id, "clinic-durable", &release_csv).unwrap();
+        assert!(copy.is_ok(), "{}", copy.json);
+        stored.push((id, release_csv, detect, resolve, copy.body.clone().unwrap()));
     }
     // Drop WITHOUT graceful shutdown semantics mattering for the store: the
     // replies above were only released after their records were fsynced.
@@ -480,11 +631,22 @@ fn durable_server_restart_serves_byte_identical_replies_and_fresh_ids() {
     let handle = serve(durable_config(), "127.0.0.1:0").unwrap();
     assert_eq!(handle.releases(), 2, "recovery must restore both releases");
     let mut client = Client::connect(handle.addr()).unwrap();
-    for (id, release_csv, detect_before, resolve_before) in &stored {
+    for (id, release_csv, detect_before, resolve_before, copy_csv) in &stored {
         let detect_after = client.detect(id, release_csv).unwrap();
         assert_eq!(&detect_after, detect_before, "detect reply changed across restart");
         let resolve_after = client.resolve_ownership(id, release_csv).unwrap();
         assert_eq!(&resolve_after, resolve_before, "resolve reply changed across restart");
+        // Recipient records recovered: listing and tracing still work.
+        let list = client.list_recipients(id).unwrap();
+        assert_eq!(list.u64_field("count"), Some(1), "{}", list.json);
+        let verdict = client.resolve_leaker(id, copy_csv).unwrap();
+        assert!(verdict.is_ok(), "{}", verdict.json);
+        assert_eq!(
+            verdict.str_field("leaker").as_deref(),
+            Some("clinic-durable"),
+            "{}",
+            verdict.json
+        );
     }
     let ds = dataset(140);
     let reply = client.protect(&csv::to_csv(&ds.table)).unwrap();

@@ -8,7 +8,7 @@
 
 use medshield_binning::ColumnBinning;
 use medshield_dht::GeneralizationSet;
-use medshield_serve::store::{DurableStore, ReleaseStore, StoredRelease};
+use medshield_serve::store::{DurableStore, ReleaseStore, StoredRecipient, StoredRelease};
 use medshield_watermark::{Mark, OwnershipProof};
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -44,7 +44,112 @@ fn release(seed: u64) -> StoredRelease {
         mark: Mark::from_bytes(&seed.to_be_bytes(), 20),
         ownership: (!seed.is_multiple_of(3))
             .then_some(OwnershipProof { statistic: seed as f64 * 0.75 + 0.125, mark_len: 20 }),
+        recipients: Vec::new(),
     }
+}
+
+/// A pre-refactor (v1, single-mark) release record, replicated independently
+/// of the store's own encoder from the documented wire layout: tag `1`, id,
+/// column binnings, mark, optional ownership proof — and nothing else. This
+/// is what every durable store on disk contained before recipient records
+/// existed.
+fn v1_record(id: u64, release: &StoredRelease) -> Vec<u8> {
+    use medshield_core::codec::{self, Writer};
+    assert!(release.recipients.is_empty(), "v1 records cannot carry recipients");
+    let mut w = Writer::new();
+    w.u8(1);
+    w.u64(id);
+    w.count_u32(release.columns.len());
+    for column in &release.columns {
+        codec::write_column_binning(&mut w, column);
+    }
+    codec::write_mark(&mut w, &release.mark);
+    match &release.ownership {
+        None => w.u8(0),
+        Some(proof) => {
+            w.u8(1);
+            codec::write_ownership_proof(&mut w, proof);
+        }
+    }
+    w.into_bytes().expect("fixture record encodes")
+}
+
+/// Frame a record as the WAL/snapshot do: `[u32 len][u32 crc32][payload]`,
+/// little-endian.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&medshield_core::codec::crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[test]
+fn a_v1_single_mark_store_recovers_byte_identically_under_the_new_codec() {
+    let dir = fresh_dir("v1-fixture");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Build the fixture directory exactly as a pre-refactor server left it:
+    // a snapshot with releases 1–2 folded in (next id 4: an id was burned
+    // by a release whose WAL record died with the process) and a WAL tail
+    // carrying release 3.
+    let mut snapshot_bytes = b"MSSNP\x01\r\n".to_vec();
+    snapshot_bytes.extend_from_slice(&4u64.to_le_bytes());
+    snapshot_bytes.extend_from_slice(&2u64.to_le_bytes());
+    for id in 1..=2u64 {
+        snapshot_bytes.extend_from_slice(&frame(&v1_record(id, &release(id - 1))));
+    }
+    std::fs::write(dir.join("snapshot.bin"), &snapshot_bytes).unwrap();
+    let mut wal_bytes = b"MSWAL\x01\r\n".to_vec();
+    wal_bytes.extend_from_slice(&frame(&v1_record(3, &release(2))));
+    std::fs::write(dir.join("wal.log"), &wal_bytes).unwrap();
+
+    // The new codec recovers every release, with empty recipient lists…
+    let store = DurableStore::open(&dir, 0).unwrap();
+    assert_eq!(store.recovered_releases(), 3);
+    for id in 1..=3u64 {
+        let got = store.get(id).unwrap();
+        assert_eq!(&*got, &release(id - 1), "release {id} corrupted by the upgrade");
+        assert!(got.recipients.is_empty());
+    }
+    assert_eq!(store.next_id(), 4);
+    // …without rewriting a single fixture byte: opening is read-only.
+    assert_eq!(std::fs::read(dir.join("wal.log")).unwrap(), wal_bytes);
+    assert_eq!(std::fs::read(dir.join("snapshot.bin")).unwrap(), snapshot_bytes);
+
+    // Recipient-less appends still produce v1 bytes, so a store that never
+    // uses protect-for keeps emitting records any pre-refactor reader (or
+    // fixture replica) predicts byte-for-byte.
+    assert_eq!(store.append(release(7)).unwrap(), 4);
+    store.sync().unwrap();
+    let wal_now = std::fs::read(dir.join("wal.log")).unwrap();
+    assert_eq!(&wal_now[..wal_bytes.len()], &wal_bytes[..]);
+    assert_eq!(&wal_now[wal_bytes.len()..], &frame(&v1_record(4, &release(7)))[..]);
+
+    // A post-upgrade snapshot of recipient-less releases is likewise pure v1.
+    store.compact().unwrap();
+    let mut expected = b"MSSNP\x01\r\n".to_vec();
+    expected.extend_from_slice(&5u64.to_le_bytes());
+    expected.extend_from_slice(&4u64.to_le_bytes());
+    for (id, seed) in [(1u64, 0u64), (2, 1), (3, 2), (4, 7)] {
+        expected.extend_from_slice(&frame(&v1_record(id, &release(seed))));
+    }
+    assert_eq!(std::fs::read(dir.join("snapshot.bin")).unwrap(), expected);
+
+    // Only registering a recipient departs from the v1 format — and the
+    // upgraded store round-trips it cleanly.
+    let mark = Mark::from_bytes(b"clinic", 20);
+    store
+        .add_recipient(3, StoredRecipient { name: "clinic".into(), mark: mark.clone() })
+        .unwrap()
+        .unwrap();
+    drop(store);
+    let store = DurableStore::open(&dir, 0).unwrap();
+    let upgraded = store.get(3).unwrap();
+    assert_eq!(upgraded.recipients.len(), 1);
+    assert_eq!(upgraded.recipients[0].name, "clinic");
+    assert_eq!(upgraded.recipients[0].mark, mark);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 proptest! {

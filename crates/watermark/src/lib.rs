@@ -13,6 +13,10 @@
 //!
 //! * [`key`] — the secret watermarking key `(k1, k2, η)` and the [`Mark`]
 //!   bit-string type.
+//! * [`fingerprint`] — per-recipient fingerprint marks derived from the owner
+//!   key via the labeled PRF (recipient id as derivation label, no stored key
+//!   material) and the traitor-tracing scorer that ranks a release's
+//!   recipients against the bits recovered from a leaked table.
 //! * [`select`] — keyed tuple selection, Eq. (5): `H(ti.ident, k1) mod η = 0`,
 //!   with an optional virtual primary key when the identifying columns cannot
 //!   be relied on.
@@ -53,6 +57,7 @@
 #![deny(missing_docs)]
 
 pub mod error;
+pub mod fingerprint;
 pub mod hierarchical;
 pub mod kernel;
 pub mod key;
@@ -63,6 +68,9 @@ pub mod single_level;
 pub mod voting;
 
 pub use error::WatermarkError;
+pub use fingerprint::{
+    derive_recipient_mark, score_recipients, FingerprintDeriver, RecipientScore,
+};
 pub use hierarchical::{DetectionReport, DetectionTally, EmbeddingReport, HierarchicalWatermarker};
 pub use kernel::{DetectKernel, EmbedChunk, EmbedKernel};
 pub use key::{Mark, WatermarkConfig, WatermarkKey};
